@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bench_util List Printf Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_net Wedge_sim

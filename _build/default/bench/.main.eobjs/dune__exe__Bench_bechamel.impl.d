@@ -1,0 +1,1 @@
+bench/bench_bechamel.ml: Analyze Bechamel Bench_util Benchmark Bytes Hashtbl Instance List Measure Printf Staged Test Time Toolkit Wedge_core Wedge_kernel Wedge_tls

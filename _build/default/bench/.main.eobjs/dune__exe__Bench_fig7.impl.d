@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Bench_util List Printf Wedge_core Wedge_kernel

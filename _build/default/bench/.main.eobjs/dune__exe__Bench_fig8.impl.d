@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Bench_util List Printf Wedge_core Wedge_kernel Wedge_sim

@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Bench_util Filename List Printf Sys Unix Wedge_core Wedge_crowbar Wedge_crypto Wedge_httpd Wedge_kernel Wedge_net Wedge_sim Wedge_spec Wedge_sshd

@@ -1,0 +1,1 @@
+bench/bench_metrics.ml: Array Bench_util Filename List Option Printf String Sys

@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Bench_util List Printf String Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_net Wedge_sim Wedge_sshd

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Printf String Unix Wedge_kernel Wedge_sim

@@ -1,0 +1,1 @@
+bench/bench_util.mli: Wedge_kernel

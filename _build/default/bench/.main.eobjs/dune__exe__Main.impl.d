@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_bechamel Bench_fig7 Bench_fig8 Bench_fig9 Bench_metrics Bench_table2 List Printf String Sys

@@ -1,0 +1,96 @@
+(* Wall-clock microbenchmarks of the simulated primitives via Bechamel —
+   one Test.make per paper table/figure, measuring what each simulated
+   operation costs the host, complementing the simulated-time results. *)
+
+open Bechamel
+open Toolkit
+module Kernel = Wedge_kernel.Kernel
+module W = Wedge_core.Wedge
+
+let make_env () =
+  let k = Kernel.create () in
+  let app = W.create_app k in
+  let main = W.main_ctx app in
+  W.boot app;
+  (k, app, main)
+
+(* Figure 7 family: primitive creation. *)
+let test_fig7 =
+  let _, _, main = make_env () in
+  let sc = W.sc_create () in
+  let gate =
+    W.sc_cgate_add main sc ~name:"bechamel.noop" ~entry:(fun _ ~trusted:_ ~arg -> arg)
+      ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  Test.make_grouped ~name:"fig7-primitives"
+    [
+      Test.make ~name:"pthread" (Staged.stage (fun () -> ignore (W.pthread main (fun _ -> 0))));
+      Test.make ~name:"sthread"
+        (Staged.stage (fun () ->
+             ignore (W.sthread_create main (W.sc_create ()) (fun _ _ -> 0) 0)));
+      Test.make ~name:"callgate"
+        (Staged.stage (fun () ->
+             ignore
+               (W.sthread_create main sc
+                  (fun ctx _ -> W.cgate ctx gate ~perms:(W.sc_create ()) ~arg:0)
+                  0)));
+      Test.make ~name:"fork" (Staged.stage (fun () -> ignore (W.fork main (fun _ -> 0))));
+    ]
+
+(* Figure 8 family: allocation. *)
+let test_fig8 =
+  let _, _, main = make_env () in
+  let tag = W.tag_new ~name:"bechamel" ~pages:8 main in
+  Test.make_grouped ~name:"fig8-memory"
+    [
+      Test.make ~name:"malloc+free"
+        (Staged.stage (fun () ->
+             let p = W.malloc main 64 in
+             W.free main p));
+      Test.make ~name:"smalloc+sfree"
+        (Staged.stage (fun () ->
+             let p = W.smalloc main 64 tag in
+             W.sfree main p));
+      Test.make ~name:"tag_new+delete (cached)"
+        (Staged.stage (fun () ->
+             let t = W.tag_new ~name:"b" ~pages:16 main in
+             W.tag_delete main t));
+    ]
+
+(* Table 2 family: one full mini-SSL record round trip. *)
+let test_table2 =
+  let master = Bytes.make 32 'k' in
+  let cr = Bytes.make 32 'c' and sr = Bytes.make 32 's' in
+  let c = Wedge_tls.Record.derive ~master ~client_random:cr ~server_random:sr ~side:`Client in
+  let s = Wedge_tls.Record.derive ~master ~client_random:cr ~server_random:sr ~side:`Server in
+  let payload = Bytes.make 512 'd' in
+  Test.make_grouped ~name:"table2-record-layer"
+    [
+      Test.make ~name:"seal+open 512B"
+        (Staged.stage (fun () ->
+             match Wedge_tls.Record.open_ s (Wedge_tls.Record.seal c payload) with
+             | Some _ -> ()
+             | None -> failwith "mac"));
+    ]
+
+let run () =
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) instance raw) instances
+    in
+    let results = Analyze.merge (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _measure by_test ->
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.printf "  %-42s %12.0f ns/op\n" name est
+            | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+          by_test)
+      results
+  in
+  Bench_util.header "Bechamel wall-clock microbenchmarks (host time per simulated operation)";
+  List.iter benchmark [ test_fig7; test_fig8; test_table2 ]

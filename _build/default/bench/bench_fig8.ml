@@ -1,0 +1,82 @@
+(* Figure 8: memory-call microbenchmarks — malloc vs tag creation vs mmap,
+   in simulated time. *)
+
+module Kernel = Wedge_kernel.Kernel
+module Cost_model = Wedge_sim.Cost_model
+module W = Wedge_core.Wedge
+open Bench_util
+
+let paper_ns = [ ("malloc", 50.0); ("tag_new (reuse)", 210.0); ("mmap", 1100.0) ]
+
+let measure () =
+  let k = Kernel.create () in
+  let app = W.create_app k in
+  let main = W.main_ctx app in
+  W.boot app;
+  let time f = snd (sim_time k f) in
+  (* steady-state malloc/smalloc: amortise over many calls *)
+  let n = 64 in
+  let tag0 = W.tag_new ~name:"bench.m" ~pages:8 main in
+  (* warm the lazily mapped private heap so malloc timing excludes it *)
+  ignore (W.malloc main 16);
+  let malloc_t =
+    let t = time (fun () -> for _ = 1 to n do ignore (W.malloc main 64) done) in
+    t / n
+  in
+  let smalloc_t =
+    let t = time (fun () -> for _ = 1 to n do ignore (W.smalloc main 64 tag0) done) in
+    t / n
+  in
+  (* tag_new with cache reuse: delete/create cycles after one warm-up *)
+  let warm = W.tag_new ~name:"bench.t" ~pages:16 main in
+  W.tag_delete main warm;
+  let reuse_t =
+    let t =
+      time (fun () ->
+          for _ = 1 to n do
+            let t = W.tag_new ~name:"bench.t" ~pages:16 main in
+            W.tag_delete main t
+          done)
+    in
+    t / n
+  in
+  (* cold tag_new (cache cannot serve: distinct page counts each time) *)
+  let cold_t =
+    let t = ref 0 in
+    for i = 1 to 8 do
+      let tv, dt = sim_time k (fun () -> W.tag_new ~name:"bench.c" ~pages:(30 + i) main) in
+      ignore tv;
+      t := !t + dt
+    done;
+    !t / 8
+  in
+  let cm = k.Kernel.costs in
+  let mmap_t = cm.Cost_model.syscall_trap + cm.Cost_model.mmap_op in
+  [
+    ("malloc", malloc_t);
+    ("smalloc", smalloc_t);
+    ("tag_new (reuse)", reuse_t);
+    ("tag_new (cold)", cold_t);
+    ("mmap", mmap_t);
+  ]
+
+let run () =
+  header "Figure 8 - memory calls: allocation latency";
+  row3 "operation" "paper (ns)" "measured (sim)";
+  let m = measure () in
+  List.iter
+    (fun (name, t) ->
+      let paper =
+        match List.assoc_opt name paper_ns with
+        | Some p -> Printf.sprintf "%.0f ns" p
+        | None -> "-"
+      in
+      row3 name paper (ns t))
+    m;
+  print_newline ();
+  let get n = float_of_int (List.assoc n m) in
+  Printf.printf
+    "shape: smalloc/malloc = %s (paper ~1x); tag_new(reuse)/malloc = %s (paper ~4x);\n"
+    (ratio (get "smalloc" /. get "malloc"))
+    (ratio (get "tag_new (reuse)" /. get "malloc"));
+  Printf.printf "       mmap/malloc = %s (paper ~22x)\n" (ratio (get "mmap" /. get "malloc"))

@@ -1,0 +1,33 @@
+module Clock = Wedge_sim.Clock
+module Kernel = Wedge_kernel.Kernel
+
+let hr () = print_endline (String.make 78 '-')
+
+let header title =
+  print_newline ();
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ()
+
+let row3 a b c = Printf.printf "%-34s %20s %20s\n" a b c
+let row4 a b c d = Printf.printf "%-30s %14s %14s %16s\n" a b c d
+let us v = Printf.sprintf "%.1f us" (float_of_int v /. 1e3)
+let ns v = Printf.sprintf "%d ns" v
+let ms v = Printf.sprintf "%.2f ms" (float_of_int v /. 1e6)
+let ratio r = Printf.sprintf "%.1fx" r
+
+let sim_time (k : Kernel.t) f =
+  let t0 = Clock.now k.Kernel.clock in
+  let v = f () in
+  (v, Clock.now k.Kernel.clock - t0)
+
+let wall_once f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let wall_time f =
+  let v, t1 = wall_once f in
+  let _, t2 = wall_once f in
+  let _, t3 = wall_once f in
+  (v, min t1 (min t2 t3))

@@ -1,0 +1,28 @@
+(** Table formatting and measurement helpers shared by the benchmark
+    harness. *)
+
+val hr : unit -> unit
+(** Print a horizontal rule. *)
+
+val header : string -> unit
+(** Experiment banner. *)
+
+val row3 : string -> string -> string -> unit
+(** Aligned three-column row. *)
+
+val row4 : string -> string -> string -> string -> unit
+
+val us : int -> string
+(** Nanoseconds rendered as microseconds. *)
+
+val ns : int -> string
+val ms : int -> string
+val ratio : float -> string
+
+val sim_time : Wedge_kernel.Kernel.t -> (unit -> 'a) -> 'a * int
+(** Run under the simulated clock, returning elapsed simulated ns. *)
+
+val wall_time : (unit -> 'a) -> 'a * float
+(** Wall-clock seconds (best of three runs). *)
+
+val wall_once : (unit -> 'a) -> 'a * float

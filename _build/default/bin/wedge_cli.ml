@@ -1,0 +1,288 @@
+(* wedge-cli: drive the partitioned applications and their attack
+   experiments from the command line.
+
+     wedge_cli pop3  --partition mono|wedge [--attack]
+     wedge_cli https --partition mono|simple|mitm [--attack] [--recycled]
+     wedge_cli ssh   --partition mono|privsep|wedge [--auth password|pubkey|skey] [--attack]
+     wedge_cli stats --partition mitm     # kernel op counters for one request *)
+
+open Cmdliner
+module Kernel = Wedge_kernel.Kernel
+module Stats = Wedge_sim.Stats
+module Fiber = Wedge_sim.Fiber
+module Chan = Wedge_net.Chan
+module Attacker = Wedge_net.Attacker
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module Dsa = Wedge_crypto.Dsa
+module W = Wedge_core.Wedge
+
+let ok b = if b then "ok" else "FAILED"
+
+(* ---------------- pop3 ---------------- *)
+
+let run_pop3 partition attack =
+  let k = Kernel.create () in
+  Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+  let app = W.create_app k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let loot = Attacker.loot_create () in
+  let payload ctx =
+    (match W.vfs_read ctx Wedge_pop3.Pop3_env.passwd_path with
+    | Ok d -> Attacker.grab loot ~label:"passwd" d
+    | Error _ -> ());
+    match W.vfs_read ctx (Wedge_pop3.Pop3_env.maildir "bob" ^ "/1.eml") with
+    | Ok d -> Attacker.grab loot ~label:"bob-mail" d
+    | Error _ -> ()
+  in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () ->
+          match partition with
+          | "mono" -> Wedge_pop3.Pop3_mono.serve_connection ~exploit:payload main server_ep
+          | _ -> ignore (Wedge_pop3.Pop3_wedge.serve_connection ~exploit:payload main server_ep));
+      let c = Wedge_pop3.Pop3_client.connect client_ep in
+      Printf.printf "login alice: %s\n"
+        (ok (Wedge_pop3.Pop3_client.login c ~user:"alice" ~password:"wonderland"));
+      (match Wedge_pop3.Pop3_client.stat c with
+      | Some (n, bytes) -> Printf.printf "STAT: %d messages, %d bytes\n" n bytes
+      | None -> print_endline "STAT failed");
+      if attack then begin
+        print_endline "sending exploit trigger...";
+        Wedge_pop3.Pop3_client.xploit c
+      end;
+      Wedge_pop3.Pop3_client.quit c;
+      Chan.close client_ep);
+  if attack then
+    Printf.printf "attacker stole: %s\n"
+      (match Attacker.labels loot with [] -> "nothing" | l -> String.concat ", " l);
+  0
+
+(* ---------------- https ---------------- *)
+
+let run_https partition attack recycled =
+  let k = Kernel.create () in
+  let env = Wedge_httpd.Httpd_env.install k in
+  let loot = Attacker.loot_create () in
+  let payload ctx =
+    List.iter
+      (fun (tag : Wedge_mem.Tag.t) ->
+        ignore (Attacker.steal_tag ctx loot ~label:tag.Wedge_mem.Tag.name tag))
+      (W.live_tags (W.app_of ctx))
+  in
+  let exploit = if attack then Some payload else None in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () ->
+          match partition with
+          | "mono" -> Wedge_httpd.Httpd_mono.serve_connection ?exploit env server_ep
+          | "simple" ->
+              ignore
+                (Wedge_httpd.Httpd_simple.serve_connection ~recycled ?exploit_handshake:exploit
+                   env server_ep)
+          | _ ->
+              ignore
+                (Wedge_httpd.Httpd_mitm.serve_connection ~recycled ?exploit_handshake:exploit env
+                   server_ep));
+      let r =
+        Wedge_httpd.Https_client.get ~rng:(Drbg.create ~seed:1)
+          ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html" client_ep
+      in
+      match r.Wedge_httpd.Https_client.response with
+      | Some { Wedge_httpd.Http.status; body } ->
+          Printf.printf "GET /index.html over SSL: HTTP %d (%d bytes)\n" status
+            (String.length body)
+      | None ->
+          Printf.printf "request failed: %s\n"
+            (Option.value ~default:"?" r.Wedge_httpd.Https_client.error));
+  if attack then
+    Printf.printf "exploited compartment could read: %s\n"
+      (match Attacker.labels loot with [] -> "nothing" | l -> String.concat ", " l);
+  0
+
+(* ---------------- ssh ---------------- *)
+
+let run_ssh partition auth attack =
+  let k = Kernel.create () in
+  let env = Wedge_sshd.Sshd_env.install k in
+  let loot = Attacker.loot_create () in
+  let payload ctx =
+    (match W.vfs_read ctx Wedge_sshd.Sshd_env.shadow_path with
+    | Ok d -> Attacker.grab loot ~label:"shadow" d
+    | Error _ -> ());
+    match Attacker.try_read ctx ~addr:env.Wedge_sshd.Sshd_env.rsa_addr ~len:32 with
+    | Ok d -> Attacker.grab loot ~label:"host-key" d
+    | Error _ -> ()
+  in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () ->
+          match partition with
+          | "mono" ->
+              Wedge_sshd.Sshd_mono.serve_connection
+                ?exploit:(if attack then Some payload else None)
+                env server_ep
+          | "privsep" ->
+              Wedge_sshd.Sshd_privsep.serve_connection
+                ?exploit:(if attack then Some (fun ctx _m -> payload ctx) else None)
+                env server_ep
+          | _ ->
+              ignore
+                (Wedge_sshd.Sshd_wedge.serve_connection
+                   ?exploit:(if attack then Some payload else None)
+                   env server_ep));
+      let alice = List.hd env.Wedge_sshd.Sshd_env.users in
+      let method_ =
+        match auth with
+        | "pubkey" -> Wedge_sshd.Ssh_client.Pubkey (Wedge_sshd.Sshd_env.user_key alice)
+        | "skey" -> Wedge_sshd.Ssh_client.Skey "rabbit hole"
+        | _ -> Wedge_sshd.Ssh_client.Password "wonderland"
+      in
+      match
+        Wedge_sshd.Ssh_client.login ~rng:(Drbg.create ~seed:1)
+          ~pinned_rsa:env.Wedge_sshd.Sshd_env.host_rsa.Rsa.pub
+          ~pinned_dsa:env.Wedge_sshd.Sshd_env.host_dsa.Dsa.pub ~user:"alice" method_ client_ep
+      with
+      | Error e -> Printf.printf "login failed: %s\n" e
+      | Ok conn ->
+          Printf.printf "login alice (%s): ok\n" auth;
+          (match Wedge_sshd.Ssh_client.exec conn "shell" with
+          | Some reply -> Printf.printf "shell: %s\n" reply
+          | None -> ());
+          if attack then ignore (Wedge_sshd.Ssh_client.exec conn "xploit");
+          Wedge_sshd.Ssh_client.close conn);
+  if attack then
+    Printf.printf "exploited compartment could read: %s\n"
+      (match Attacker.labels loot with [] -> "nothing" | l -> String.concat ", " l);
+  0
+
+(* ---------------- stats ---------------- *)
+
+let run_stats partition =
+  let k = Kernel.create () in
+  let env = Wedge_httpd.Httpd_env.install k in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () ->
+          match partition with
+          | "mono" -> Wedge_httpd.Httpd_mono.serve_connection env server_ep
+          | "simple" -> ignore (Wedge_httpd.Httpd_simple.serve_connection env server_ep)
+          | _ -> ignore (Wedge_httpd.Httpd_mitm.serve_connection env server_ep));
+      ignore
+        (Wedge_httpd.Https_client.get ~rng:(Drbg.create ~seed:1)
+           ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html" client_ep));
+  Printf.printf "kernel operation counts for one %s request:\n" partition;
+  Format.printf "%a@." Stats.pp k.Kernel.stats;
+  0
+
+(* ---------------- trace: cb-log + cb-analyze over a saved file -------- *)
+
+let run_trace out query fn =
+  let module Cb_log = Wedge_crowbar.Cb_log in
+  let module Cb_analyze = Wedge_crowbar.Cb_analyze in
+  let module Trace = Wedge_crowbar.Trace in
+  (* cb-log phase: trace one partitioned HTTPS request. *)
+  let k = Kernel.create () in
+  let env = Wedge_httpd.Httpd_env.install ~image_pages:300 k in
+  let log = Cb_log.create () in
+  W.set_instr env.Wedge_httpd.Httpd_env.main (Cb_log.instr log);
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () -> ignore (Wedge_httpd.Httpd_mitm.serve_connection env server_ep));
+      ignore
+        (Wedge_httpd.Https_client.get ~rng:(Drbg.create ~seed:2)
+           ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html" client_ep));
+  Trace.save (Cb_log.trace log) out;
+  Printf.printf "cb-log: traced one request to %s (%d accesses, %d segments)\n" out
+    (Trace.access_count (Cb_log.trace log))
+    (List.length (Trace.segments (Cb_log.trace log)));
+  (* cb-analyze phase: reload and query. *)
+  match Trace.load out with
+  | Error e ->
+      Printf.eprintf "cb-analyze: %s\n" e;
+      1
+  | Ok tr -> (
+      let fmt = Format.std_formatter in
+      match query with
+      | "items" ->
+          Printf.printf "memory items used by %s and its descendants:\n" fn;
+          Cb_analyze.pp_items fmt (Cb_analyze.items_used_by tr ~fn);
+          0
+      | "writes" ->
+          Printf.printf "write sites of %s and its descendants:\n" fn;
+          Cb_analyze.pp_items fmt (Cb_analyze.writes_of tr ~fn);
+          0
+      | "policy" ->
+          Printf.printf "suggested policy for an sthread running %s:\n" fn;
+          Cb_analyze.pp_suggestions fmt (Cb_analyze.suggest_policy tr ~fn);
+          0
+      | "static" ->
+          print_endline "static over-approximation (every item the program touches):";
+          Cb_analyze.pp_suggestions fmt (Cb_analyze.overapproximate tr);
+          0
+      | "segments" ->
+          List.iter
+            (fun s ->
+              Printf.printf "  %-26s base 0x%x len %d %s\n"
+                (Trace.seg_kind_to_string s.Trace.kind) s.Trace.base s.Trace.len
+                (if s.Trace.live then "" else "(freed)"))
+            (Trace.segments tr);
+          0
+      | q ->
+          Printf.eprintf "unknown query %S (items|writes|policy|static|segments)\n" q;
+          1)
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+let partition_arg choices =
+  Arg.(value & opt (enum (List.map (fun c -> (c, c)) choices)) (List.hd choices)
+       & info [ "partition"; "p" ] ~doc:(Printf.sprintf "Partitioning: %s" (String.concat ", " choices)))
+
+let attack_arg = Arg.(value & flag & info [ "attack" ] ~doc:"Run the exploit payload")
+let recycled_arg = Arg.(value & flag & info [ "recycled" ] ~doc:"Use recycled callgates")
+
+let auth_arg =
+  Arg.(value & opt (enum [ ("password", "password"); ("pubkey", "pubkey"); ("skey", "skey") ])
+         "password"
+       & info [ "auth" ] ~doc:"Authentication method")
+
+let pop3_cmd =
+  Cmd.v (Cmd.info "pop3" ~doc:"POP3 server demo (paper §2)")
+    Term.(const run_pop3 $ partition_arg [ "wedge"; "mono" ] $ attack_arg)
+
+let https_cmd =
+  Cmd.v
+    (Cmd.info "https" ~doc:"Apache/OpenSSL demo (paper §5.1)")
+    Term.(const run_https $ partition_arg [ "mitm"; "simple"; "mono" ] $ attack_arg $ recycled_arg)
+
+let ssh_cmd =
+  Cmd.v (Cmd.info "ssh" ~doc:"OpenSSH demo (paper §5.2)")
+    Term.(const run_ssh $ partition_arg [ "wedge"; "privsep"; "mono" ] $ auth_arg $ attack_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Kernel operation counters for one HTTPS request")
+    Term.(const run_stats $ partition_arg [ "mitm"; "simple"; "mono" ])
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "/tmp/wedge.cblog" & info [ "out"; "o" ] ~doc:"Trace file path")
+  in
+  let query =
+    Arg.(value & opt string "items"
+         & info [ "query"; "q" ] ~doc:"items | writes | policy | static | segments")
+  in
+  let fn =
+    Arg.(value & opt string "handle_request" & info [ "fn" ] ~doc:"Procedure to query")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"cb-log one HTTPS request to a file and run a cb-analyze query on it")
+    Term.(const run_trace $ out $ query $ fn)
+
+let () =
+  let doc = "Wedge (NSDI 2008) reproduction - partitioned-application demos" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "wedge_cli" ~doc)
+          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd ]))

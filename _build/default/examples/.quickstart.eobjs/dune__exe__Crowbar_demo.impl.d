@@ -1,0 +1,1 @@
+examples/crowbar_demo.ml: Format List Printf Wedge_core Wedge_crowbar Wedge_kernel Wedge_mem Wedge_sim

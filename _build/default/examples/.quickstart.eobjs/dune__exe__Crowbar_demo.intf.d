@@ -1,0 +1,1 @@
+examples/crowbar_demo.mli:

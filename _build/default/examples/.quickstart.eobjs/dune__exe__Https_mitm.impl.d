@@ -1,0 +1,1 @@
+examples/https_mitm.ml: Bytes Char List Printf String Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_mem Wedge_net Wedge_sim Wedge_tls

@@ -1,0 +1,1 @@
+examples/pop3_server.ml: List Printf String Wedge_core Wedge_kernel Wedge_net Wedge_pop3 Wedge_sim

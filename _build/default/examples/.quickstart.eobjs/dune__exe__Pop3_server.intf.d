@@ -1,0 +1,1 @@
+examples/pop3_server.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Printf Wedge_core Wedge_kernel

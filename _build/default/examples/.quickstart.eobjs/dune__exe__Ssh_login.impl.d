@@ -1,0 +1,1 @@
+examples/ssh_login.ml: List Option Printf String Wedge_core Wedge_crypto Wedge_kernel Wedge_net Wedge_sim Wedge_sshd

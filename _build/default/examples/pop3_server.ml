@@ -1,0 +1,55 @@
+(* The paper's §2 motivating example, live: a POP3 server partitioned as in
+   Figure 1, attacked through its command parser, side by side with the
+   monolithic server falling to the same exploit.
+
+   Run with:  dune exec examples/pop3_server.exe *)
+
+module Kernel = Wedge_kernel.Kernel
+module Fiber = Wedge_sim.Fiber
+module Chan = Wedge_net.Chan
+module Attacker = Wedge_net.Attacker
+module W = Wedge_core.Wedge
+module Env = Wedge_pop3.Pop3_env
+module Mono = Wedge_pop3.Pop3_mono
+module Wedge_pop = Wedge_pop3.Pop3_wedge
+module Client = Wedge_pop3.Pop3_client
+
+let payload loot ctx =
+  (match W.vfs_read ctx Env.passwd_path with
+  | Ok data -> Attacker.grab loot ~label:"password database" data
+  | Error _ -> ());
+  match W.vfs_read ctx (Env.maildir "bob" ^ "/1.eml") with
+  | Ok data -> Attacker.grab loot ~label:"bob's mail" data
+  | Error _ -> ()
+
+let session name serve =
+  Printf.printf "== %s ==\n" name;
+  let k = Kernel.create () in
+  Env.install k Env.default_users;
+  let app = W.create_app k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let loot = Attacker.loot_create () in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair () in
+      Fiber.spawn (fun () -> serve main loot server_ep);
+      let c = Client.connect client_ep in
+      Printf.printf "  alice logs in: %b\n" (Client.login c ~user:"alice" ~password:"wonderland");
+      (match Client.retr c 1 with
+      | Some mail -> Printf.printf "  alice reads her mail (%d bytes)\n" (String.length mail)
+      | None -> print_endline "  RETR failed");
+      print_endline "  attacker sends the exploit trigger...";
+      Client.xploit c;
+      Client.quit c;
+      Chan.close client_ep);
+  (match Attacker.labels loot with
+  | [] -> print_endline "  attacker stole: nothing"
+  | stolen -> List.iter (fun l -> Printf.printf "  attacker stole: %s\n" l) stolen);
+  print_newline ()
+
+let () =
+  session "monolithic POP3 server" (fun main loot ep ->
+      Mono.serve_connection ~exploit:(payload loot) main ep);
+  session "Wedge-partitioned POP3 server (Figure 1)" (fun main loot ep ->
+      ignore (Wedge_pop.serve_connection ~exploit:(payload loot) main ep));
+  print_endline "Same exploit, same parser: the partitioned server leaks nothing."

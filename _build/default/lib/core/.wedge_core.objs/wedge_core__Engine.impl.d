@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bytes Filename Hashtbl List Option Printf Result Sc String Wedge_kernel Wedge_mem Wedge_sim

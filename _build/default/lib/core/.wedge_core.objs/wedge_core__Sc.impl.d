@@ -1,0 +1,1 @@
+lib/core/sc.ml: List Option Wedge_kernel Wedge_mem

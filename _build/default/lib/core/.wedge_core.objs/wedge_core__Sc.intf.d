@@ -1,0 +1,1 @@
+lib/core/sc.mli: Wedge_kernel Wedge_mem

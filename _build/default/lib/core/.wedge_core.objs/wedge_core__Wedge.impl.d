@@ -1,0 +1,1 @@
+lib/core/wedge.ml: Engine Sc

@@ -1,0 +1,1 @@
+lib/core/wedge.mli: Engine Sc Wedge_kernel Wedge_mem Wedge_sim

@@ -1,0 +1,959 @@
+(* The Wedge engine: applications, sthreads, callgates and tagged memory on
+   top of the simulated kernel.  This module holds the mutually recursive
+   types (a callgate entry receives a ctx; a ctx belongs to an app that
+   stores callgates); the thin public modules [Sthread], [Callgate] and
+   [Wedge] re-export groups of these operations. *)
+
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+module Stats = Wedge_sim.Stats
+module Instr = Wedge_sim.Instr
+module Kernel = Wedge_kernel.Kernel
+module Vm = Wedge_kernel.Vm
+module Prot = Wedge_kernel.Prot
+module Process = Wedge_kernel.Process
+module Fd_table = Wedge_kernel.Fd_table
+module Vfs = Wedge_kernel.Vfs
+module Layout = Wedge_kernel.Layout
+module Selinux = Wedge_kernel.Selinux
+module Physmem = Wedge_kernel.Physmem
+module Pagetable = Wedge_kernel.Pagetable
+module Tag = Wedge_mem.Tag
+module Smalloc = Wedge_mem.Smalloc
+module Tag_cache = Wedge_mem.Tag_cache
+
+exception Privilege_violation of string
+exception Exit_sthread of int
+
+let page_size = Physmem.page_size
+
+type gate_id = int
+
+type boundary_section = {
+  b_id : int;
+  b_name : string;
+  b_base : int;
+  b_pages : int;
+  mutable b_tag : Tag.t option;
+}
+
+type app = {
+  kernel : Kernel.t;
+  layout : Layout.t;
+  tags : Tag.registry;
+  tag_cache : Tag_cache.t;
+  gates : (gate_id, gate) Hashtbl.t;
+  mutable next_gate : gate_id;
+  mutable boundaries : boundary_section list;
+  mutable data_pages : int;  (* image pages + boundary pages *)
+  image_pages : int;
+  mutable booted : bool;
+  mutable pristine : (int * int) list;  (* (vpn, frame) of the snapshot *)
+  mutable main : ctx option;
+  recycled_pool : (string, pooled) Hashtbl.t;
+      (* long-lived sthreads backing recycled callgates, keyed by gate
+         name so they survive per-connection gate re-instantiation *)
+}
+
+and pooled = {
+  mutable p_ctx : ctx;
+  mutable p_sc : Sc.t;  (* grants currently mapped into the pooled sthread *)
+}
+
+and gate = {
+  g_id : gate_id;
+  g_name : string;
+  g_entry : ctx -> trusted:int -> arg:int -> int;
+  g_sc : Sc.t;  (* permissions fixed and validated at creation *)
+  g_trusted : int;  (* kernel-held trusted argument *)
+  g_minter : int;  (* pid that performed sc_cgate_add *)
+  g_uid : int;  (* identity inherited from the creator, not the caller *)
+  g_root : string;
+  g_sid : string;
+  g_recycled : bool;
+  g_fds : (int * Fd_table.target * Fd_table.perm) list;
+      (* descriptor grants resolved against the creator at creation time,
+         so a caller without network access cannot influence (and need not
+         hold) the gate's descriptors *)
+}
+
+and ctx = {
+  app : app;
+  proc : Process.t;
+  sc : Sc.t;  (* the effective grants this compartment was created with *)
+  mutable instr : Instr.t;
+  mutable smalloc_tag : Tag.t option;  (* smalloc_on state (per sthread) *)
+  mutable heap_ready : bool;
+  mutable stack_ready : bool;
+  mutable stack_sp : int;
+  mutable caller_pid : int option;
+      (* during a callgate invocation, the pid of the invoking sthread
+         (kernel-provided, like SO_PEERCRED) *)
+}
+
+type handle = {
+  h_proc : Process.t;
+  mutable h_result : int option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let costs ctx = ctx.app.kernel.Kernel.costs
+let clock ctx = ctx.app.kernel.Kernel.clock
+let charge ctx ns = Clock.charge (clock ctx) ns
+let stat ctx name = Stats.bump ctx.app.kernel.Kernel.stats name
+let kernel app = app.kernel
+let app_of ctx = ctx.app
+let proc ctx = ctx.proc
+let pid ctx = ctx.proc.Process.pid
+let getuid ctx = ctx.proc.Process.uid
+let booted app = app.booted
+let violation fmt = Printf.ksprintf (fun s -> raise (Privilege_violation s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Application setup                                                   *)
+
+let default_image_pages = 300  (* a minimal process: libc + loader + globals *)
+
+let make_ctx app proc sc instr =
+  {
+    app;
+    proc;
+    sc;
+    instr;
+    smalloc_tag = None;
+    heap_ready = false;
+    stack_ready = false;
+    stack_sp = Layout.stack_base + (Layout.stack_pages * page_size);
+    caller_pid = None;
+  }
+
+let create_app ?(image_pages = default_image_pages) kernel =
+  let app =
+    {
+      kernel;
+      layout = Layout.create ();
+      tags = Tag.registry_create ();
+      tag_cache = Tag_cache.create kernel.Kernel.pm;
+      gates = Hashtbl.create 16;
+      next_gate = 1;
+      boundaries = [];
+      data_pages = image_pages;
+      image_pages;
+      booted = false;
+      pristine = [];
+      main = None;
+      recycled_pool = Hashtbl.create 8;
+    }
+  in
+  let proc = Kernel.new_process kernel ~kind:Process.Main ~uid:0 ~root:"/" ~sid:"system_u:system_r:init_t" in
+  Vm.map_fresh proc.Process.vm ~addr:Layout.data_base ~pages:image_pages
+    ~prot:Prot.page_rw ~tag:None;
+  let ctx = make_ctx app proc (Sc.create ()) Instr.null in
+  app.main <- Some ctx;
+  app
+
+let main_ctx app =
+  match app.main with
+  | Some c -> c
+  | None -> invalid_arg "Engine.main_ctx: application torn down"
+
+(* Declare a tagged global section (BOUNDARY_VAR, §4.1): page-aligned pages
+   appended to the data segment, excluded from the pristine snapshot. *)
+let boundary_var app ~id ~name ~size =
+  if app.booted then invalid_arg "Engine.boundary_var: application already booted";
+  if List.exists (fun b -> b.b_id = id) app.boundaries then
+    invalid_arg (Printf.sprintf "Engine.boundary_var: id %d already declared" id);
+  let pages = Layout.pages_for ~bytes_len:size in
+  let base = Layout.data_base + (app.data_pages * page_size) in
+  app.data_pages <- app.data_pages + pages;
+  let main = main_ctx app in
+  Vm.map_fresh main.proc.Process.vm ~addr:base ~pages ~prot:Prot.page_rw ~tag:None;
+  app.boundaries <- { b_id = id; b_name = name; b_base = base; b_pages = pages; b_tag = None } :: app.boundaries;
+  base
+
+let find_boundary app id =
+  match List.find_opt (fun b -> b.b_id = id) app.boundaries with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Engine.boundary: id %d not declared" id)
+
+(* Snapshot of the program image just before main() runs (§4.1): record the
+   frames, take a snapshot reference on each, and mark the owner's pages
+   copy-on-write so later writes never alter the snapshot.  Boundary
+   sections are excluded, so sthreads do not receive them by default. *)
+let boot app =
+  if app.booted then invalid_arg "Engine.boot: already booted";
+  let main = main_ctx app in
+  let vm = main.proc.Process.vm in
+  let pm = app.kernel.Kernel.pm in
+  let in_boundary vpn =
+    List.exists
+      (fun b ->
+        let b0 = b.b_base / page_size in
+        vpn >= b0 && vpn < b0 + b.b_pages)
+      app.boundaries
+  in
+  let first = Layout.data_base / page_size in
+  let snapshot = ref [] in
+  for vpn = first to first + app.data_pages - 1 do
+    if not (in_boundary vpn) then
+      match Pagetable.find (Vm.page_table vm) ~vpn with
+      | Some pte ->
+          Physmem.incref pm pte.Pagetable.frame;
+          snapshot := (vpn, pte.Pagetable.frame) :: !snapshot;
+          pte.Pagetable.prot <- Prot.page_cow
+      | None -> ()
+  done;
+  app.pristine <- List.rev !snapshot;
+  app.booted <- true
+
+(* ------------------------------------------------------------------ *)
+(* Effective privileges, derived from ground truth                     *)
+
+(* The memory privilege a process actually holds on a tag is read off its
+   page table, which handles main (mapped at tag_new) and sthreads (mapped
+   from their policy) uniformly. *)
+let priv_for_tag (p : Process.t) (tag : Tag.t) : Prot.grant option =
+  match Pagetable.find (Vm.page_table p.Process.vm) ~vpn:(tag.Tag.base / page_size) with
+  | None -> None
+  | Some pte ->
+      let pr = pte.Pagetable.prot in
+      if pr.Prot.pw then Some Prot.RW
+      else if pr.Prot.pcow then Some Prot.COW
+      else if pr.Prot.pr then Some Prot.R
+      else None
+
+let holds_gate ctx gid =
+  List.mem gid ctx.sc.Sc.gates
+  ||
+  match Hashtbl.find_opt ctx.app.gates gid with
+  | Some g -> g.g_minter = pid ctx
+  | None -> false
+
+(* A parent may only delegate subsets of its own privileges (§3.1). *)
+let validate_sc parent (sc : Sc.t) =
+  List.iter
+    (fun { Sc.tag; grant } ->
+      if not tag.Tag.live then violation "grant on deleted tag %s" tag.Tag.name;
+      match priv_for_tag parent.proc tag with
+      | None -> violation "pid %d grants tag %s it does not hold" (pid parent) tag.Tag.name
+      | Some pg ->
+          if not (Prot.grant_subsumes ~parent:pg ~child:grant) then
+            violation "pid %d escalates tag %s from %s to %s" (pid parent) tag.Tag.name
+              (Prot.grant_to_string pg) (Prot.grant_to_string grant))
+    sc.Sc.mems;
+  List.iter
+    (fun { Sc.fd; perm } ->
+      match Fd_table.find parent.proc.Process.fds fd with
+      | None -> violation "pid %d grants fd %d it does not hold" (pid parent) fd
+      | Some e ->
+          if not (Fd_table.perm_subsumes ~parent:e.Fd_table.perm ~child:perm) then
+            violation "pid %d escalates fd %d permissions" (pid parent) fd)
+    sc.Sc.fds;
+  List.iter
+    (fun gid ->
+      if not (holds_gate parent gid) then
+        violation "pid %d grants callgate %d it does not hold" (pid parent) gid)
+    sc.Sc.gates;
+  (match sc.Sc.uid with
+  | Some u when u <> parent.proc.Process.uid && parent.proc.Process.uid <> 0 ->
+      violation "pid %d (uid %d) cannot set uid %d" (pid parent) parent.proc.Process.uid u
+  | _ -> ());
+  (match sc.Sc.root with
+  | Some r when r <> parent.proc.Process.root && parent.proc.Process.uid <> 0 ->
+      violation "pid %d cannot chroot without uid 0" (pid parent)
+  | _ -> ());
+  match sc.Sc.sid with
+  | Some sid
+    when not
+           (Selinux.may_transition parent.app.kernel.Kernel.selinux
+              ~from_:parent.proc.Process.sid ~to_:sid) ->
+      violation "SELinux forbids transition %s -> %s" parent.proc.Process.sid sid
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sthread construction                                                *)
+
+let resolve_identity parent (sc : Sc.t) =
+  ( Option.value sc.Sc.uid ~default:parent.proc.Process.uid,
+    Option.value sc.Sc.root ~default:parent.proc.Process.root,
+    Option.value sc.Sc.sid ~default:parent.proc.Process.sid )
+
+(* Map the pristine snapshot copy-on-write into a new sthread. *)
+let map_pristine app (vm : Vm.t) =
+  let cm = app.kernel.Kernel.costs in
+  List.iter
+    (fun (vpn, frame) ->
+      Clock.charge app.kernel.Kernel.clock cm.Cost_model.pte_copy;
+      Vm.map_frame vm ~addr:(vpn * page_size) ~frame ~prot:Prot.page_cow ~tag:None)
+    app.pristine
+
+(* Map a policy's tag grants into a new sthread's address space. *)
+let map_tag_grants app (child : Process.t) (sc : Sc.t) =
+  let cm = app.kernel.Kernel.costs in
+  List.iter
+    (fun { Sc.tag; grant } ->
+      let prot = Prot.page_of_grant grant in
+      Array.iteri
+        (fun i frame ->
+          Clock.charge app.kernel.Kernel.clock cm.Cost_model.pte_copy;
+          Vm.map_frame child.Process.vm ~addr:(tag.Tag.base + (i * page_size)) ~frame ~prot
+            ~tag:(Some tag.Tag.id))
+        tag.Tag.frames)
+    sc.Sc.mems
+
+(* Map a policy's grants into a new sthread's address space and fd table
+   (descriptors duplicated from the parent: sthread creation). *)
+let map_grants parent (child : Process.t) (sc : Sc.t) =
+  let app = parent.app in
+  let cm = app.kernel.Kernel.costs in
+  map_tag_grants app child sc;
+  List.iter
+    (fun { Sc.fd; perm } ->
+      Clock.charge app.kernel.Kernel.clock cm.Cost_model.fd_dup;
+      Fd_table.dup_into ~src:parent.proc.Process.fds ~dst:child.Process.fds ~fd ~perm)
+    sc.Sc.fds
+
+let run_compartment ctx fn arg =
+  let cm = costs ctx in
+  charge ctx (cm.Cost_model.context_switch + cm.Cost_model.tlb_flush);
+  let result =
+    match fn ctx arg with
+    | v ->
+        ctx.proc.Process.status <- Process.Exited 0;
+        Some v
+    | exception Exit_sthread code ->
+        ctx.proc.Process.status <- Process.Exited code;
+        Some code
+    | exception Vm.Fault f ->
+        ctx.proc.Process.status <- Process.Faulted (Vm.fault_to_string f);
+        None
+    | exception Kernel.Eperm msg ->
+        ctx.proc.Process.status <- Process.Faulted msg;
+        None
+  in
+  charge ctx cm.Cost_model.context_switch;
+  result
+
+let sthread_create ?instr parent (sc : Sc.t) fn arg =
+  if not parent.app.booted then invalid_arg "sthread_create: application not booted";
+  Kernel.syscall_check parent.app.kernel parent.proc "sthread_create";
+  stat parent "sthread_create";
+  validate_sc parent sc;
+  let uid, root, sid = resolve_identity parent sc in
+  let child = Kernel.new_process parent.app.kernel ~kind:Process.Sthread ~uid ~root ~sid in
+  map_pristine parent.app child.Process.vm;
+  map_grants parent child sc;
+  let cctx = make_ctx parent.app child sc (Option.value instr ~default:parent.instr) in
+  let handle = { h_proc = child; h_result = None } in
+  handle.h_result <- run_compartment cctx fn arg;
+  Kernel.reap parent.app.kernel child;
+  handle
+
+let sthread_join parent handle =
+  Kernel.syscall_check parent.app.kernel parent.proc "sthread_join";
+  match (handle.h_result, handle.h_proc.Process.status) with
+  | Some v, _ -> v
+  | None, Process.Faulted _ -> -1
+  | None, _ -> invalid_arg "sthread_join: sthread still running"
+
+let handle_status handle = handle.h_proc.Process.status
+
+let exit_sthread code = raise (Exit_sthread code)
+
+(* ------------------------------------------------------------------ *)
+(* fork(2) and pthreads, as comparison baselines                       *)
+
+(* Full fork: the child inherits a copy of the entire address space —
+   including any sensitive data the parent holds — and all descriptors.
+   Used by the privilege-separation baseline (§5.2) and Figure 7. *)
+let fork parent fn =
+  Kernel.syscall_check parent.app.kernel parent.proc "fork";
+  stat parent "fork";
+  let p = parent.proc in
+  let child =
+    Kernel.new_process parent.app.kernel ~kind:Process.Forked ~uid:p.Process.uid
+      ~root:p.Process.root ~sid:p.Process.sid
+  in
+  let cm = costs parent in
+  let entries = Pagetable.fold (fun vpn pte acc -> (vpn, pte) :: acc) (Vm.page_table p.Process.vm) [] in
+  List.iter
+    (fun (vpn, (pte : Pagetable.pte)) ->
+      charge parent cm.Cost_model.pte_copy;
+      let prot = pte.Pagetable.prot in
+      let shared_prot =
+        if prot.Prot.pw then Prot.page_cow
+        else prot
+      in
+      (* Both sides go copy-on-write, as with a real fork. *)
+      if prot.Prot.pw then pte.Pagetable.prot <- Prot.page_cow;
+      Vm.map_frame child.Process.vm ~addr:(vpn * page_size) ~frame:pte.Pagetable.frame
+        ~prot:shared_prot ~tag:pte.Pagetable.tag)
+    entries;
+  List.iter
+    (fun fd ->
+      match Fd_table.find p.Process.fds fd with
+      | Some e ->
+          charge parent cm.Cost_model.fd_dup;
+          Fd_table.dup_into ~src:p.Process.fds ~dst:child.Process.fds ~fd ~perm:e.Fd_table.perm
+      | None -> ())
+    (Fd_table.fds p.Process.fds);
+  let cctx = make_ctx parent.app child parent.sc parent.instr in
+  cctx.heap_ready <- parent.heap_ready;
+  cctx.stack_ready <- parent.stack_ready;
+  let handle = { h_proc = child; h_result = None } in
+  handle.h_result <- run_compartment cctx (fun c _ -> fn c) 0;
+  Kernel.reap parent.app.kernel child;
+  handle
+
+(* A pthread shares everything with its creator: no new address space, no
+   new descriptors — just thread bookkeeping and two context switches. *)
+let pthread parent fn =
+  Kernel.syscall_check parent.app.kernel parent.proc "clone";
+  stat parent "pthread_create";
+  let cm = costs parent in
+  charge parent (cm.Cost_model.thread_struct + cm.Cost_model.context_switch);
+  let v = fn parent in
+  charge parent (cm.Cost_model.syscall_trap + cm.Cost_model.context_switch);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Tagged memory                                                       *)
+
+let default_tag_pages = 16
+
+let tag_new ?(name = "tag") ?(pages = default_tag_pages) ctx =
+  let app = ctx.app in
+  let cm = costs ctx in
+  match Tag_cache.take app.tag_cache ~pages with
+  | Some entry ->
+      (* Userland reuse: no system call; scrub by prefilling the cached
+         bookkeeping image (§4.1). *)
+      stat ctx "tag_new.reuse";
+      charge ctx cm.Cost_model.smalloc_book_init;
+      let tag = Tag.register app.tags ~name ~base:entry.Tag_cache.base ~pages in
+      tag.Tag.frames <- Array.of_list entry.Tag_cache.frames;
+      Array.iteri
+        (fun i frame ->
+          Vm.map_frame ctx.proc.Process.vm ~addr:(tag.Tag.base + (i * page_size)) ~frame
+            ~prot:Prot.page_rw ~tag:(Some tag.Tag.id))
+        tag.Tag.frames;
+      (* The cache's reference transfers to the registry. *)
+      List.iter (fun f -> Physmem.decref app.kernel.Kernel.pm f) entry.Tag_cache.frames;
+      List.iter (fun f -> Physmem.incref app.kernel.Kernel.pm f) entry.Tag_cache.frames;
+      List.iter
+        (fun (addr, w) -> Vm.write_u64 ctx.proc.Process.vm addr w)
+        (Smalloc.prefill_image ~base:tag.Tag.base ~size:(pages * page_size));
+      ctx.instr.Instr.on_alloc tag.Tag.base (pages * page_size)
+        (Instr.Tagged (tag.Tag.id, tag.Tag.name));
+      tag
+  | None ->
+      Kernel.syscall_check app.kernel ctx.proc "tag_new";
+      stat ctx "tag_new.fresh";
+      charge ctx (cm.Cost_model.mmap_op + cm.Cost_model.smalloc_book_init);
+      let base = Layout.alloc_tag_range app.layout ~pages in
+      let tag = Tag.register app.tags ~name ~base ~pages in
+      Vm.map_fresh ctx.proc.Process.vm ~addr:base ~pages ~prot:Prot.page_rw ~tag:(Some tag.Tag.id);
+      let frames =
+        Array.init pages (fun i ->
+            match Pagetable.find (Vm.page_table ctx.proc.Process.vm) ~vpn:((base / page_size) + i) with
+            | Some pte -> pte.Pagetable.frame
+            | None -> assert false)
+      in
+      tag.Tag.frames <- frames;
+      Array.iter (fun f -> Physmem.incref app.kernel.Kernel.pm f) frames;
+      Smalloc.init ctx.proc.Process.vm ~base ~size:(pages * page_size);
+      ctx.instr.Instr.on_alloc base (pages * page_size) (Instr.Tagged (tag.Tag.id, tag.Tag.name));
+      tag
+
+let tag_delete ctx (tag : Tag.t) =
+  if not tag.Tag.live then invalid_arg "tag_delete: tag already deleted";
+  (match priv_for_tag ctx.proc tag with
+  | Some Prot.RW -> ()
+  | _ -> violation "pid %d deletes tag %s without read-write access" (pid ctx) tag.Tag.name);
+  stat ctx "tag_delete";
+  ctx.instr.Instr.on_free tag.Tag.base;
+  (* Cache the range and frames for reuse before releasing our references. *)
+  Tag_cache.put ctx.app.tag_cache
+    { Tag_cache.base = tag.Tag.base; pages = tag.Tag.pages; frames = Array.to_list tag.Tag.frames };
+  Vm.unmap_range ctx.proc.Process.vm ~addr:tag.Tag.base ~pages:tag.Tag.pages;
+  Array.iter (fun f -> Physmem.decref ctx.app.kernel.Kernel.pm f) tag.Tag.frames;
+  Tag.delete ctx.app.tags tag
+
+let smalloc ctx size (tag : Tag.t) =
+  charge ctx (costs ctx).Cost_model.malloc_op;
+  stat ctx "smalloc";
+  let ptr = Smalloc.alloc ctx.proc.Process.vm ~base:tag.Tag.base size in
+  ctx.instr.Instr.on_alloc ptr size (Instr.Tagged (tag.Tag.id, tag.Tag.name));
+  ptr
+
+(* The private, untagged per-sthread heap (mapped lazily so that unused
+   compartments stay cheap, as real kernels do with demand paging). *)
+let ensure_heap ctx =
+  if not ctx.heap_ready then begin
+    Vm.map_fresh ctx.proc.Process.vm ~addr:Layout.heap_base ~pages:Layout.heap_pages
+      ~prot:Prot.page_rw ~tag:None;
+    Smalloc.init ctx.proc.Process.vm ~base:Layout.heap_base
+      ~size:(Layout.heap_pages * page_size);
+    ctx.heap_ready <- true
+  end
+
+let malloc ctx size =
+  match ctx.smalloc_tag with
+  | Some tag -> smalloc ctx size tag
+  | None ->
+      charge ctx (costs ctx).Cost_model.malloc_op;
+      stat ctx "malloc";
+      ensure_heap ctx;
+      let ptr = Smalloc.alloc ctx.proc.Process.vm ~base:Layout.heap_base size in
+      ctx.instr.Instr.on_alloc ptr size Instr.Heap;
+      ptr
+
+let sfree ctx ptr =
+  charge ctx (costs ctx).Cost_model.malloc_op;
+  ctx.instr.Instr.on_free ptr;
+  match Tag.find_by_addr ctx.app.tags ptr with
+  | Some tag -> Smalloc.free ctx.proc.Process.vm ~base:tag.Tag.base ptr
+  | None ->
+      if ptr >= Layout.heap_base && ptr < Layout.heap_base + (Layout.heap_pages * page_size)
+      then Smalloc.free ctx.proc.Process.vm ~base:Layout.heap_base ptr
+      else invalid_arg (Printf.sprintf "sfree: 0x%x is not in a tag or the heap" ptr)
+
+let free = sfree
+
+let smalloc_on ctx tag =
+  (* Deliberately mirrors the paper's single-flag limitation (§4.1): not
+     reentrant; callers save and restore around nested use. *)
+  ctx.smalloc_tag <- Some tag
+
+let smalloc_off ctx = ctx.smalloc_tag <- None
+let smalloc_state ctx = ctx.smalloc_tag
+
+let boundary_tag ctx ~id =
+  let b = find_boundary ctx.app id in
+  match b.b_tag with
+  | Some t -> t
+  | None ->
+      let tag = Tag.register ctx.app.tags ~name:("boundary:" ^ b.b_name) ~base:b.b_base ~pages:b.b_pages in
+      let vm = (main_ctx ctx.app).proc.Process.vm in
+      let frames =
+        Array.init b.b_pages (fun i ->
+            match Pagetable.find (Vm.page_table vm) ~vpn:((b.b_base / page_size) + i) with
+            | Some pte ->
+                pte.Pagetable.tag <- Some tag.Tag.id;
+                pte.Pagetable.frame
+            | None -> assert false)
+      in
+      tag.Tag.frames <- frames;
+      Array.iter (fun f -> Physmem.incref ctx.app.kernel.Kernel.pm f) frames;
+      b.b_tag <- Some tag;
+      tag
+
+(* ------------------------------------------------------------------ *)
+(* Callgates                                                           *)
+
+let sc_cgate_add ?(recycled = false) creator (sc : Sc.t) ~name ~entry ~cgsc ~trusted =
+  Kernel.syscall_check creator.app.kernel creator.proc "cgate_add";
+  stat creator "cgate_add";
+  (* A callgate's permissions must be a subset of its creator's (§3.3). *)
+  validate_sc creator cgsc;
+  let gid = creator.app.next_gate in
+  creator.app.next_gate <- gid + 1;
+  let resolved_fds =
+    List.map
+      (fun { Sc.fd; perm } ->
+        match Fd_table.find creator.proc.Process.fds fd with
+        | Some e -> (fd, e.Fd_table.target, perm)
+        | None -> violation "cgate_add: creator does not hold fd %d" fd)
+      cgsc.Sc.fds
+  in
+  let g =
+    {
+      g_id = gid;
+      g_name = name;
+      g_entry = entry;
+      g_sc = cgsc;
+      g_trusted = trusted;
+      g_minter = pid creator;
+      g_uid = Option.value cgsc.Sc.uid ~default:creator.proc.Process.uid;
+      g_root = Option.value cgsc.Sc.root ~default:creator.proc.Process.root;
+      g_sid = Option.value cgsc.Sc.sid ~default:creator.proc.Process.sid;
+      g_recycled = recycled;
+      g_fds = resolved_fds;
+    }
+  in
+  Hashtbl.add creator.app.gates gid g;
+  Sc.gate_grant sc gid;
+  gid
+
+let gate_of ctx gid =
+  match Hashtbl.find_opt ctx.app.gates gid with
+  | Some g -> g
+  | None -> violation "cgate: no such callgate %d" gid
+
+(* Build the sthread that will execute one callgate invocation.  It carries
+   the creator's identity and the permissions fixed at creation time, plus
+   the caller-supplied extra permissions for this invocation. *)
+let build_gate_proc caller (g : gate) kind =
+  let child =
+    Kernel.new_process caller.app.kernel ~kind ~uid:g.g_uid ~root:g.g_root ~sid:g.g_sid
+  in
+  map_pristine caller.app child.Process.vm;
+  map_tag_grants caller.app child g.g_sc;
+  (* Descriptor grants were resolved against the creator at creation time
+     (kernel-held): the caller needs no access to them. *)
+  let cm = caller.app.kernel.Kernel.costs in
+  List.iter
+    (fun (fd, target, perm) ->
+      Clock.charge caller.app.kernel.Kernel.clock cm.Cost_model.fd_dup;
+      Fd_table.install child.Process.fds ~fd target perm)
+    g.g_fds;
+  make_ctx caller.app child g.g_sc caller.instr
+
+let map_extra caller (gctx : ctx) (perms : Sc.t) =
+  (* Per-invocation permissions (typically the tag holding the argument). *)
+  let mapped = ref [] in
+  List.iter
+    (fun { Sc.tag; grant } ->
+      if priv_for_tag gctx.proc tag = None then begin
+        let prot = Prot.page_of_grant grant in
+        Array.iteri
+          (fun i frame ->
+            Clock.charge caller.app.kernel.Kernel.clock (costs caller).Cost_model.pte_copy;
+            Vm.map_frame gctx.proc.Process.vm ~addr:(tag.Tag.base + (i * page_size)) ~frame
+              ~prot ~tag:(Some tag.Tag.id))
+          tag.Tag.frames;
+        mapped := tag :: !mapped
+      end)
+    perms.Sc.mems;
+  List.iter
+    (fun { Sc.fd; perm } ->
+      if Fd_table.find gctx.proc.Process.fds fd = None then
+        Fd_table.dup_into ~src:caller.proc.Process.fds ~dst:gctx.proc.Process.fds ~fd ~perm)
+    perms.Sc.fds;
+  !mapped
+
+let cgate caller gid ~perms ~arg =
+  Kernel.syscall_check caller.app.kernel caller.proc "cgate";
+  stat caller "cgate";
+  let g = gate_of caller gid in
+  if not (List.mem gid caller.sc.Sc.gates || g.g_minter = pid caller) then
+    violation "pid %d invokes callgate %s without permission" (pid caller) g.g_name;
+  let cm = costs caller in
+  charge caller cm.Cost_model.cgate_validate;
+  (* The extra permissions must be a subset of the caller's own (§4.1). *)
+  validate_sc caller perms;
+  if g.g_recycled then begin
+    stat caller "cgate.recycled";
+    (* Reuse the long-lived sthread for this gate name if one exists —
+       remapping its grants to the current gate instance (new connection
+       descriptors, fresh per-connection tags) without paying sthread
+       creation.  Its private heap and stack survive, which is exactly the
+       isolation-for-performance trade §3.3 warns about. *)
+    let remap (pooled : pooled) =
+      let gctx = pooled.p_ctx in
+      List.iter
+        (fun { Sc.tag; _ } ->
+          if Pagetable.mem (Vm.page_table gctx.proc.Process.vm) ~vpn:(tag.Tag.base / page_size)
+          then Vm.unmap_range gctx.proc.Process.vm ~addr:tag.Tag.base ~pages:tag.Tag.pages)
+        pooled.p_sc.Sc.mems;
+      List.iter (fun { Sc.fd; _ } -> Fd_table.close gctx.proc.Process.fds fd) pooled.p_sc.Sc.fds;
+      map_tag_grants caller.app gctx.proc g.g_sc;
+      List.iter
+        (fun (fd, target, perm) ->
+          Fd_table.close gctx.proc.Process.fds fd;
+          Fd_table.install gctx.proc.Process.fds ~fd target perm)
+        g.g_fds;
+      gctx.proc.Process.uid <- g.g_uid;
+      gctx.proc.Process.root <- g.g_root;
+      gctx.proc.Process.sid <- g.g_sid;
+      pooled.p_sc <- g.g_sc;
+      gctx
+    in
+    let pooled =
+      match Hashtbl.find_opt caller.app.recycled_pool g.g_name with
+      | Some p when Process.is_alive p.p_ctx.proc ->
+          if p.p_sc != g.g_sc then ignore (remap p);
+          p
+      | _ ->
+          let c = build_gate_proc caller g Process.Recycled in
+          let p = { p_ctx = c; p_sc = g.g_sc } in
+          Hashtbl.replace caller.app.recycled_pool g.g_name p;
+          p
+    in
+    let gctx = pooled.p_ctx in
+    (* Wake the long-lived sthread through a futex, run, wait for the
+       completion futex (§4.1). *)
+    charge caller (2 * cm.Cost_model.futex_op);
+    charge caller (2 * cm.Cost_model.context_switch);
+    gctx.caller_pid <- Some (pid caller);
+    let extra = map_extra caller gctx perms in
+    let cleanup_extra () =
+      if Process.is_alive gctx.proc then
+        List.iter
+          (fun (tag : Tag.t) ->
+            Vm.unmap_range gctx.proc.Process.vm ~addr:tag.Tag.base ~pages:tag.Tag.pages)
+          extra
+    in
+    let result =
+      match g.g_entry gctx ~trusted:g.g_trusted ~arg with
+      | v -> v
+      | exception Exit_sthread code -> code
+      | exception Vm.Fault f ->
+          gctx.proc.Process.status <- Process.Faulted (Vm.fault_to_string f);
+          Kernel.reap caller.app.kernel gctx.proc;
+          Hashtbl.remove caller.app.recycled_pool g.g_name;
+          -1
+      | exception Kernel.Eperm msg ->
+          gctx.proc.Process.status <- Process.Faulted msg;
+          Kernel.reap caller.app.kernel gctx.proc;
+          Hashtbl.remove caller.app.recycled_pool g.g_name;
+          -1
+    in
+    cleanup_extra ();
+    result
+  end
+  else begin
+    let gctx = build_gate_proc caller g Process.Cgate in
+    gctx.caller_pid <- Some (pid caller);
+    ignore (map_extra caller gctx perms);
+    let result =
+      match run_compartment gctx (fun c a -> g.g_entry c ~trusted:g.g_trusted ~arg:a) arg with
+      | Some v -> v
+      | None -> -1
+    in
+    Kernel.reap caller.app.kernel gctx.proc;
+    result
+  end
+
+let gate_name ctx gid = (gate_of ctx gid).g_name
+
+(* ------------------------------------------------------------------ *)
+(* Identity changes (used by authentication callgates, §5.2)           *)
+
+let set_identity ctx ~target_pid ?uid ?root () =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "setuid";
+  if getuid ctx <> 0 then violation "set_identity: pid %d is not root" (pid ctx);
+  match Kernel.find_process ctx.app.kernel target_pid with
+  | None -> violation "set_identity: no process %d" target_pid
+  | Some p ->
+      (match uid with Some u -> p.Process.uid <- u | None -> ());
+      (match root with Some r -> p.Process.root <- r | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Checked, instrumented data access                                   *)
+
+let on_access ctx addr len kind =
+  if not (Instr.is_null ctx.instr) then ctx.instr.Instr.on_access addr len kind
+
+let read_u8 ctx addr =
+  on_access ctx addr 1 Instr.Read;
+  Vm.read_u8 ctx.proc.Process.vm addr
+
+let write_u8 ctx addr v =
+  on_access ctx addr 1 Instr.Write;
+  Vm.write_u8 ctx.proc.Process.vm addr v
+
+let read_u16 ctx addr =
+  on_access ctx addr 2 Instr.Read;
+  Vm.read_u16 ctx.proc.Process.vm addr
+
+let write_u16 ctx addr v =
+  on_access ctx addr 2 Instr.Write;
+  Vm.write_u16 ctx.proc.Process.vm addr v
+
+let read_u32 ctx addr =
+  on_access ctx addr 4 Instr.Read;
+  Vm.read_u32 ctx.proc.Process.vm addr
+
+let write_u32 ctx addr v =
+  on_access ctx addr 4 Instr.Write;
+  Vm.write_u32 ctx.proc.Process.vm addr v
+
+let read_u64 ctx addr =
+  on_access ctx addr 8 Instr.Read;
+  Vm.read_u64 ctx.proc.Process.vm addr
+
+let write_u64 ctx addr v =
+  on_access ctx addr 8 Instr.Write;
+  Vm.write_u64 ctx.proc.Process.vm addr v
+
+let read_bytes ctx addr len =
+  on_access ctx addr len Instr.Read;
+  Vm.read_bytes ctx.proc.Process.vm addr len
+
+let write_bytes ctx addr b =
+  on_access ctx addr (Bytes.length b) Instr.Write;
+  Vm.write_bytes ctx.proc.Process.vm addr b
+
+let read_string ctx addr len = Bytes.to_string (read_bytes ctx addr len)
+let write_string ctx addr s = write_bytes ctx addr (Bytes.of_string s)
+
+let can_read ctx ~addr ~len = Vm.can_read ctx.proc.Process.vm ~addr ~len
+let can_write ctx ~addr ~len = Vm.can_write ctx.proc.Process.vm ~addr ~len
+
+(* ------------------------------------------------------------------ *)
+(* Function and stack-frame tracking (Crowbar's "frame pointers")      *)
+
+let in_function ctx ~name ?(file = "?") ?(line = 0) f =
+  Instr.scoped ctx.instr ~name ~file ~line f
+
+let ensure_stack ctx =
+  if not ctx.stack_ready then begin
+    Vm.map_fresh ctx.proc.Process.vm ~addr:Layout.stack_base ~pages:Layout.stack_pages
+      ~prot:Prot.page_rw ~tag:None;
+    ctx.stack_ready <- true
+  end
+
+(* A stack frame with [locals] bytes of named local storage; the body gets
+   the frame base address.  Registered with the instrumentation so cb-log
+   can attribute accesses to the owning function's frame (§4.2). *)
+let stack_frame ctx ~name ~locals f =
+  ensure_stack ctx;
+  let aligned = (locals + 7) land lnot 7 in
+  let sp = ctx.stack_sp - aligned in
+  if sp < Layout.stack_base then invalid_arg "stack_frame: simulated stack overflow";
+  ctx.stack_sp <- sp;
+  ctx.instr.Instr.on_alloc sp aligned (Instr.Stack name);
+  let restore () =
+    ctx.instr.Instr.on_free sp;
+    ctx.stack_sp <- sp + aligned
+  in
+  match f sp with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* File descriptors and files                                          *)
+
+exception Fd_error of string
+
+let fd_entry ctx fd =
+  match Fd_table.find ctx.proc.Process.fds fd with
+  | Some e -> e
+  | None -> raise (Fd_error (Printf.sprintf "pid %d: bad fd %d" (pid ctx) fd))
+
+let open_file ctx ?(write = false) path =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "open";
+  let k = ctx.app.kernel in
+  let p = ctx.proc in
+  let check =
+    if write then
+      Vfs.append_file k.Kernel.vfs ~root:p.Process.root ~uid:p.Process.uid path ""
+    else
+      Result.map (fun (_ : string) -> ())
+        (Vfs.read_file k.Kernel.vfs ~root:p.Process.root ~uid:p.Process.uid path)
+  in
+  match check with
+  | Error e -> Error e
+  | Ok () ->
+      let eff = Filename.concat p.Process.root path in
+      let target = Fd_table.File { Fd_table.fh_path = eff; fh_pos = 0 } in
+      let perm = if write then Fd_table.perm_rw else Fd_table.perm_r in
+      Ok (Fd_table.add p.Process.fds target perm)
+
+let add_endpoint ctx ep perm = Fd_table.add ctx.proc.Process.fds (Fd_table.Endpoint ep) perm
+
+let fd_read ctx fd n =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "read";
+  let e = fd_entry ctx fd in
+  if not e.Fd_table.perm.Fd_table.fr then
+    raise (Fd_error (Printf.sprintf "pid %d: fd %d not readable" (pid ctx) fd));
+  match e.Fd_table.target with
+  | Fd_table.Null -> Bytes.create 0
+  | Fd_table.Endpoint ep ->
+      let b = ep.Fd_table.ep_read n in
+      charge ctx ((costs ctx).Cost_model.net_per_byte * Bytes.length b);
+      b
+  | Fd_table.File fh -> (
+      match Vfs.read_file ctx.app.kernel.Kernel.vfs ~root:"/" ~uid:0 fh.Fd_table.fh_path with
+      | Error err -> raise (Fd_error (Vfs.error_to_string err))
+      | Ok data ->
+          let avail = max 0 (String.length data - fh.Fd_table.fh_pos) in
+          let len = min n avail in
+          let b = Bytes.of_string (String.sub data fh.Fd_table.fh_pos len) in
+          fh.Fd_table.fh_pos <- fh.Fd_table.fh_pos + len;
+          charge ctx ((costs ctx).Cost_model.disk_per_byte * len);
+          b)
+
+let fd_write ctx fd b =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "write";
+  let e = fd_entry ctx fd in
+  if not e.Fd_table.perm.Fd_table.fw then
+    raise (Fd_error (Printf.sprintf "pid %d: fd %d not writable" (pid ctx) fd));
+  match e.Fd_table.target with
+  | Fd_table.Null -> ()
+  | Fd_table.Endpoint ep ->
+      charge ctx ((costs ctx).Cost_model.net_per_byte * Bytes.length b);
+      ep.Fd_table.ep_write b
+  | Fd_table.File fh -> (
+      let vfs = ctx.app.kernel.Kernel.vfs in
+      let data =
+        match Vfs.read_file vfs ~root:"/" ~uid:0 fh.Fd_table.fh_path with
+        | Ok d -> d
+        | Error _ -> ""
+      in
+      let pos = fh.Fd_table.fh_pos in
+      let data =
+        if pos >= String.length data then data ^ Bytes.to_string b
+        else
+          String.sub data 0 pos
+          ^ Bytes.to_string b
+          ^
+          let tail = pos + Bytes.length b in
+          if tail < String.length data then String.sub data tail (String.length data - tail)
+          else ""
+      in
+      charge ctx ((costs ctx).Cost_model.disk_per_byte * Bytes.length b);
+      fh.Fd_table.fh_pos <- pos + Bytes.length b;
+      match Vfs.write_file vfs ~root:"/" ~uid:0 fh.Fd_table.fh_path data with
+      | Ok () -> ()
+      | Error err -> raise (Fd_error (Vfs.error_to_string err)))
+
+let fd_close ctx fd = Fd_table.close ctx.proc.Process.fds fd
+
+(* Convenience path-level file access under the caller's identity. *)
+let vfs_read ctx path =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "open";
+  let n = String.length path in
+  ignore n;
+  Vfs.read_file ctx.app.kernel.Kernel.vfs ~root:ctx.proc.Process.root ~uid:ctx.proc.Process.uid path
+
+let vfs_write ctx path data =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "open";
+  Vfs.write_file ctx.app.kernel.Kernel.vfs ~root:ctx.proc.Process.root ~uid:ctx.proc.Process.uid path data
+
+let vfs_readdir ctx path =
+  Kernel.syscall_check ctx.app.kernel ctx.proc "getdents";
+  Vfs.readdir ctx.app.kernel.Kernel.vfs ~root:ctx.proc.Process.root ~uid:ctx.proc.Process.uid path
+
+let set_instr ctx instr = ctx.instr <- instr
+let instr_of ctx = ctx.instr
+let caller_pid ctx = ctx.caller_pid
+
+(* Length-value blocks: the idiom for passing variable-size arguments and
+   results through tagged memory between compartments. *)
+let write_lv ctx addr s =
+  write_u32 ctx addr (String.length s);
+  write_string ctx (addr + 4) s
+
+let read_lv ctx addr =
+  let n = read_u32 ctx addr in
+  read_string ctx (addr + 4) n
+
+(* Charge application-level work to the simulated clock (e.g. the fixed
+   per-request cost of the HTTP application logic). *)
+let charge_app ctx ns = charge ctx ns
+
+(* The kernel's tag-to-segment map (what an attacker who knows the layout
+   would target; also used by Crowbar attribution). *)
+let live_tags app = Tag.live_tags app.tags
+let set_tag_cache app enabled = Tag_cache.set_enabled app.tag_cache enabled
+let tag_cache_hits app = Tag_cache.hits app.tag_cache
+let tag_cache_misses app = Tag_cache.misses app.tag_cache
+let find_tag_by_addr app addr = Tag.find_by_addr app.tags addr

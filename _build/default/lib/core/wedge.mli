@@ -1,0 +1,213 @@
+(** The Wedge programming interface (Table 1 of the paper).
+
+    This facade re-exports the engine's operations under the paper's names.
+    A typical partitioned application:
+
+    {[
+      let kernel = Wedge_kernel.Kernel.create () in
+      let app = Wedge.create_app kernel in
+      let main = Wedge.main_ctx app in
+      Wedge.boot app;                          (* pristine snapshot, pre-main *)
+      let secret = Wedge.tag_new ~name:"secret" main in
+      let key = Wedge.smalloc main 32 secret in
+      Wedge.write_string main key "hunter2...";
+      (* a callgate that may read the secret *)
+      let cgsc = Wedge.sc_create () in
+      Wedge.sc_mem_add cgsc secret Wedge_kernel.Prot.R;
+      let worker_sc = Wedge.sc_create () in
+      let gate =
+        Wedge.sc_cgate_add main worker_sc ~name:"use_secret"
+          ~entry:(fun gctx ~trusted ~arg:_ ->
+            String.length (Wedge.read_string gctx trusted 32))
+          ~cgsc ~trusted:key
+      in
+      ignore gate;
+      (* a default-deny worker: cannot read [key], can invoke the gate *)
+      let h =
+        Wedge.sthread_create main worker_sc
+          (fun ctx _ -> Wedge.cgate ctx gate ~perms:(Wedge.sc_create ()) ~arg:0)
+          0
+      in
+      ignore (Wedge.sthread_join main h)
+    ]} *)
+
+type app = Engine.app
+type ctx = Engine.ctx
+type handle = Engine.handle
+type gate_id = Engine.gate_id
+
+exception Privilege_violation of string
+(** A policy asked for more privilege than its grantor holds, or a
+    compartment invoked a callgate it was not granted. *)
+
+exception Exit_sthread of int
+
+(** {1 Application lifecycle} *)
+
+val create_app : ?image_pages:int -> Wedge_kernel.Kernel.t -> app
+(** Create the application's original process.  [image_pages] is the size
+    of the program image (globals + shared libraries + loader state) that
+    the pristine snapshot will cover — minimal-size processes use the
+    default (300 pages); the Apache stand-in passes a realistically large
+    image. *)
+
+val main_ctx : app -> ctx
+val boot : app -> unit
+(** Take the pristine pre-[main] snapshot (§4.1).  Must be called before
+    any sthread is created; [BOUNDARY_VAR] declarations must precede it. *)
+
+val booted : app -> bool
+val kernel : app -> Wedge_kernel.Kernel.t
+val live_tags : app -> Wedge_mem.Tag.t list
+val set_tag_cache : app -> bool -> unit
+(** Enable/disable the userland tag free-list cache (ablation E7). *)
+
+val tag_cache_hits : app -> int
+val tag_cache_misses : app -> int
+val find_tag_by_addr : app -> int -> Wedge_mem.Tag.t option
+val app_of : ctx -> app
+val pid : ctx -> int
+val getuid : ctx -> int
+val proc : ctx -> Wedge_kernel.Process.t
+
+(** {1 Sthread-related calls} *)
+
+val sthread_create :
+  ?instr:Wedge_sim.Instr.t -> ctx -> Sc.t -> (ctx -> int -> int) -> int -> handle
+(** [sthread_create parent sc body arg] spawns a default-deny compartment
+    holding exactly the privileges in [sc] (plus the pristine snapshot,
+    copy-on-write) and runs [body] to completion.  A protection fault or
+    SELinux denial terminates the sthread without propagating.
+    @raise Privilege_violation if [sc] exceeds the parent's privileges. *)
+
+val sthread_join : ctx -> handle -> int
+(** The sthread's return value, or -1 if it was killed by a fault. *)
+
+val handle_status : handle -> Wedge_kernel.Process.status
+val exit_sthread : int -> 'a
+
+(** {1 Memory-related calls} *)
+
+val tag_new : ?name:string -> ?pages:int -> ctx -> Wedge_mem.Tag.t
+(** Create a tag: allocate a segment (reusing the userland tag cache when
+    possible, §4.1), map it read-write into the caller, and initialise
+    smalloc bookkeeping inside it. *)
+
+val tag_delete : ctx -> Wedge_mem.Tag.t -> unit
+val smalloc : ctx -> int -> Wedge_mem.Tag.t -> int
+val sfree : ctx -> int -> unit
+val malloc : ctx -> int -> int
+(** Untagged allocation from the sthread's private heap — invisible to
+    every other compartment.  Redirected to [smalloc] while
+    {!smalloc_on} is active. *)
+
+val free : ctx -> int -> unit
+val smalloc_on : ctx -> Wedge_mem.Tag.t -> unit
+val smalloc_off : ctx -> unit
+val smalloc_state : ctx -> Wedge_mem.Tag.t option
+val boundary_var : app -> id:int -> name:string -> size:int -> int
+(** [BOUNDARY_VAR]: place a global in a distinct page-aligned section,
+    excluded from the pristine snapshot; returns its address.  Pre-boot
+    only. *)
+
+val boundary_tag : ctx -> id:int -> Wedge_mem.Tag.t
+(** [BOUNDARY_TAG]: the tag covering a boundary section. *)
+
+(** {1 Policy-related calls} *)
+
+val sc_create : unit -> Sc.t
+val sc_mem_add : Sc.t -> Wedge_mem.Tag.t -> Wedge_kernel.Prot.grant -> unit
+val sc_fd_add : Sc.t -> int -> Wedge_kernel.Fd_table.perm -> unit
+val sc_sel_context : Sc.t -> string -> unit
+val sc_set_uid : Sc.t -> int -> unit
+val sc_set_root : Sc.t -> string -> unit
+val sc_gate_grant : Sc.t -> gate_id -> unit
+(** Pass on a capability the grantor already holds. *)
+
+(** {1 Callgate-related calls} *)
+
+val sc_cgate_add :
+  ?recycled:bool ->
+  ctx ->
+  Sc.t ->
+  name:string ->
+  entry:(ctx -> trusted:int -> arg:int -> int) ->
+  cgsc:Sc.t ->
+  trusted:int ->
+  gate_id
+(** Mint a callgate and add permission to invoke it to [sc].  The entry
+    point, permissions [cgsc] and [trusted] argument are stored kernel-side
+    and cannot be altered by any caller; [cgsc] must be a subset of the
+    creator's privileges.  [recycled] gates reuse one long-lived sthread
+    across invocations (§3.3, §4.1). *)
+
+val cgate : ctx -> gate_id -> perms:Sc.t -> arg:int -> int
+(** Invoke a callgate with additional (subset-checked) permissions [perms]
+    — typically read access to the tag holding [arg].  Blocks until the
+    gate terminates; a faulting gate yields -1. *)
+
+val gate_name : ctx -> gate_id -> string
+
+(** {1 Comparison primitives (baselines)} *)
+
+val fork : ctx -> (ctx -> int) -> handle
+(** Classic fork: the child inherits the {e whole} address space (secrets
+    included) and every descriptor — the baseline Wedge argues against. *)
+
+val pthread : ctx -> (ctx -> int) -> int
+
+(** {1 Identity (used by authentication callgates)} *)
+
+val set_identity : ctx -> target_pid:int -> ?uid:int -> ?root:string -> unit -> unit
+
+(** {1 Data access (checked + instrumented)} *)
+
+val read_u8 : ctx -> int -> int
+val write_u8 : ctx -> int -> int -> unit
+val read_u16 : ctx -> int -> int
+val write_u16 : ctx -> int -> int -> unit
+val read_u32 : ctx -> int -> int
+val write_u32 : ctx -> int -> int -> unit
+val read_u64 : ctx -> int -> int
+val write_u64 : ctx -> int -> int -> unit
+val read_bytes : ctx -> int -> int -> bytes
+val write_bytes : ctx -> int -> bytes -> unit
+val read_string : ctx -> int -> int -> string
+val write_string : ctx -> int -> string -> unit
+val write_lv : ctx -> int -> string -> unit
+(** Length-prefixed (u32) string block — the idiom for passing
+    variable-size values through tagged memory. *)
+
+val read_lv : ctx -> int -> string
+
+(** [charge_app ctx ns] charges simulated nanoseconds of application-level
+    work to the clock. *)
+val charge_app : ctx -> int -> unit
+val can_read : ctx -> addr:int -> len:int -> bool
+val can_write : ctx -> addr:int -> len:int -> bool
+
+(** {1 Instrumentation (Crowbar attachment points)} *)
+
+val set_instr : ctx -> Wedge_sim.Instr.t -> unit
+val instr_of : ctx -> Wedge_sim.Instr.t
+val in_function : ctx -> name:string -> ?file:string -> ?line:int -> (unit -> 'a) -> 'a
+val stack_frame : ctx -> name:string -> locals:int -> (int -> 'a) -> 'a
+
+(** {1 Files and descriptors} *)
+
+exception Fd_error of string
+
+val open_file : ctx -> ?write:bool -> string -> (int, Wedge_kernel.Vfs.error) result
+val add_endpoint : ctx -> Wedge_kernel.Fd_table.endpoint -> Wedge_kernel.Fd_table.perm -> int
+val fd_read : ctx -> int -> int -> bytes
+val fd_write : ctx -> int -> bytes -> unit
+val fd_close : ctx -> int -> unit
+val vfs_read : ctx -> string -> (string, Wedge_kernel.Vfs.error) result
+val vfs_write : ctx -> string -> string -> (unit, Wedge_kernel.Vfs.error) result
+val vfs_readdir : ctx -> string -> (string list, Wedge_kernel.Vfs.error) result
+
+(** [caller_pid gctx] is the pid of the sthread that invoked the currently
+    running callgate (kernel-provided caller identity, like SO_PEERCRED) —
+    what an authentication callgate passes to {!set_identity} to log the
+    caller in (§5.2). *)
+val caller_pid : ctx -> int option

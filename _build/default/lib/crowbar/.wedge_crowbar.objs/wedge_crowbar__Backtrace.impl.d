@@ -1,0 +1,1 @@
+lib/crowbar/backtrace.ml: List Printf

@@ -1,0 +1,1 @@
+lib/crowbar/cb_analyze.ml: Array Backtrace Format Hashtbl List Trace Wedge_kernel

@@ -1,0 +1,1 @@
+lib/crowbar/cb_analyze.mli: Format Trace Wedge_kernel

@@ -1,0 +1,1 @@
+lib/crowbar/cb_log.ml: Backtrace Hashtbl Trace Wedge_sim

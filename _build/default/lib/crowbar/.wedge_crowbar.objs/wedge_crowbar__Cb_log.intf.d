@@ -1,0 +1,1 @@
+lib/crowbar/cb_log.mli: Backtrace Trace Wedge_sim

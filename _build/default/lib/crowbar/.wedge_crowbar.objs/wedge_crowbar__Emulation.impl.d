@@ -1,0 +1,1 @@
+lib/crowbar/emulation.ml: Backtrace Cb_log Format Hashtbl List Wedge_core Wedge_kernel Wedge_mem Wedge_sim

@@ -1,0 +1,1 @@
+lib/crowbar/emulation.mli: Backtrace Cb_log Format Wedge_core Wedge_kernel Wedge_mem Wedge_sim

@@ -1,0 +1,1 @@
+lib/crowbar/trace.ml: Array Backtrace Buffer Char Fun Hashtbl List Option Printf String

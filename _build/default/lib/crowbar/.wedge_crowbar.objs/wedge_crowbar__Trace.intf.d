@@ -1,0 +1,1 @@
+lib/crowbar/trace.mli: Backtrace

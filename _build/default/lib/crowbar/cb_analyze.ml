@@ -1,0 +1,138 @@
+type item_report = {
+  ir_segment : Trace.segment;
+  ir_reads : int;
+  ir_writes : int;
+  ir_min_off : int;
+  ir_max_off : int;
+}
+
+type proc_report = {
+  pr_fn : string;
+  pr_reads : int;
+  pr_writes : int;
+}
+
+let in_scope bt fn = List.exists (fun f -> f.Backtrace.fn = fn) bt
+
+let collect_items accs pred =
+  let by_seg : (int, item_report ref) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun (a : Trace.access) ->
+      if pred a then
+        match a.Trace.a_seg with
+        | None -> ()
+        | Some seg ->
+            let r =
+              match Hashtbl.find_opt by_seg seg.Trace.seg_id with
+              | Some r -> r
+              | None ->
+                  let r =
+                    ref
+                      {
+                        ir_segment = seg;
+                        ir_reads = 0;
+                        ir_writes = 0;
+                        ir_min_off = max_int;
+                        ir_max_off = -1;
+                      }
+                  in
+                  Hashtbl.add by_seg seg.Trace.seg_id r;
+                  r
+            in
+            let v = !r in
+            r :=
+              {
+                v with
+                ir_reads = (v.ir_reads + if a.Trace.a_mode = Trace.Read then 1 else 0);
+                ir_writes = (v.ir_writes + if a.Trace.a_mode = Trace.Write then 1 else 0);
+                ir_min_off = min v.ir_min_off a.Trace.a_off;
+                ir_max_off = max v.ir_max_off (a.Trace.a_off + a.Trace.a_len - 1);
+              })
+    accs;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) by_seg []
+  |> List.sort (fun a b -> compare a.ir_segment.Trace.seg_id b.ir_segment.Trace.seg_id)
+
+let items_used_by tr ~fn =
+  collect_items (Trace.accesses tr) (fun a -> in_scope a.Trace.a_bt fn)
+
+let writes_of tr ~fn =
+  collect_items (Trace.accesses tr) (fun a ->
+      a.Trace.a_mode = Trace.Write && in_scope a.Trace.a_bt fn)
+
+let procedures_using tr ~segments =
+  let ids = List.map (fun s -> s.Trace.seg_id) segments in
+  let by_fn : (string, proc_report ref) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun (a : Trace.access) ->
+      match a.Trace.a_seg with
+      | Some seg when List.mem seg.Trace.seg_id ids -> (
+          match a.Trace.a_bt with
+          | [] -> ()
+          | innermost :: _ ->
+              let fn = innermost.Backtrace.fn in
+              let r =
+                match Hashtbl.find_opt by_fn fn with
+                | Some r -> r
+                | None ->
+                    let r = ref { pr_fn = fn; pr_reads = 0; pr_writes = 0 } in
+                    Hashtbl.add by_fn fn r;
+                    r
+              in
+              let v = !r in
+              r :=
+                {
+                  v with
+                  pr_reads = (v.pr_reads + if a.Trace.a_mode = Trace.Read then 1 else 0);
+                  pr_writes = (v.pr_writes + if a.Trace.a_mode = Trace.Write then 1 else 0);
+                })
+      | _ -> ())
+    (Trace.accesses tr);
+  Hashtbl.fold (fun _ r acc -> !r :: acc) by_fn []
+  |> List.sort (fun a b -> compare a.pr_fn b.pr_fn)
+
+type suggestion = {
+  s_kind : Trace.seg_kind;
+  s_grant : Wedge_kernel.Prot.grant;
+}
+
+let dedup_suggestions l =
+  List.sort_uniq compare l
+
+let suggestions_of_items items =
+  List.map
+    (fun ir ->
+      {
+        s_kind = ir.ir_segment.Trace.kind;
+        s_grant = (if ir.ir_writes > 0 then Wedge_kernel.Prot.RW else Wedge_kernel.Prot.R);
+      })
+    items
+  |> dedup_suggestions
+
+let suggest_policy tr ~fn = suggestions_of_items (items_used_by tr ~fn)
+
+let overapproximate tr =
+  suggestions_of_items (collect_items (Trace.accesses tr) (fun _ -> true))
+
+let pp_items fmt items =
+  List.iter
+    (fun ir ->
+      Format.fprintf fmt "  %-28s %5dr %5dw  bytes [%d..%d]  alloc at %s@."
+        (Trace.describe ir.ir_segment)
+        ir.ir_reads ir.ir_writes ir.ir_min_off ir.ir_max_off
+        (match ir.ir_segment.Trace.alloc_bt with
+        | [] -> "(startup)"
+        | f :: _ -> Backtrace.frame_to_string f))
+    items
+
+let pp_procs fmt procs =
+  List.iter
+    (fun p -> Format.fprintf fmt "  %-32s %5dr %5dw@." p.pr_fn p.pr_reads p.pr_writes)
+    procs
+
+let pp_suggestions fmt l =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  grant %-4s on %s@."
+        (Wedge_kernel.Prot.grant_to_string s.s_grant)
+        (Trace.seg_kind_to_string s.s_kind))
+    l

@@ -1,0 +1,56 @@
+(** cb-analyze: the query half of Crowbar (§3.4).
+
+    Three query types over a cb-log trace, matching the paper:
+
+    + given a procedure, the memory items it {e and all its descendants in
+      the execution call graph} access, with modes — what to grant an
+      sthread running that procedure;
+    + given data items, the procedures that use them — what should execute
+      inside a callgate protecting those items;
+    + given a procedure that generates sensitive data, where it and its
+      descendants write — which memory to keep private to a callgate. *)
+
+type item_report = {
+  ir_segment : Trace.segment;
+  ir_reads : int;
+  ir_writes : int;
+  ir_min_off : int;
+  ir_max_off : int;  (** inclusive byte range touched within the segment *)
+}
+
+val items_used_by : Trace.t -> fn:string -> item_report list
+(** Query 1: memory items accessed while [fn] was anywhere on the call
+    stack, i.e. by [fn] and its descendants. *)
+
+type proc_report = {
+  pr_fn : string;
+  pr_reads : int;
+  pr_writes : int;
+}
+
+val procedures_using : Trace.t -> segments:Trace.segment list -> proc_report list
+(** Query 2: innermost procedures touching any of the given items. *)
+
+val writes_of : Trace.t -> fn:string -> item_report list
+(** Query 3: where [fn] and its descendants write. *)
+
+(** {2 Policy suggestion} *)
+
+type suggestion = {
+  s_kind : Trace.seg_kind;
+  s_grant : Wedge_kernel.Prot.grant;  (** R or RW, from observed modes *)
+}
+
+val suggest_policy : Trace.t -> fn:string -> suggestion list
+(** The privileges a least-privilege sthread running [fn] appears to need —
+    Crowbar {e suggests}, the programmer decides (§7). *)
+
+val overapproximate : Trace.t -> suggestion list
+(** What trace-blind static analysis would grant: every item accessed
+    anywhere in the program (§7's superset argument, for the ablation). *)
+
+(** {2 Reports} *)
+
+val pp_items : Format.formatter -> item_report list -> unit
+val pp_procs : Format.formatter -> proc_report list -> unit
+val pp_suggestions : Format.formatter -> suggestion list -> unit

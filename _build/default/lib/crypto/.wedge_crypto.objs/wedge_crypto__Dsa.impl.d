@@ -1,0 +1,1 @@
+lib/crypto/dsa.ml: Bignum Drbg Lazy Prime Printf Sha256 String

@@ -1,0 +1,305 @@
+(* Little-endian arrays of 26-bit limbs, normalised (no trailing zero
+   limbs).  26-bit limbs keep products within OCaml's 63-bit ints. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec go n acc = if n = 0 then acc else go (n lsr limb_bits) ((n land mask) :: acc) in
+  normalize (Array.of_list (List.rev (go n [])))
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int (a : t) =
+  let n = Array.length a in
+  if n * limb_bits > 62 && n > 0 && a.(n - 1) lsl ((n - 1) * limb_bits) < 0 then
+    failwith "Bignum.to_int: too large";
+  let v = ref 0 in
+  for i = n - 1 downto 0 do
+    if !v > max_int lsr limb_bits then failwith "Bignum.to_int: too large";
+    v := (!v lsl limb_bits) lor a.(i)
+  done;
+  !v
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+
+let is_even (a : t) = Array.length a = 0 || a.(0) land 1 = 0
+let bit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left (a : t) bits : t =
+  if is_zero a || bits = 0 then if bits = 0 then a else a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- r.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) bits : t =
+  if bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - off)) land mask else 0 in
+        r.(i) <- if off = 0 then a.(i + limbs) else lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Binary long division: O(bits(a) * limbs).  Adequate for the <= 1024-bit
+   operands the simulation uses. *)
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let shift = num_bits a - num_bits b in
+    let q = Array.make ((shift / limb_bits) + 1) 0 in
+    let r = ref a in
+    let d = ref (shift_left b shift) in
+    for i = shift downto 0 do
+      if compare !r !d >= 0 then begin
+        r := sub !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shift_right !d 1
+    done;
+    (normalize q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+(* Barrett reduction: for a fixed modulus m of k limbs, precompute
+   mu = floor(base^(2k) / m); then x mod m for x < base^(2k) costs two
+   multiplications instead of a bit-by-bit division.  This is what makes
+   512-bit modexp fast enough to run hundreds of simulated SSL handshakes
+   in the benchmarks. *)
+let barrett m =
+  if is_zero m then raise Division_by_zero;
+  let k = Array.length m in
+  let b2k = shift_left one (2 * k * limb_bits) in
+  let mu = fst (divmod b2k m) in
+  fun x ->
+    if compare x m < 0 then x
+    else begin
+      let q1 = shift_right x ((k - 1) * limb_bits) in
+      let q2 = mul q1 mu in
+      let q3 = shift_right q2 ((k + 1) * limb_bits) in
+      let qm = mul q3 m in
+      let r = ref (if compare x qm >= 0 then sub x qm else x) in
+      while compare !r m >= 0 do
+        r := sub !r m
+      done;
+      !r
+    end
+
+let modexp ~base:b ~exp ~m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else begin
+    let reduce = barrett m in
+    let result = ref one in
+    let b = ref (rem b m) in
+    let nbits = num_bits exp in
+    for i = 0 to nbits - 1 do
+      if bit exp i then result := reduce (mul !result !b);
+      if i < nbits - 1 then b := reduce (mul !b !b)
+    done;
+    !result
+  end
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  if compare a b >= 0 then go a b else go b a
+
+(* Extended Euclid over signed pairs represented as (sign, magnitude). *)
+let modinv a ~m =
+  let a = rem a m in
+  if is_zero a then raise Not_found;
+  (* Invariants: r0 = s0*a mod m, r1 = s1*a mod m with signed s. *)
+  let rec go r0 s0_sign s0 r1 s1_sign s1 =
+    if is_zero r1 then
+      if equal r0 one then if s0_sign then sub m (rem s0 m) else rem s0 m
+      else raise Not_found
+    else begin
+      let q, r2 = divmod r0 r1 in
+      (* s2 = s0 - q*s1 (signed) *)
+      let qs1 = mul q s1 in
+      let s2_sign, s2 =
+        if s0_sign = s1_sign then
+          if compare s0 qs1 >= 0 then (s0_sign, sub s0 qs1) else (not s0_sign, sub qs1 s0)
+        else (s0_sign, add s0 qs1)
+      in
+      go r1 s1_sign s1 r2 s2_sign s2
+    end
+  in
+  go m false zero a false one
+
+let of_bytes_be b =
+  let r = ref zero in
+  Bytes.iter (fun c -> r := add (shift_left !r 8) (of_int (Char.code c))) b;
+  !r
+
+let to_bytes_be ?len (a : t) =
+  let nbytes = (num_bits a + 7) / 8 in
+  let nbytes = max nbytes 1 in
+  let out_len = match len with Some l -> l | None -> nbytes in
+  if nbytes > out_len then invalid_arg "Bignum.to_bytes_be: value too large for len";
+  let b = Bytes.make out_len '\000' in
+  let v = ref a in
+  for i = out_len - 1 downto out_len - nbytes do
+    (match !v with
+    | [||] -> ()
+    | limbs -> Bytes.set b i (Char.chr (limbs.(0) land 0xff)));
+    v := shift_right !v 8
+  done;
+  b
+
+let of_hex s =
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | '_' | ' ' -> -1
+        | _ -> invalid_arg "Bignum.of_hex"
+      in
+      if d >= 0 then r := add (shift_left !r 4) (of_int d))
+    s;
+  !r
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let v = ref a in
+    while not (is_zero !v) do
+      let digit = (match !v with [||] -> 0 | l -> l.(0)) land 0xf in
+      Buffer.add_char buf "0123456789abcdef".[digit];
+      v := shift_right !v 4
+    done;
+    String.init (Buffer.length buf) (fun i -> Buffer.nth buf (Buffer.length buf - 1 - i))
+  end
+
+let random_bits rng ~bits =
+  if bits <= 0 then invalid_arg "Bignum.random_bits";
+  let nbytes = (bits + 7) / 8 in
+  let b = Drbg.bytes rng nbytes in
+  (* Clear excess top bits, then force the top bit on. *)
+  let excess = (nbytes * 8) - bits in
+  let top = Char.code (Bytes.get b 0) land (0xff lsr excess) in
+  Bytes.set b 0 (Char.chr (top lor (1 lsl (7 - excess))));
+  of_bytes_be b
+
+let random_below rng n =
+  if is_zero n then invalid_arg "Bignum.random_below: zero bound";
+  let bits = num_bits n in
+  let rec try_ () =
+    let nbytes = (bits + 7) / 8 in
+    let b = Drbg.bytes rng nbytes in
+    let excess = (nbytes * 8) - bits in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xff lsr excess)));
+    let v = of_bytes_be b in
+    if compare v n < 0 then v else try_ ()
+  in
+  try_ ()

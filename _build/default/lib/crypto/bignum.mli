@@ -1,0 +1,51 @@
+(** Arbitrary-precision unsigned integers, from scratch (base 2{^26} limbs),
+    sufficient for the RSA/DSA arithmetic the mini-SSL and SSH substrates
+    need.  All values are non-negative; [sub] requires a >= b. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val of_int : int -> t
+val to_int : t -> int
+(** @raise Failure if the value exceeds [max_int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val num_bits : t -> int
+val is_even : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** @raise Division_by_zero *)
+
+val rem : t -> t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val bit : t -> int -> bool
+
+val modexp : base:t -> exp:t -> m:t -> t
+val modinv : t -> m:t -> t
+(** Modular inverse. @raise Not_found if not coprime with [m]. *)
+
+val gcd : t -> t -> t
+
+val of_bytes_be : bytes -> t
+val to_bytes_be : ?len:int -> t -> bytes
+(** Big-endian; left-padded with zeros to [len] when given.
+    @raise Invalid_argument if the value does not fit in [len]. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+
+val random_bits : Drbg.t -> bits:int -> t
+(** Exactly [bits] bits (top bit set). *)
+
+val random_below : Drbg.t -> t -> t
+(** Uniform in [0, n). *)

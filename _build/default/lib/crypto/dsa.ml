@@ -1,0 +1,116 @@
+module B = Bignum
+
+type params = {
+  p : B.t;
+  q : B.t;
+  g : B.t;
+}
+
+type pub = {
+  params : params;
+  y : B.t;
+}
+
+type priv = {
+  pub : pub;
+  x : B.t;
+}
+
+let gen_params ?(pbits = 256) ?(qbits = 96) rng =
+  let q = Prime.gen_prime rng ~bits:qbits in
+  (* Search p = q*k + 1 prime with the right size. *)
+  let rec find_p () =
+    let kbits = pbits - qbits in
+    let k = B.random_bits rng ~bits:kbits in
+    let k = if B.is_even k then k else B.add k B.one in
+    let p = B.add (B.mul q k) B.one in
+    if B.num_bits p = pbits && Prime.is_prime rng p then (p, k) else find_p ()
+  in
+  let p, k = find_p () in
+  (* g = h^k mod p with order q. *)
+  let rec find_g () =
+    let h = B.add B.two (B.random_below rng (B.sub p (B.of_int 4))) in
+    let g = B.modexp ~base:h ~exp:k ~m:p in
+    if B.equal g B.one then find_g () else g
+  in
+  { p; q; g = find_g () }
+
+let keygen rng params =
+  let rec nonzero () =
+    let x = B.random_below rng params.q in
+    if B.is_zero x then nonzero () else x
+  in
+  let x = nonzero () in
+  { pub = { params; y = B.modexp ~base:params.g ~exp:x ~m:params.p }; x }
+
+let hash_mod msg q = B.rem (B.of_bytes_be (Sha256.digest msg)) q
+
+let rec sign rng priv msg =
+  let { p; q; g } = priv.pub.params in
+  let k = B.random_below rng q in
+  if B.is_zero k then sign rng priv msg
+  else begin
+    let r = B.rem (B.modexp ~base:g ~exp:k ~m:p) q in
+    if B.is_zero r then sign rng priv msg
+    else
+      let h = hash_mod msg q in
+      let kinv = B.modinv k ~m:q in
+      let s = B.rem (B.mul kinv (B.add h (B.rem (B.mul priv.x r) q))) q in
+      if B.is_zero s then sign rng priv msg else (r, s)
+  end
+
+let verify pub msg ~signature:(r, s) =
+  let { p; q; g } = pub.params in
+  if B.is_zero r || B.compare r q >= 0 || B.is_zero s || B.compare s q >= 0 then false
+  else begin
+    let w = B.modinv s ~m:q in
+    let h = hash_mod msg q in
+    let u1 = B.rem (B.mul h w) q in
+    let u2 = B.rem (B.mul r w) q in
+    let v =
+      B.rem (B.rem (B.mul (B.modexp ~base:g ~exp:u1 ~m:p) (B.modexp ~base:pub.y ~exp:u2 ~m:p)) p) q
+    in
+    B.equal v r
+  end
+
+let demo_params =
+  let params = lazy (gen_params (Drbg.create ~seed:0xD5A)) in
+  fun () -> Lazy.force params
+
+let pub_to_string pub =
+  Printf.sprintf "dsa:%s:%s:%s:%s" (B.to_hex pub.params.p) (B.to_hex pub.params.q)
+    (B.to_hex pub.params.g) (B.to_hex pub.y)
+
+let pub_of_string s =
+  match String.split_on_char ':' s with
+  | [ "dsa"; p; q; g; y ] -> (
+      match (B.of_hex p, B.of_hex q, B.of_hex g, B.of_hex y) with
+      | p, q, g, y when not (B.is_zero p) -> Some { params = { p; q; g }; y }
+      | _ -> None
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let priv_to_string priv =
+  Printf.sprintf "dsapriv:%s:%s:%s:%s:%s" (B.to_hex priv.pub.params.p)
+    (B.to_hex priv.pub.params.q) (B.to_hex priv.pub.params.g) (B.to_hex priv.pub.y)
+    (B.to_hex priv.x)
+
+let priv_of_string s =
+  match String.split_on_char ':' s with
+  | [ "dsapriv"; p; q; g; y; x ] -> (
+      match (B.of_hex p, B.of_hex q, B.of_hex g, B.of_hex y, B.of_hex x) with
+      | p, q, g, y, x when not (B.is_zero p) ->
+          Some { pub = { params = { p; q; g }; y }; x }
+      | _ -> None
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let signature_to_string (r, s) = B.to_hex r ^ "," ^ B.to_hex s
+
+let signature_of_string s =
+  match String.split_on_char ',' s with
+  | [ r; sv ] -> (
+      match (B.of_hex r, B.of_hex sv) with
+      | r, sv -> Some (r, sv)
+      | exception Invalid_argument _ -> None)
+  | _ -> None

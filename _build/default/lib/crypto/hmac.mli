@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104).  The mini-SSL record layer's integrity
+    protection: injected ciphertext without the MAC key is dropped, which
+    is what confines a man-in-the-middle to the outside of an established
+    session (§5.1.2). *)
+
+val mac : key:bytes -> bytes -> bytes
+(** 32-byte tag. *)
+
+val mac_string : key:bytes -> string -> bytes
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-time comparison. *)

@@ -1,0 +1,49 @@
+type t = {
+  s : int array;  (* 256-entry permutation *)
+  mutable i : int;
+  mutable j : int;
+}
+
+let create ~key =
+  if Bytes.length key = 0 then invalid_arg "Rc4.create: empty key";
+  let s = Array.init 256 (fun i -> i) in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    j := (!j + s.(i) + Char.code (Bytes.get key (i mod Bytes.length key))) land 0xff;
+    let tmp = s.(i) in
+    s.(i) <- s.(!j);
+    s.(!j) <- tmp
+  done;
+  { s; i = 0; j = 0 }
+
+let crypt t data =
+  let out = Bytes.create (Bytes.length data) in
+  for n = 0 to Bytes.length data - 1 do
+    t.i <- (t.i + 1) land 0xff;
+    t.j <- (t.j + t.s.(t.i)) land 0xff;
+    let tmp = t.s.(t.i) in
+    t.s.(t.i) <- t.s.(t.j);
+    t.s.(t.j) <- tmp;
+    let ks = t.s.((t.s.(t.i) + t.s.(t.j)) land 0xff) in
+    Bytes.set out n (Char.chr (Char.code (Bytes.get data n) lxor ks))
+  done;
+  out
+
+let copy t = { s = Array.copy t.s; i = t.i; j = t.j }
+
+let state_size = 258
+
+let serialize t =
+  let b = Bytes.create state_size in
+  Array.iteri (fun idx v -> Bytes.set b idx (Char.chr v)) t.s;
+  Bytes.set b 256 (Char.chr t.i);
+  Bytes.set b 257 (Char.chr t.j);
+  b
+
+let deserialize b =
+  if Bytes.length b <> state_size then invalid_arg "Rc4.deserialize";
+  {
+    s = Array.init 256 (fun i -> Char.code (Bytes.get b i));
+    i = Char.code (Bytes.get b 256);
+    j = Char.code (Bytes.get b 257);
+  }

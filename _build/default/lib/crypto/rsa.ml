@@ -1,0 +1,122 @@
+module B = Bignum
+
+type pub = {
+  n : B.t;
+  e : B.t;
+}
+
+type priv = {
+  pub : pub;
+  d : B.t;
+  p : B.t;
+  q : B.t;
+}
+
+let e_const = B.of_int 65537
+
+let keygen ?(bits = 512) rng =
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.gen_prime rng ~bits:half in
+    let q = Prime.gen_prime rng ~bits:(bits - half) in
+    if B.equal p q then go ()
+    else begin
+      let n = B.mul p q in
+      let phi = B.mul (B.sub p B.one) (B.sub q B.one) in
+      if not (B.equal (B.gcd e_const phi) B.one) then go ()
+      else
+        let d = B.modinv e_const ~m:phi in
+        { pub = { n; e = e_const }; d; p; q }
+    end
+  in
+  go ()
+
+let modulus_bytes pub = (B.num_bits pub.n + 7) / 8
+
+(* Padding: 0x02 || nonzero-random || 0x00 || payload, kept one byte shorter
+   than the modulus so the padded value is always < n. *)
+let min_pad = 8
+
+let max_payload pub = modulus_bytes pub - 2 - min_pad - 1
+
+let encrypt rng pub msg =
+  let k = modulus_bytes pub in
+  let mlen = Bytes.length msg in
+  if mlen > max_payload pub then invalid_arg "Rsa.encrypt: payload too large";
+  let padlen = k - 1 - 2 - mlen in
+  let buf = Bytes.create (k - 1) in
+  Bytes.set buf 0 '\x02';
+  for i = 1 to padlen do
+    let rec nz () = match Drbg.byte rng with 0 -> nz () | b -> b in
+    Bytes.set buf i (Char.chr (nz ()))
+  done;
+  Bytes.set buf (padlen + 1) '\x00';
+  Bytes.blit msg 0 buf (padlen + 2) mlen;
+  let m = B.of_bytes_be buf in
+  B.to_bytes_be ~len:k (B.modexp ~base:m ~exp:pub.e ~m:pub.n)
+
+let decrypt priv ct =
+  let k = modulus_bytes priv.pub in
+  let c = B.of_bytes_be ct in
+  if B.compare c priv.pub.n >= 0 then None
+  else begin
+    let m = B.modexp ~base:c ~exp:priv.d ~m:priv.pub.n in
+    if B.num_bits m > 8 * (k - 1) then None
+    else
+    let buf = B.to_bytes_be ~len:(k - 1) m in
+    if Bytes.get buf 0 <> '\x02' then None
+    else
+      (* Find the 0x00 separator after at least min_pad random bytes. *)
+      let rec find i =
+        if i >= Bytes.length buf then None
+        else if Bytes.get buf i = '\x00' then Some i
+        else find (i + 1)
+      in
+      match find 1 with
+      | Some sep when sep >= 1 + min_pad ->
+          Some (Bytes.sub buf (sep + 1) (Bytes.length buf - sep - 1))
+      | _ -> None
+  end
+
+let sign priv msg =
+  let h = Sha256.digest msg in
+  let m = B.of_bytes_be h in
+  let m = B.rem m priv.pub.n in
+  B.to_bytes_be ~len:(modulus_bytes priv.pub) (B.modexp ~base:m ~exp:priv.d ~m:priv.pub.n)
+
+let verify pub msg ~signature =
+  let h = B.rem (B.of_bytes_be (Sha256.digest msg)) pub.n in
+  let s = B.of_bytes_be signature in
+  B.compare s pub.n < 0 && B.equal (B.modexp ~base:s ~exp:pub.e ~m:pub.n) h
+
+let pub_to_string pub = Printf.sprintf "rsa:%s:%s" (B.to_hex pub.e) (B.to_hex pub.n)
+
+let pub_of_string s =
+  match String.split_on_char ':' s with
+  | [ "rsa"; e; n ] -> (
+      match (B.of_hex e, B.of_hex n) with
+      | e, n when not (B.is_zero n) -> Some { n; e }
+      | _ -> None
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let priv_to_string priv =
+  Printf.sprintf "rsapriv:%s:%s:%s:%s:%s" (B.to_hex priv.pub.e) (B.to_hex priv.pub.n)
+    (B.to_hex priv.d) (B.to_hex priv.p) (B.to_hex priv.q)
+
+let priv_of_string s =
+  match String.split_on_char ':' s with
+  | [ "rsapriv"; e; n; d; p; q ] -> (
+      match (B.of_hex e, B.of_hex n, B.of_hex d, B.of_hex p, B.of_hex q) with
+      | e, n, d, p, q when not (B.is_zero n) -> Some { pub = { n; e }; d; p; q }
+      | _ -> None
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let demo_key =
+  let key = lazy (keygen ~bits:512 (Drbg.create ~seed:0xC0FFEE)) in
+  fun () -> Lazy.force key
+
+let demo_key2 =
+  let key = lazy (keygen ~bits:512 (Drbg.create ~seed:0xBADCAB)) in
+  fun () -> Lazy.force key

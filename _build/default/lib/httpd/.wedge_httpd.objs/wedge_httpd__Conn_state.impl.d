@@ -1,0 +1,1 @@
+lib/httpd/conn_state.ml: Bytes String Wedge_core Wedge_tls

@@ -1,0 +1,1 @@
+lib/httpd/conn_state.mli: Wedge_core Wedge_tls

@@ -1,0 +1,1 @@
+lib/httpd/httpd_env.ml: Buffer Http List Printf Sess_store String Wedge_core Wedge_crypto Wedge_kernel Wedge_mem Wedge_sim Wedge_tls

@@ -1,0 +1,1 @@
+lib/httpd/httpd_env.mli: Sess_store Wedge_core Wedge_crypto Wedge_kernel Wedge_mem Wedge_tls

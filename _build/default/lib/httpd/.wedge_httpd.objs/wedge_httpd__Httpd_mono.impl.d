@@ -1,0 +1,1 @@
+lib/httpd/httpd_mono.ml: Bytes Httpd_env String Wedge_core Wedge_kernel Wedge_net Wedge_tls

@@ -1,0 +1,1 @@
+lib/httpd/httpd_mono.mli: Httpd_env Wedge_core Wedge_net

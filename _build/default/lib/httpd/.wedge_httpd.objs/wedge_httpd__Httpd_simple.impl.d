@@ -1,0 +1,1 @@
+lib/httpd/httpd_simple.ml: Bytes Conn_state Httpd_env Sess_store String Wedge_core Wedge_crypto Wedge_kernel Wedge_mem Wedge_net Wedge_tls

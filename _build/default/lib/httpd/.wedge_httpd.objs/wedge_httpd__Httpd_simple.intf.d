@@ -1,0 +1,1 @@
+lib/httpd/httpd_simple.mli: Httpd_env Wedge_core Wedge_kernel Wedge_mem Wedge_net

@@ -1,0 +1,1 @@
+lib/httpd/https_client.ml: Buffer Bytes Http String Wedge_crypto Wedge_net Wedge_tls

@@ -1,0 +1,1 @@
+lib/httpd/https_client.mli: Http Wedge_crypto Wedge_net Wedge_tls

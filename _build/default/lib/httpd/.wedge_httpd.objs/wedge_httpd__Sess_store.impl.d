@@ -1,0 +1,1 @@
+lib/httpd/sess_store.ml: Bytes String Wedge_core Wedge_kernel Wedge_mem

@@ -1,0 +1,1 @@
+lib/httpd/sess_store.mli: Wedge_core Wedge_mem

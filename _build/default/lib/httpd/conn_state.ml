@@ -1,0 +1,58 @@
+module W = Wedge_core.Wedge
+module Record = Wedge_tls.Record
+
+let off_have_master = 0
+let off_cr = 1
+let off_sr = 33
+let off_sidlen = 65
+let off_sid = 66
+let off_master = 82
+let off_have_keys = 114
+let off_keys = 115
+let size = off_keys + Record.state_size
+
+let init ctx addr = W.write_bytes ctx addr (Bytes.make size '\000')
+
+let set_randoms ctx addr ~cr ~sr ~sid =
+  W.write_bytes ctx (addr + off_cr) cr;
+  W.write_bytes ctx (addr + off_sr) sr;
+  W.write_u8 ctx (addr + off_sidlen) (String.length sid);
+  W.write_string ctx (addr + off_sid) sid
+
+let client_random ctx addr = W.read_bytes ctx (addr + off_cr) 32
+let server_random ctx addr = W.read_bytes ctx (addr + off_sr) 32
+
+let sid ctx addr =
+  let n = W.read_u8 ctx (addr + off_sidlen) in
+  W.read_string ctx (addr + off_sid) n
+
+let set_master ctx addr m =
+  W.write_u8 ctx (addr + off_have_master) 1;
+  W.write_bytes ctx (addr + off_master) m
+
+let master ctx addr =
+  if W.read_u8 ctx (addr + off_have_master) = 1 then Some (W.read_bytes ctx (addr + off_master) 32)
+  else None
+
+let store_keys ctx addr k =
+  W.write_u8 ctx (addr + off_have_keys) 1;
+  W.write_bytes ctx (addr + off_keys) (Record.to_bytes k)
+
+let keys ctx addr =
+  if W.read_u8 ctx (addr + off_have_keys) = 1 then
+    Some (Record.of_bytes (W.read_bytes ctx (addr + off_keys) Record.state_size))
+  else None
+
+let ensure_keys ctx addr =
+  match keys ctx addr with
+  | Some k -> Some k
+  | None -> (
+      match master ctx addr with
+      | None -> None
+      | Some m ->
+          let k =
+            Record.derive ~master:m ~client_random:(client_random ctx addr)
+              ~server_random:(server_random ctx addr) ~side:`Server
+          in
+          store_keys ctx addr k;
+          Some k)

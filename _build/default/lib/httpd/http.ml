@@ -1,0 +1,54 @@
+type request = {
+  meth : string;
+  path : string;
+}
+
+let parse_request line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ meth; path ] | [ meth; path; _ ] when String.length path > 0 && path.[0] = '/' ->
+      Some { meth = String.uppercase_ascii meth; path }
+  | _ -> None
+
+let format_request r = Printf.sprintf "%s %s HTTP/1.0" r.meth r.path
+
+type response = {
+  status : int;
+  body : string;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | _ -> "Unknown"
+
+let format_response r =
+  Printf.sprintf "HTTP/1.0 %d %s\r\nContent-Length: %d\r\n\r\n%s" r.status (reason r.status)
+    (String.length r.body) r.body
+
+let parse_response s =
+  match String.index_opt s ' ' with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let status =
+        match String.index_opt rest ' ' with
+        | Some j -> int_of_string_opt (String.sub rest 0 j)
+        | None -> None
+      in
+      match status with
+      | None -> None
+      | Some status -> (
+          (* body follows the blank line *)
+          let rec find_body i =
+            if i + 4 > String.length s then None
+            else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+            else find_body (i + 1)
+          in
+          match find_body 0 with
+          | Some b -> Some { status; body = String.sub s b (String.length s - b) }
+          | None -> Some { status; body = "" }))
+
+let ok body = { status = 200; body }
+let not_found = { status = 404; body = "not found" }
+let forbidden = { status = 403; body = "forbidden" }

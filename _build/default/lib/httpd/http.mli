@@ -1,0 +1,21 @@
+(** Minimal HTTP/1.0 subset: one request, one response, as served by the
+    Apache stand-ins over the mini-SSL channel. *)
+
+type request = {
+  meth : string;
+  path : string;
+}
+
+val parse_request : string -> request option
+val format_request : request -> string
+
+type response = {
+  status : int;
+  body : string;
+}
+
+val format_response : response -> string
+val parse_response : string -> response option
+val ok : string -> response
+val not_found : response
+val forbidden : response

@@ -1,0 +1,68 @@
+(** Shared environment for the Apache/OpenSSL stand-ins: the server RSA key
+    held in tagged memory, the SSL session cache, the document root, and
+    crypto cost accounting against the simulated clock. *)
+
+type t = {
+  app : Wedge_core.Wedge.app;
+  main : Wedge_core.Wedge.ctx;
+  priv : Wedge_crypto.Rsa.priv;  (** kept outside the simulation only so
+                                     tests/clients can pin the public key *)
+  key_tag : Wedge_mem.Tag.t;
+  key_addr : int;  (** length-value block holding the serialised key *)
+  cache : Wedge_tls.Session.t;
+      (** in-process cache used by the monolithic server *)
+  scache : Sess_store.t;
+      (** the partitioned servers' cache, held in tagged memory readable
+          only by the session-establishment callgates *)
+  rng : Wedge_crypto.Drbg.t;
+  mutable served : int;
+  worker_sid : string option;
+      (** SELinux SID applied to network-facing sthreads when installed
+          with [~strict_selinux:true]; [None] = the paper's permissive
+          setup (§5) *)
+}
+
+val apache_image_pages : int
+(** Address-space size of the Apache stand-in (~14 MB): sthread creation
+    cost is proportional to this, which is what separates Table 2 from the
+    minimal-process microbenchmarks of Figure 7. *)
+
+val docroot : string
+val index_body : string
+
+val install :
+  ?image_pages:int ->
+  ?session_cache:bool ->
+  ?strict_selinux:bool ->
+  ?seed:int ->
+  Wedge_kernel.Kernel.t ->
+  t
+(** Build the application: document root in the VFS, app booted, private
+    key generated and stored in its own tag. *)
+
+val cert : t -> string
+val read_priv : Wedge_core.Wedge.ctx -> t -> Wedge_crypto.Rsa.priv
+(** Deserialise the private key out of tagged memory — callable only from
+    a compartment holding read permission on [key_tag]. *)
+
+(** {2 Crypto cost accounting} *)
+
+type crypto_op =
+  | Rsa_priv
+  | Rsa_pub
+  | Hash of int
+  | Cipher of int
+  | Mac
+
+val charge : Wedge_core.Wedge.ctx -> crypto_op -> unit
+
+(** {2 Request handling shared by all variants} *)
+
+val handle_request :
+  Wedge_core.Wedge.ctx ->
+  exploit:(Wedge_core.Wedge.ctx -> unit) option ->
+  string ->
+  string
+(** Parse a request line, serve the file from the caller's filesystem view,
+    charge the fixed application cost; "/xploit" triggers the exploit hook
+    (the modelled parser vulnerability). *)

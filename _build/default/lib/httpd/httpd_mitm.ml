@@ -1,0 +1,365 @@
+module W = Wedge_core.Wedge
+module Prot = Wedge_kernel.Prot
+module Fd_table = Wedge_kernel.Fd_table
+module Chan = Wedge_net.Chan
+module Tag = Wedge_mem.Tag
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module Wire = Wedge_tls.Wire
+module Record = Wedge_tls.Record
+module Session = Wedge_tls.Session
+module Handshake = Wedge_tls.Handshake
+
+type conn_debug = {
+  conn_tag : Tag.t;
+  fin_tag : Tag.t;
+  arg_tag : Tag.t;
+  data_tag : Tag.t;
+  conn_block : int;
+  arg_block : int;
+  data_block : int;
+  handshake_status : Wedge_kernel.Process.status;
+  handler_status : Wedge_kernel.Process.status option;
+}
+
+let io_of_fd ctx fd =
+  Wire.io_of_fns
+    ~recv:(fun n ->
+      let b = W.fd_read ctx fd n in
+      if Bytes.length b = 0 then None else Some b)
+    ~send:(fun b -> W.fd_write ctx fd b)
+
+(* ---------------- handshake-phase callgates (Figure 4) ---------------- *)
+
+(* new_session / resume: the server random is generated inside the gate —
+   the network-facing caller supplies only the client's public values. *)
+let new_session_entry (env : Httpd_env.t) gctx ~trusted:conn_block ~arg =
+  let cr = W.read_bytes gctx (arg + 1) 32 in
+  let sr = Drbg.bytes env.Httpd_env.rng 32 in
+  let sid = Bytes.to_string (Drbg.bytes env.Httpd_env.rng Handshake.sid_len) in
+  Conn_state.init gctx conn_block;
+  Conn_state.set_randoms gctx conn_block ~cr ~sr ~sid;
+  W.write_bytes gctx (arg + 1) sr;
+  W.write_lv gctx (arg + 33) sid;
+  1
+
+let resume_entry (env : Httpd_env.t) gctx ~trusted:conn_block ~arg =
+  let n = W.read_u8 gctx (arg + 1) in
+  let sid = W.read_string gctx (arg + 2) n in
+  let cr = W.read_bytes gctx (arg + 2 + n) 32 in
+  match Sess_store.lookup gctx env.Httpd_env.scache ~sid with
+  | None -> 0
+  | Some master ->
+      let sr = Drbg.bytes env.Httpd_env.rng 32 in
+      Conn_state.init gctx conn_block;
+      Conn_state.set_randoms gctx conn_block ~cr ~sr ~sid;
+      Conn_state.set_master gctx conn_block master;
+      W.write_bytes gctx (arg + 2) sr;
+      1
+
+(* setup_session_key: the only code with read access to the private key.
+   Returns a boolean; the master secret never leaves the conn tag. *)
+let setup_session_key_entry (env : Httpd_env.t) gctx ~trusted:conn_block ~arg =
+  let ct = W.read_lv gctx (arg + 1) in
+  Httpd_env.charge gctx Httpd_env.Rsa_priv;
+  let priv = Httpd_env.read_priv gctx env in
+  match Rsa.decrypt priv (Bytes.of_string ct) with
+  | Some pm when Bytes.length pm = Handshake.premaster_len ->
+      let master = Handshake.derive_master ~premaster:pm in
+      Conn_state.set_master gctx conn_block master;
+      Sess_store.store gctx env.Httpd_env.scache
+        ~sid:(Conn_state.sid gctx conn_block) ~master;
+      1
+  | Some _ | None -> 0
+
+(* receive_finished: decrypts and verifies the client's Finished; prepares
+   the server's Finished payload into finished-state memory.  The only
+   value returned to the caller is success/failure — handing ciphertext to
+   this gate never yields plaintext (§5.1.2). *)
+let receive_finished_entry gctx ~trusted ~arg =
+  let conn_block = W.read_u64 gctx trusted in
+  let fin_block = W.read_u64 gctx (trusted + 8) in
+  let th = W.read_bytes gctx (arg + 1) 32 in
+  let record = Bytes.of_string (W.read_lv gctx (arg + 33)) in
+  Httpd_env.charge gctx Httpd_env.Mac;
+  Httpd_env.charge gctx (Httpd_env.Cipher (Bytes.length record));
+  match Conn_state.ensure_keys gctx conn_block with
+  | None -> 0
+  | Some keys -> (
+      match Record.open_ keys record with
+      | None ->
+          Conn_state.store_keys gctx conn_block keys;
+          0
+      | Some payload -> (
+          Conn_state.store_keys gctx conn_block keys;
+          match Conn_state.master gctx conn_block with
+          | None -> 0
+          | Some master ->
+              let expect = Handshake.finished_payload ~master ~side:`Client ~transcript_hash:th in
+              if Bytes.equal payload expect then begin
+                let sf =
+                  Handshake.server_finished_payload ~master ~transcript_hash:th
+                    ~client_finished:payload
+                in
+                W.write_lv gctx fin_block (Bytes.to_string sf);
+                1
+              end
+              else 0))
+
+(* send_finished: takes no caller input at all; seals the prepared payload
+   from finished state and returns it via the argument buffer. *)
+let send_finished_entry gctx ~trusted ~arg =
+  let conn_block = W.read_u64 gctx trusted in
+  let fin_block = W.read_u64 gctx (trusted + 8) in
+  Httpd_env.charge gctx Httpd_env.Mac;
+  match Conn_state.keys gctx conn_block with
+  | None -> 0
+  | Some keys ->
+      let payload = Bytes.of_string (W.read_lv gctx fin_block) in
+      if Bytes.length payload = 0 then 0
+      else begin
+        let record = Record.seal keys payload in
+        Conn_state.store_keys gctx conn_block keys;
+        W.write_lv gctx (arg + 1) (Bytes.to_string record);
+        1
+      end
+
+(* ---------------- data-phase callgates (Figure 5) ---------------- *)
+
+(* SSL_read: reads records from the network (it alone holds the read half
+   of the descriptor), drops anything failing the MAC, and delivers
+   plaintext into the client handler's data buffer. *)
+let ssl_read_entry ~fd ~data_block gctx ~trusted:conn_block ~arg:_ =
+  match Conn_state.keys gctx conn_block with
+  | None -> 0
+  | Some keys -> (
+      let io = io_of_fd gctx fd in
+      let rec next () =
+        match Wire.recv_msg io with
+        | Wire.App_data, record -> (
+            Httpd_env.charge gctx Httpd_env.Mac;
+            Httpd_env.charge gctx (Httpd_env.Cipher (Bytes.length record));
+            match Record.open_ keys record with
+            | Some pt ->
+                Conn_state.store_keys gctx conn_block keys;
+                W.write_lv gctx data_block (Bytes.to_string pt);
+                Bytes.length pt
+            | None ->
+                (* Forged or corrupted: drop and keep reading (§5.1.2). *)
+                next ())
+        | Wire.Alert, _ -> 0
+        | _, _ -> next ()
+        | exception Wire.Closed -> 0
+      in
+      next ())
+
+(* SSL_write: seals the handler's data buffer onto the network (write-only
+   descriptor). *)
+let ssl_write_entry ~fd ~data_block gctx ~trusted:conn_block ~arg:_ =
+  match Conn_state.keys gctx conn_block with
+  | None -> 0
+  | Some keys ->
+      let pt = W.read_lv gctx data_block in
+      Httpd_env.charge gctx Httpd_env.Mac;
+      Httpd_env.charge gctx (Httpd_env.Cipher (String.length pt));
+      let record = Record.seal keys (Bytes.of_string pt) in
+      Conn_state.store_keys gctx conn_block keys;
+      W.fd_write gctx fd (Wire.frame Wire.App_data record);
+      1
+
+(* ---------------- the handshake sthread's view ---------------- *)
+
+let handshake_ops ctx ~g_new ~g_resume ~g_premaster ~g_recv_fin ~g_send_fin ~arg_tag
+    ~arg_block =
+  let perms = W.sc_create () in
+  W.sc_mem_add perms arg_tag Prot.RW;
+  {
+    Handshake.new_session =
+      (fun ~client_random ->
+        W.write_bytes ctx (arg_block + 1) client_random;
+        ignore (W.cgate ctx g_new ~perms ~arg:arg_block);
+        (W.read_lv ctx (arg_block + 33), W.read_bytes ctx (arg_block + 1) 32));
+    resume_session =
+      (fun ~sid ~client_random ->
+        W.write_u8 ctx (arg_block + 1) (String.length sid);
+        W.write_string ctx (arg_block + 2) sid;
+        W.write_bytes ctx (arg_block + 2 + String.length sid) client_random;
+        if W.cgate ctx g_resume ~perms ~arg:arg_block = 1 then
+          Some (W.read_bytes ctx (arg_block + 2) 32)
+        else None);
+    set_premaster =
+      (fun ~premaster_ct ->
+        W.write_lv ctx (arg_block + 1) (Bytes.to_string premaster_ct);
+        W.cgate ctx g_premaster ~perms ~arg:arg_block = 1);
+    receive_finished =
+      (fun ~transcript_hash ~record ->
+        W.write_bytes ctx (arg_block + 1) transcript_hash;
+        W.write_lv ctx (arg_block + 33) (Bytes.to_string record);
+        W.cgate ctx g_recv_fin ~perms ~arg:arg_block = 1);
+    send_finished =
+      (fun () ->
+        if W.cgate ctx g_send_fin ~perms ~arg:arg_block = 1 then
+          Bytes.of_string (W.read_lv ctx (arg_block + 1))
+        else Bytes.empty);
+  }
+
+(* ---------------- master: one connection ---------------- *)
+
+let serve_connection ?(recycled = false) ?exploit_handshake ?exploit_request
+    (env : Httpd_env.t) ep =
+  let main = env.Httpd_env.main in
+  (* Per-connection tagged memory (tag-cache reuse applies, §4.1). *)
+  let conn_tag = W.tag_new ~name:"httpd.conn" ~pages:1 main in
+  let fin_tag = W.tag_new ~name:"httpd.fin" ~pages:1 main in
+  let arg_tag = W.tag_new ~name:"httpd.arg" ~pages:2 main in
+  let data_tag = W.tag_new ~name:"httpd.data" ~pages:8 main in
+  let conn_block = W.smalloc main Conn_state.size conn_tag in
+  Conn_state.init main conn_block;
+  (* receive/send_finished address both the conn block and the finished
+     block; their kernel-held trusted argument points at a pointer pair in
+     the conn tag. *)
+  let ptr_pair = W.smalloc main 16 conn_tag in
+  let fin_block = W.smalloc main 512 fin_tag in
+  W.write_u64 main ptr_pair conn_block;
+  W.write_u64 main (ptr_pair + 8) fin_block;
+  W.write_lv main fin_block "";
+  let arg_block = W.smalloc main 4096 arg_tag in
+  let data_block = W.smalloc main 20000 data_tag in
+  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+  (* Policies. *)
+  let hs_sc = W.sc_create () in
+  let ch_sc = W.sc_create () in
+  let mint ?(into = hs_sc) name entry cgsc =
+    W.sc_cgate_add ~recycled main into ~name ~entry ~cgsc ~trusted:conn_block
+    |> fun g -> g
+  in
+  let conn_rw = (fun sc -> W.sc_mem_add sc conn_tag Prot.RW; sc) in
+  let g_new = mint "ssl.new_session" (new_session_entry env) (conn_rw (W.sc_create ())) in
+  let g_resume =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+    mint "ssl.resume" (resume_entry env) cgsc
+  in
+  let g_premaster =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
+    W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+    mint "setup_session_key" (setup_session_key_entry env) cgsc
+  in
+  let g_recv_fin =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc fin_tag Prot.RW;
+    W.sc_cgate_add ~recycled main hs_sc ~name:"receive_finished" ~entry:receive_finished_entry
+      ~cgsc ~trusted:ptr_pair
+  in
+  let g_send_fin =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc fin_tag Prot.R;
+    W.sc_cgate_add ~recycled main hs_sc ~name:"send_finished" ~entry:send_finished_entry ~cgsc
+      ~trusted:ptr_pair
+  in
+  let g_ssl_read =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc data_tag Prot.RW;
+    W.sc_fd_add cgsc fd Fd_table.perm_r;
+    W.sc_cgate_add ~recycled main ch_sc ~name:"ssl_read"
+      ~entry:(ssl_read_entry ~fd ~data_block) ~cgsc ~trusted:conn_block
+  in
+  let g_ssl_write =
+    let cgsc = conn_rw (W.sc_create ()) in
+    W.sc_mem_add cgsc data_tag Prot.R;
+    W.sc_fd_add cgsc fd Fd_table.perm_w;
+    W.sc_cgate_add ~recycled main ch_sc ~name:"ssl_write"
+      ~entry:(ssl_write_entry ~fd ~data_block) ~cgsc ~trusted:conn_block
+  in
+  (* Phase 1: the SSL handshake sthread. *)
+  W.sc_mem_add hs_sc arg_tag Prot.RW;
+  W.sc_fd_add hs_sc fd Fd_table.perm_rw;
+  W.sc_set_uid hs_sc 33;
+  W.sc_set_root hs_sc "/var/empty";
+  (match env.Httpd_env.worker_sid with
+  | Some sid -> W.sc_sel_context hs_sc sid
+  | None -> ());
+  let hs_handle =
+    W.sthread_create main hs_sc
+      (fun ctx _ ->
+        let io = io_of_fd ctx fd in
+        let ops =
+          handshake_ops ctx ~g_new ~g_resume ~g_premaster ~g_recv_fin ~g_send_fin ~arg_tag
+            ~arg_block
+        in
+        let result =
+          match Handshake.server_handshake ~ops ~cert:(Httpd_env.cert env) io with
+          | Ok _sid -> 0
+          | Error _ -> 1
+        in
+        (match exploit_handshake with Some payload -> payload ctx | None -> ());
+        result)
+      0
+  in
+  let hs_result = W.sthread_join main hs_handle in
+  (* Phase 2: the master starts the client handler only after a clean
+     handshake exit (Figure 3). *)
+  let handler_handle =
+    if hs_result <> 0 then None
+    else begin
+      W.sc_mem_add ch_sc data_tag Prot.RW;
+      W.sc_set_uid ch_sc 33;
+      W.sc_set_root ch_sc Httpd_env.docroot;
+      (match env.Httpd_env.worker_sid with
+      | Some sid -> W.sc_sel_context ch_sc sid
+      | None -> ());
+      Some
+        (W.sthread_create main ch_sc
+           (fun ctx _ ->
+             let no_perms = W.sc_create () in
+             let n = W.cgate ctx g_ssl_read ~perms:no_perms ~arg:0 in
+             if n <= 0 then 1
+             else begin
+               let req = W.read_lv ctx data_block in
+               let resp = Httpd_env.handle_request ctx ~exploit:exploit_request req in
+               (* Header and body go out as separate records, as Apache
+                  does — SSL_write is one of the callgates "invoked more
+                  than once per request" (§6). *)
+               let split =
+                 let rec find i =
+                   if i + 4 > String.length resp then String.length resp
+                   else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+                   else find (i + 1)
+                 in
+                 find 0
+               in
+               W.write_lv ctx data_block (String.sub resp 0 split);
+               ignore (W.cgate ctx g_ssl_write ~perms:no_perms ~arg:0);
+               if split < String.length resp then begin
+                 W.write_lv ctx data_block
+                   (String.sub resp split (String.length resp - split));
+                 ignore (W.cgate ctx g_ssl_write ~perms:no_perms ~arg:0)
+               end;
+               env.Httpd_env.served <- env.Httpd_env.served + 1;
+               0
+             end)
+           0)
+    end
+  in
+  (match handler_handle with Some h -> ignore (W.sthread_join main h) | None -> ());
+  W.fd_close main fd;
+  Chan.close ep;
+  let debug =
+    {
+      conn_tag;
+      fin_tag;
+      arg_tag;
+      data_tag;
+      conn_block;
+      arg_block;
+      data_block;
+      handshake_status = W.handle_status hs_handle;
+      handler_status = Option.map W.handle_status handler_handle;
+    }
+  in
+  W.tag_delete main conn_tag;
+  W.tag_delete main fin_tag;
+  W.tag_delete main arg_tag;
+  W.tag_delete main data_tag;
+  debug

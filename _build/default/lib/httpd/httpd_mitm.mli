@@ -1,0 +1,46 @@
+(** The man-in-the-middle partitioning of Apache/OpenSSL (Figures 3–5).
+
+    Two sequential sthreads per connection, started by the master:
+
+    - {e SSL handshake}: reads/writes cleartext on the network and drives
+      the handshake, but holds {e no} access to the session-key state.  It
+      establishes the key purely through callgates whose only outputs are
+      public values and booleans:
+      {e new_session}/{e resume_session} (server random generated inside,
+      §5.1.1), {e setup_session_key} (RSA private-key decryption),
+      {e receive_finished} (verifies the client's Finished, prepares the
+      server's into finished-state memory, returns success/failure only)
+      and {e send_finished} (seals from finished state, takes no caller
+      input).  An exploit here gets neither the session key nor an
+      encryption/decryption oracle for it.
+
+    - {e client handler}: started by the master only after the handshake
+      sthread exits.  Holds no network descriptor at all; the {e SSL_read}
+      callgate (network read permission) and {e SSL_write} callgate
+      (network write permission) move data across the MAC'd channel, so
+      injected ciphertext dies inside SSL_read and a compromised SSL_read
+      still cannot leak plaintext to the wire. *)
+
+type conn_debug = {
+  conn_tag : Wedge_mem.Tag.t;  (** session-key state — gates only *)
+  fin_tag : Wedge_mem.Tag.t;   (** finished state — the two Finished gates *)
+  arg_tag : Wedge_mem.Tag.t;   (** handshake argument buffer *)
+  data_tag : Wedge_mem.Tag.t;  (** client handler's user data *)
+  conn_block : int;
+  arg_block : int;
+  data_block : int;
+  handshake_status : Wedge_kernel.Process.status;
+  handler_status : Wedge_kernel.Process.status option;
+      (** [None] when the master refused to start the handler *)
+}
+
+val serve_connection :
+  ?recycled:bool ->
+  ?exploit_handshake:(Wedge_core.Wedge.ctx -> unit) ->
+  ?exploit_request:(Wedge_core.Wedge.ctx -> unit) ->
+  Httpd_env.t ->
+  Wedge_net.Chan.ep ->
+  conn_debug
+(** Serve one connection (one request).  [exploit_handshake] runs inside
+    the handshake sthread just before it exits; [exploit_request] inside
+    the client handler on a "/xploit" request. *)

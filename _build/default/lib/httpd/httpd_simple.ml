@@ -1,0 +1,219 @@
+module W = Wedge_core.Wedge
+module Prot = Wedge_kernel.Prot
+module Fd_table = Wedge_kernel.Fd_table
+module Chan = Wedge_net.Chan
+module Tag = Wedge_mem.Tag
+module Drbg = Wedge_crypto.Drbg
+module Wire = Wedge_tls.Wire
+module Record = Wedge_tls.Record
+module Session = Wedge_tls.Session
+module Handshake = Wedge_tls.Handshake
+
+type conn_debug = {
+  conn_tag : Tag.t;
+  arg_tag : Tag.t;
+  arg_block : int;
+  worker_status : Wedge_kernel.Process.status;
+}
+
+let io_of_fd ctx fd =
+  Wire.io_of_fns
+    ~recv:(fun n ->
+      let b = W.fd_read ctx fd n in
+      if Bytes.length b = 0 then None else Some b)
+    ~send:(fun b -> W.fd_write ctx fd b)
+
+(* Argument-buffer protocol for the setup_session_key callgate.  The
+   worker writes a request, the gate overwrites it with the reply. *)
+let op_new_session = 1
+let op_premaster = 2
+let op_resume = 3
+
+(* The setup_session_key callgate (Figure 2).  Runs with read access to the
+   private-key tag and read-write on the per-connection state tag; its
+   essential property is that the server random is generated HERE, from
+   the gate's own entropy — the caller supplies only public inputs. *)
+let setup_session_key_entry (env : Httpd_env.t) gctx ~trusted:conn_block ~arg =
+  let op = W.read_u8 gctx arg in
+  if op = op_new_session then begin
+    let cr = W.read_bytes gctx (arg + 1) 32 in
+    let sr = Drbg.bytes env.Httpd_env.rng 32 in
+    let sid = Bytes.to_string (Drbg.bytes env.Httpd_env.rng Handshake.sid_len) in
+    Conn_state.set_randoms gctx conn_block ~cr ~sr ~sid;
+    W.write_bytes gctx (arg + 1) sr;
+    W.write_lv gctx (arg + 33) sid;
+    1
+  end
+  else if op = op_premaster then begin
+    let ct = W.read_lv gctx (arg + 1) in
+    Httpd_env.charge gctx Httpd_env.Rsa_priv;
+    let priv = Httpd_env.read_priv gctx env in
+    match Wedge_crypto.Rsa.decrypt priv (Bytes.of_string ct) with
+    | Some pm when Bytes.length pm = Handshake.premaster_len ->
+        let master = Handshake.derive_master ~premaster:pm in
+        Conn_state.set_master gctx conn_block master;
+        Sess_store.store gctx env.Httpd_env.scache
+          ~sid:(Conn_state.sid gctx conn_block) ~master;
+        (match Conn_state.ensure_keys gctx conn_block with
+        | Some keys ->
+            (* Figure 2: the session key is returned to the worker. *)
+            W.write_u8 gctx (arg + 1) 1;
+            W.write_bytes gctx (arg + 2) master;
+            W.write_lv gctx (arg + 34) (Bytes.to_string (Record.to_bytes keys));
+            1
+        | None -> 0)
+    | Some _ | None ->
+        W.write_u8 gctx (arg + 1) 0;
+        0
+  end
+  else if op = op_resume then begin
+    let n = W.read_u8 gctx (arg + 1) in
+    let sid = W.read_string gctx (arg + 2) n in
+    let cr = W.read_bytes gctx (arg + 2 + n) 32 in
+    match Sess_store.lookup gctx env.Httpd_env.scache ~sid with
+    | None ->
+        W.write_u8 gctx (arg + 1) 0;
+        0
+    | Some master ->
+        let sr = Drbg.bytes env.Httpd_env.rng 32 in
+        Conn_state.set_randoms gctx conn_block ~cr ~sr ~sid;
+        Conn_state.set_master gctx conn_block master;
+        (match Conn_state.ensure_keys gctx conn_block with
+        | Some keys ->
+            W.write_u8 gctx (arg + 1) 1;
+            W.write_bytes gctx (arg + 2) sr;
+            W.write_bytes gctx (arg + 34) master;
+            W.write_lv gctx (arg + 66) (Bytes.to_string (Record.to_bytes keys));
+            1
+        | None -> 0)
+  end
+  else -1
+
+(* Worker-side handshake callbacks: public inputs go in, the session key
+   comes back through the argument buffer. *)
+let worker_ops ctx ~gate ~arg_tag ~arg_block ~master_ref ~keys_ref ~finished_ref =
+  let perms = W.sc_create () in
+  W.sc_mem_add perms arg_tag Prot.RW;
+  {
+    Handshake.new_session =
+      (fun ~client_random ->
+        W.write_u8 ctx arg_block op_new_session;
+        W.write_bytes ctx (arg_block + 1) client_random;
+        ignore (W.cgate ctx gate ~perms ~arg:arg_block);
+        let sr = W.read_bytes ctx (arg_block + 1) 32 in
+        let sid = W.read_lv ctx (arg_block + 33) in
+        (sid, sr));
+    resume_session =
+      (fun ~sid ~client_random ->
+        W.write_u8 ctx arg_block op_resume;
+        W.write_u8 ctx (arg_block + 1) (String.length sid);
+        W.write_string ctx (arg_block + 2) sid;
+        W.write_bytes ctx (arg_block + 2 + String.length sid) client_random;
+        if W.cgate ctx gate ~perms ~arg:arg_block = 1 then begin
+          let sr = W.read_bytes ctx (arg_block + 2) 32 in
+          master_ref := Some (W.read_bytes ctx (arg_block + 34) 32);
+          keys_ref := Some (Record.of_bytes (Bytes.of_string (W.read_lv ctx (arg_block + 66))));
+          Some sr
+        end
+        else None);
+    set_premaster =
+      (fun ~premaster_ct ->
+        W.write_u8 ctx arg_block op_premaster;
+        W.write_lv ctx (arg_block + 1) (Bytes.to_string premaster_ct);
+        if W.cgate ctx gate ~perms ~arg:arg_block = 1 then begin
+          master_ref := Some (W.read_bytes ctx (arg_block + 2) 32);
+          keys_ref := Some (Record.of_bytes (Bytes.of_string (W.read_lv ctx (arg_block + 34))));
+          true
+        end
+        else false);
+    receive_finished =
+      (fun ~transcript_hash ~record ->
+        match (!master_ref, !keys_ref) with
+        | Some master, Some keys -> (
+            Httpd_env.charge ctx Httpd_env.Mac;
+            Httpd_env.charge ctx (Httpd_env.Cipher (Bytes.length record));
+            match Record.open_ keys record with
+            | None -> false
+            | Some payload ->
+                let expect = Handshake.finished_payload ~master ~side:`Client ~transcript_hash in
+                if Bytes.equal payload expect then begin
+                  finished_ref :=
+                    Handshake.server_finished_payload ~master ~transcript_hash
+                      ~client_finished:payload;
+                  true
+                end
+                else false)
+        | _ -> false);
+    send_finished =
+      (fun () ->
+        match !keys_ref with
+        | Some keys ->
+            Httpd_env.charge ctx Httpd_env.Mac;
+            Record.seal keys !finished_ref
+        | None -> invalid_arg "send_finished before keys");
+  }
+
+let serve_connection ?(recycled = false) ?exploit_handshake ?exploit_request
+    (env : Httpd_env.t) ep =
+  let main = env.Httpd_env.main in
+  let conn_tag = W.tag_new ~name:"httpd.conn" ~pages:1 main in
+  let arg_tag = W.tag_new ~name:"httpd.arg" ~pages:2 main in
+  let conn_block = W.smalloc main Conn_state.size conn_tag in
+  Conn_state.init main conn_block;
+  let arg_block = W.smalloc main 4096 arg_tag in
+  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+  let worker_sc = W.sc_create () in
+  let cgsc = W.sc_create () in
+  W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
+  W.sc_mem_add cgsc conn_tag Prot.RW;
+  W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+  let gate =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"setup_session_key"
+      ~entry:(setup_session_key_entry env) ~cgsc ~trusted:conn_block
+  in
+  W.sc_mem_add worker_sc arg_tag Prot.RW;
+  W.sc_fd_add worker_sc fd Fd_table.perm_rw;
+  W.sc_set_uid worker_sc 33;
+  W.sc_set_root worker_sc Httpd_env.docroot;
+  (match env.Httpd_env.worker_sid with
+  | Some sid -> W.sc_sel_context worker_sc sid
+  | None -> ());
+  let handle =
+    W.sthread_create main worker_sc
+      (fun ctx _ ->
+        let io = io_of_fd ctx fd in
+        let master_ref = ref None and keys_ref = ref None and finished_ref = ref Bytes.empty in
+        let ops =
+          worker_ops ctx ~gate ~arg_tag ~arg_block ~master_ref ~keys_ref ~finished_ref
+        in
+        match Handshake.server_handshake ~ops ~cert:(Httpd_env.cert env) io with
+        | Error _ -> 1
+        | Ok _sid -> (
+            (match exploit_handshake with Some payload -> payload ctx | None -> ());
+            match !keys_ref with
+            | None -> 1
+            | Some keys -> (
+                match Handshake.recv_data io keys with
+                | Error _ -> 1
+                | Ok req ->
+                    Httpd_env.charge ctx (Httpd_env.Cipher (Bytes.length req));
+                    let resp =
+                      Httpd_env.handle_request ctx ~exploit:exploit_request
+                        (Bytes.to_string req)
+                    in
+                    Httpd_env.charge ctx (Httpd_env.Cipher (String.length resp));
+                    Httpd_env.charge ctx Httpd_env.Mac;
+                    Handshake.send_data io keys (Bytes.of_string resp);
+                    env.Httpd_env.served <- env.Httpd_env.served + 1;
+                    0)))
+      0
+  in
+  ignore (W.sthread_join main handle);
+  W.fd_close main fd;
+  Chan.close ep;
+  let debug =
+    { conn_tag; arg_tag; arg_block; worker_status = W.handle_status handle }
+  in
+  W.tag_delete main conn_tag;
+  W.tag_delete main arg_tag;
+  debug

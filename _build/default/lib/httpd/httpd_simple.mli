@@ -1,0 +1,31 @@
+(** The Figure 2 partitioning: protect the private key and session-key
+    generation.
+
+    One worker sthread per connection encapsulates all untrusted code and
+    terminates after a single request.  The RSA private key lives in tagged
+    memory reachable only by the {e setup_session_key} callgate, which also
+    generates the server's random contribution itself — an exploited worker
+    can neither read the key nor usefully influence session-key generation.
+
+    The worker {e does} receive the established session key (master secret
+    and record keys), which is exactly the residual weakness the
+    man-in-the-middle partitioning ({!Httpd_mitm}) removes. *)
+
+type conn_debug = {
+  conn_tag : Wedge_mem.Tag.t;   (** callgate-private session state *)
+  arg_tag : Wedge_mem.Tag.t;    (** worker-visible argument buffer *)
+  arg_block : int;
+  worker_status : Wedge_kernel.Process.status;
+}
+
+val serve_connection :
+  ?recycled:bool ->
+  ?exploit_handshake:(Wedge_core.Wedge.ctx -> unit) ->
+  ?exploit_request:(Wedge_core.Wedge.ctx -> unit) ->
+  Httpd_env.t ->
+  Wedge_net.Chan.ep ->
+  conn_debug
+(** Serve one connection.  [recycled] backs the callgate with a long-lived
+    sthread (§3.3).  [exploit_handshake] runs inside the worker right after
+    the handshake (when the session key sits in worker-readable memory);
+    [exploit_request] runs on a "/xploit" request. *)

@@ -1,0 +1,89 @@
+module Chan = Wedge_net.Chan
+module Wire = Wedge_tls.Wire
+module Record = Wedge_tls.Record
+module Handshake = Wedge_tls.Handshake
+module Sha256 = Wedge_crypto.Sha256
+
+type result = {
+  response : Http.response option;
+  session : Wedge_tls.Handshake.client_session option;
+  resumed : bool;
+  error : string option;
+  keys_fingerprint : string;
+}
+
+let content_length s =
+  (* crude header scan: "Content-Length: N" *)
+  let lower = String.lowercase_ascii s in
+  let key = "content-length:" in
+  let kl = String.length key in
+  let rec find i =
+    if i + kl > String.length lower then None
+    else if String.sub lower i kl = key then begin
+      let rec skip j = if j < String.length s && s.[j] = ' ' then skip (j + 1) else j in
+      let start = skip (i + kl) in
+      let rec stop j =
+        if j < String.length s && s.[j] >= '0' && s.[j] <= '9' then stop (j + 1) else j
+      in
+      int_of_string_opt (String.sub s start (stop start - start))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let io_of_ep ep =
+  Wire.io_of_fns
+    ~recv:(fun n ->
+      let b = Chan.read ep n in
+      if Bytes.length b = 0 then None else Some b)
+    ~send:(fun b -> Chan.write ep b)
+
+let get ?resume ~rng ~pinned ~path ep =
+  let io = io_of_ep ep in
+  let finish r =
+    Chan.close ep;
+    r
+  in
+  match Handshake.client_connect ?resume ~rng ~pinned io with
+  | Error e ->
+      finish
+        { response = None; session = None; resumed = false; error = Some e; keys_fingerprint = "" }
+  | Ok res -> (
+      let keys = res.Handshake.cr_keys in
+      let keys_fingerprint = Sha256.hex (Sha256.digest (Record.to_bytes keys)) in
+      let base =
+        {
+          response = None;
+          session = Some res.Handshake.cr_session;
+          resumed = res.Handshake.cr_resumed;
+          error = None;
+          keys_fingerprint;
+        }
+      in
+      Handshake.send_data io keys
+        (Bytes.of_string (Http.format_request { Http.meth = "GET"; path }));
+      (* Servers may deliver the response as several records (header +
+         body); accumulate until Content-Length is satisfied. *)
+      let buf = Buffer.create 512 in
+      let complete () =
+        match Http.parse_response (Buffer.contents buf) with
+        | Some r -> (
+            match content_length (Buffer.contents buf) with
+            | Some n -> if String.length r.Http.body >= n then Some r else None
+            | None -> Some r)
+        | None -> None
+      in
+      let rec collect () =
+        match Handshake.recv_data io keys with
+        | Ok reply -> (
+            Buffer.add_bytes buf reply;
+            match complete () with
+            | Some r -> finish { base with response = Some r }
+            | None -> collect ())
+        | Error `Mac_fail -> finish { base with error = Some "MAC failure on response" }
+        | Error (`Eof | `Alert) -> (
+            match Http.parse_response (Buffer.contents buf) with
+            | Some r -> finish { base with response = Some r }
+            | None -> finish { base with error = Some "connection ended" })
+      in
+      collect ())

@@ -1,0 +1,25 @@
+(** HTTPS test client: handshake (with server-key pinning), one request,
+    one response, over a simulated channel.  Plain OCaml — the remote
+    user's machine is outside the simulated server host. *)
+
+type result = {
+  response : Http.response option;
+  session : Wedge_tls.Handshake.client_session option;
+      (** for resumption on the next request *)
+  resumed : bool;
+  error : string option;
+  keys_fingerprint : string;
+      (** hash of the connection's record-key state right after the
+          handshake — lets tests compare session keys across connections
+          without exposing them *)
+}
+
+val get :
+  ?resume:Wedge_tls.Handshake.client_session ->
+  rng:Wedge_crypto.Drbg.t ->
+  pinned:Wedge_crypto.Rsa.pub ->
+  path:string ->
+  Wedge_net.Chan.ep ->
+  result
+(** Fetch [path] over a fresh SSL connection on [ep]; closes the channel
+    when done. *)

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Fd_table Hashtbl List Physmem Printf Process Selinux Vfs Vm Wedge_sim

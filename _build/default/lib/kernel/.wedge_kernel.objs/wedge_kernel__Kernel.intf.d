@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Hashtbl Physmem Process Selinux Vfs Wedge_sim

@@ -1,0 +1,1 @@
+lib/kernel/physmem.ml: Array Bytes Printf Queue

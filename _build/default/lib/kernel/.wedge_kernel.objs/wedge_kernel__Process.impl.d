@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Fd_table Vm

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Fd_table Vm

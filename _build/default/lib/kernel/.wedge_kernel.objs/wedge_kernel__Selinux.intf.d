@@ -1,0 +1,1 @@
+lib/kernel/selinux.mli:

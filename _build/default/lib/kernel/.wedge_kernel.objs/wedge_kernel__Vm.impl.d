@@ -1,0 +1,1 @@
+lib/kernel/vm.ml: Bytes Char List Pagetable Physmem Printf Prot Wedge_sim

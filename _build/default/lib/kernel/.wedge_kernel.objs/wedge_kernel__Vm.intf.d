@@ -1,0 +1,1 @@
+lib/kernel/vm.mli: Pagetable Physmem Prot Wedge_sim

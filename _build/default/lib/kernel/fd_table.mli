@@ -1,0 +1,65 @@
+(** Per-process file descriptor tables.
+
+    Sthreads inherit only the descriptors named in their security policy
+    (§3.1), each with read/write permission bits checked on every use.
+    Descriptor targets are either VFS files or abstract byte-stream
+    endpoints (sockets from the network simulator, which plugs in via the
+    {!endpoint} record to avoid a dependency cycle). *)
+
+type perm = {
+  fr : bool;
+  fw : bool;
+}
+
+val perm_r : perm
+val perm_w : perm
+val perm_rw : perm
+
+val perm_subsumes : parent:perm -> child:perm -> bool
+
+(** A duplex byte-stream endpoint (socket-like). *)
+type endpoint = {
+  ep_read : int -> bytes;  (** read up to n bytes; may block the fiber *)
+  ep_write : bytes -> unit;
+  ep_close : unit -> unit;
+  ep_eof : unit -> bool;  (** no data buffered and peer closed *)
+  ep_desc : string;
+}
+
+type target =
+  | File of file_handle
+  | Endpoint of endpoint
+  | Null
+
+and file_handle = {
+  fh_path : string;
+  mutable fh_pos : int;
+}
+
+type entry = {
+  target : target;
+  perm : perm;
+  mutable closed : bool;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> target -> perm -> int
+(** Install a target, returning the new descriptor number. *)
+
+val find : t -> int -> entry option
+val close : t -> int -> unit
+val dup_into : src:t -> dst:t -> fd:int -> perm:perm -> unit
+(** Copy descriptor [fd] from [src] to [dst] under the same number with
+    (possibly reduced) permission [perm].
+    @raise Invalid_argument if [fd] is not open in [src] or [perm] exceeds
+    the source permission. *)
+
+val install : t -> fd:int -> target -> perm -> unit
+(** Install a target under a specific descriptor number (kernel use: giving
+    a callgate the descriptors its creator granted it).
+    @raise Invalid_argument if the number is taken. *)
+
+val count : t -> int
+val fds : t -> int list

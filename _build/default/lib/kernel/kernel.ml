@@ -1,0 +1,71 @@
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+module Stats = Wedge_sim.Stats
+
+exception Eperm of string
+
+type t = {
+  pm : Physmem.t;
+  clock : Clock.t;
+  costs : Cost_model.t;
+  vfs : Vfs.t;
+  selinux : Selinux.t;
+  stats : Stats.t;
+  mutable next_pid : int;
+  procs : (int, Process.t) Hashtbl.t;
+}
+
+let create ?(costs = Cost_model.default) () =
+  {
+    pm = Physmem.create ();
+    clock = Clock.create ();
+    costs;
+    vfs = Vfs.create ();
+    selinux = Selinux.create ();
+    stats = Stats.create ();
+    next_pid = 1;
+    procs = Hashtbl.create 32;
+  }
+
+let charge t ns = Clock.charge t.clock ns
+
+let trap t name =
+  charge t t.costs.Cost_model.syscall_trap;
+  Stats.bump t.stats ("trap." ^ name)
+
+let new_process t ~kind ~uid ~root ~sid =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  charge t t.costs.Cost_model.proc_struct;
+  let p =
+    {
+      Process.pid;
+      kind;
+      uid;
+      root;
+      sid;
+      vm = Vm.create ~pid t.pm t.clock t.costs;
+      fds = Fd_table.create ();
+      status = Process.Running;
+    }
+  in
+  Hashtbl.add t.procs pid p;
+  p
+
+let find_process t pid = Hashtbl.find_opt t.procs pid
+
+let reap t (p : Process.t) =
+  Vm.destroy p.Process.vm;
+  List.iter (fun fd -> Fd_table.close p.Process.fds fd) (Fd_table.fds p.Process.fds);
+  Hashtbl.remove t.procs p.Process.pid
+
+let syscall_check t (p : Process.t) name =
+  trap t name;
+  if not (Selinux.check t.selinux ~sid:p.Process.sid ~syscall:name) then
+    raise
+      (Eperm
+         (Printf.sprintf "pid %d (sid %s): syscall %s denied by SELinux policy"
+            p.Process.pid p.Process.sid name))
+
+let live_processes t =
+  Hashtbl.fold (fun _ p n -> if Process.is_alive p then n + 1 else n) t.procs 0

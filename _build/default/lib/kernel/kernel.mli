@@ -1,0 +1,39 @@
+(** The simulated kernel: physical memory, clock, VFS, SELinux policy and
+    the process table, plus the privilege checks every simulated system
+    call passes through. *)
+
+exception Eperm of string
+(** A system call was denied (SELinux policy, uid check, or privilege
+    escalation attempt). *)
+
+type t = {
+  pm : Physmem.t;
+  clock : Wedge_sim.Clock.t;
+  costs : Wedge_sim.Cost_model.t;
+  vfs : Vfs.t;
+  selinux : Selinux.t;
+  stats : Wedge_sim.Stats.t;
+  mutable next_pid : int;
+  procs : (int, Process.t) Hashtbl.t;
+}
+
+val create : ?costs:Wedge_sim.Cost_model.t -> unit -> t
+
+val charge : t -> int -> unit
+val trap : t -> string -> unit
+(** Charge one system-call trap and bump the named stat. *)
+
+val new_process :
+  t -> kind:Process.kind -> uid:int -> root:string -> sid:string -> Process.t
+(** Allocate a PCB with an empty address space and fd table. *)
+
+val find_process : t -> int -> Process.t option
+
+val reap : t -> Process.t -> unit
+(** Tear down a terminated process's address space and descriptors. *)
+
+val syscall_check : t -> Process.t -> string -> unit
+(** Enforce the caller's SELinux policy for a named system call.
+    @raise Eperm when denied. *)
+
+val live_processes : t -> int

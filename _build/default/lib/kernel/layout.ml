@@ -1,0 +1,20 @@
+let page_size = Physmem.page_size
+let data_base = 0x0060_0000
+let heap_base = 0x0200_0000
+let heap_pages = 256
+let stack_base = 0x7ff0_0000
+let stack_pages = 16
+let tag_base = 0x1000_0000
+
+type t = { mutable next_tag : int }
+
+let create () = { next_tag = tag_base }
+
+let alloc_tag_range t ~pages =
+  if pages <= 0 then invalid_arg "Layout.alloc_tag_range: pages <= 0";
+  let base = t.next_tag in
+  (* +1 guard page: tag segments must never be adjacent (no merging). *)
+  t.next_tag <- t.next_tag + ((pages + 1) * page_size);
+  base
+
+let pages_for ~bytes_len = max 1 ((bytes_len + page_size - 1) / page_size)

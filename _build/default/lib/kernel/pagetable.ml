@@ -1,0 +1,27 @@
+type pte = {
+  mutable frame : int;
+  mutable prot : Prot.page;
+  mutable tag : int option;
+}
+
+type t = (int, pte) Hashtbl.t
+
+let create () : t = Hashtbl.create 512
+
+let map t ~vpn ~frame ~prot ~tag =
+  if Hashtbl.mem t vpn then
+    invalid_arg (Printf.sprintf "Pagetable.map: vpn 0x%x already mapped" vpn);
+  Hashtbl.add t vpn { frame; prot; tag }
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t vpn with
+  | Some pte ->
+      Hashtbl.remove t vpn;
+      Some pte
+  | None -> None
+
+let find t ~vpn = Hashtbl.find_opt t vpn
+let mem t ~vpn = Hashtbl.mem t vpn
+let count t = Hashtbl.length t
+let iter f t = Hashtbl.iter f t
+let fold f t init = Hashtbl.fold f t init

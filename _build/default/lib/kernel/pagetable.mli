@@ -1,0 +1,23 @@
+(** Per-process page table: virtual page number to frame + protection.
+
+    A tag id is recorded on pages that belong to tagged-memory segments so
+    that policy checks and Crowbar attribution can name them. *)
+
+type pte = {
+  mutable frame : int;
+  mutable prot : Prot.page;
+  mutable tag : int option;
+}
+
+type t
+
+val create : unit -> t
+val map : t -> vpn:int -> frame:int -> prot:Prot.page -> tag:int option -> unit
+val unmap : t -> vpn:int -> pte option
+(** Removes and returns the entry, if mapped. *)
+
+val find : t -> vpn:int -> pte option
+val mem : t -> vpn:int -> bool
+val count : t -> int
+val iter : (int -> pte -> unit) -> t -> unit
+val fold : (int -> pte -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,58 @@
+let page_size = 4096
+
+type t = {
+  mutable frames : bytes option array;
+  mutable refs : int array;
+  free : int Queue.t;
+  mutable used : int;
+  mutable next : int;
+}
+
+let create () =
+  { frames = Array.make 64 None; refs = Array.make 64 0; free = Queue.create (); used = 0; next = 0 }
+
+let grow t =
+  let n = Array.length t.frames in
+  let frames = Array.make (n * 2) None in
+  Array.blit t.frames 0 frames 0 n;
+  let refs = Array.make (n * 2) 0 in
+  Array.blit t.refs 0 refs 0 n;
+  t.frames <- frames;
+  t.refs <- refs
+
+let alloc t =
+  let f =
+    match Queue.take_opt t.free with
+    | Some f -> f
+    | None ->
+        if t.next >= Array.length t.frames then grow t;
+        let f = t.next in
+        t.next <- t.next + 1;
+        f
+  in
+  t.frames.(f) <- Some (Bytes.make page_size '\000');
+  t.refs.(f) <- 1;
+  t.used <- t.used + 1;
+  f
+
+let get t f =
+  match t.frames.(f) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Physmem.get: dead frame %d" f)
+
+let incref t f =
+  if t.frames.(f) = None then invalid_arg "Physmem.incref: dead frame";
+  t.refs.(f) <- t.refs.(f) + 1
+
+let decref t f =
+  if t.frames.(f) = None then invalid_arg "Physmem.decref: dead frame";
+  t.refs.(f) <- t.refs.(f) - 1;
+  if t.refs.(f) <= 0 then begin
+    t.frames.(f) <- None;
+    t.refs.(f) <- 0;
+    t.used <- t.used - 1;
+    Queue.push f t.free
+  end
+
+let refcount t f = t.refs.(f)
+let frames_in_use t = t.used

@@ -1,0 +1,27 @@
+(** Simulated physical memory: 4 KiB frames with reference counts.
+
+    Frames are shared between address spaces for copy-on-write (the pristine
+    snapshot of §4.1) and for tagged-memory mappings; the reference count
+    decides whether a COW write can claim the frame in place or must copy. *)
+
+val page_size : int
+(** 4096. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int
+(** Allocate a zeroed frame with reference count 1; returns the frame
+    number. *)
+
+val get : t -> int -> bytes
+(** The backing bytes of a live frame.  O(1).
+    @raise Invalid_argument on a dead frame. *)
+
+val incref : t -> int -> unit
+val decref : t -> int -> unit
+(** [decref] frees the frame when the count reaches zero. *)
+
+val refcount : t -> int -> int
+val frames_in_use : t -> int

@@ -1,0 +1,34 @@
+type grant =
+  | R
+  | RW
+  | COW
+
+type page = {
+  pr : bool;
+  pw : bool;
+  pcow : bool;
+}
+
+let page_none = { pr = false; pw = false; pcow = false }
+let page_r = { pr = true; pw = false; pcow = false }
+let page_rw = { pr = true; pw = true; pcow = false }
+let page_cow = { pr = true; pw = false; pcow = true }
+
+let page_of_grant = function
+  | R -> page_r
+  | RW -> page_rw
+  | COW -> page_cow
+
+let grant_subsumes ~parent ~child =
+  match (parent, child) with
+  | RW, _ -> true
+  | (R | COW), (R | COW) -> true
+  | (R | COW), RW -> false
+
+let grant_to_string = function R -> "r" | RW -> "rw" | COW -> "cow"
+
+let page_to_string p =
+  Printf.sprintf "%s%s%s"
+    (if p.pr then "r" else "-")
+    (if p.pw then "w" else "-")
+    (if p.pcow then "c" else "-")

@@ -1,0 +1,42 @@
+type domain_policy =
+  | All
+  | Some_calls of (string, unit) Hashtbl.t
+
+type t = {
+  default_allow : bool;
+  domains : (string, domain_policy) Hashtbl.t;
+  transitions : (string * string, unit) Hashtbl.t;
+}
+
+let create ?(default_allow = true) () =
+  { default_allow; domains = Hashtbl.create 8; transitions = Hashtbl.create 8 }
+
+let domain_of_sid sid =
+  match String.rindex_opt sid ':' with
+  | Some i -> String.sub sid (i + 1) (String.length sid - i - 1)
+  | None -> sid
+
+let allow t ~domain ~syscall =
+  match Hashtbl.find_opt t.domains domain with
+  | Some All -> ()
+  | Some (Some_calls h) -> Hashtbl.replace h syscall ()
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace h syscall ();
+      Hashtbl.replace t.domains domain (Some_calls h)
+
+let allow_all_syscalls t ~domain = Hashtbl.replace t.domains domain All
+
+let check t ~sid ~syscall =
+  let domain = domain_of_sid sid in
+  match Hashtbl.find_opt t.domains domain with
+  | Some All -> true
+  | Some (Some_calls h) -> Hashtbl.mem h syscall
+  | None -> t.default_allow
+
+let allow_transition t ~from_ ~to_ =
+  Hashtbl.replace t.transitions (domain_of_sid from_, domain_of_sid to_) ()
+
+let may_transition t ~from_ ~to_ =
+  let f = domain_of_sid from_ and g = domain_of_sid to_ in
+  f = g || Hashtbl.mem t.transitions (f, g)

@@ -1,0 +1,218 @@
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+
+type access =
+  | Read
+  | Write
+
+type fault = {
+  pid : int;
+  addr : int;
+  access : access;
+  reason : string;
+}
+
+exception Fault of fault
+
+let fault_to_string f =
+  Printf.sprintf "protection fault: pid %d %s at 0x%x (%s)" f.pid
+    (match f.access with Read -> "read" | Write -> "write")
+    f.addr f.reason
+
+type t = {
+  pid : int;
+  pm : Physmem.t;
+  pt : Pagetable.t;
+  clock : Clock.t;
+  costs : Cost_model.t;
+}
+
+let create ~pid pm clock costs = { pid; pm; pt = Pagetable.create (); clock; costs }
+let pid t = t.pid
+let page_table t = t.pt
+let page_size = Physmem.page_size
+let vpn_of addr = addr lsr 12
+let off_of addr = addr land (page_size - 1)
+
+let fault t addr access reason = raise (Fault { pid = t.pid; addr; access; reason })
+
+let check_aligned addr =
+  if addr land (page_size - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Vm: address 0x%x not page aligned" addr)
+
+let map_fresh t ~addr ~pages ~prot ~tag =
+  check_aligned addr;
+  for i = 0 to pages - 1 do
+    Clock.charge t.clock t.costs.Cost_model.page_alloc;
+    let frame = Physmem.alloc t.pm in
+    Pagetable.map t.pt ~vpn:(vpn_of addr + i) ~frame ~prot ~tag
+  done
+
+let map_frame t ~addr ~frame ~prot ~tag =
+  check_aligned addr;
+  Physmem.incref t.pm frame;
+  Pagetable.map t.pt ~vpn:(vpn_of addr) ~frame ~prot ~tag
+
+let share_range ~src ~dst ~addr ~pages ~prot =
+  check_aligned addr;
+  for i = 0 to pages - 1 do
+    let vpn = vpn_of addr + i in
+    match Pagetable.find src.pt ~vpn with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Vm.share_range: source page 0x%x unmapped" (vpn * page_size))
+    | Some pte ->
+        Clock.charge dst.clock dst.costs.Cost_model.pte_copy;
+        Physmem.incref dst.pm pte.Pagetable.frame;
+        Pagetable.map dst.pt ~vpn ~frame:pte.Pagetable.frame ~prot ~tag:pte.Pagetable.tag
+  done
+
+let unmap_range t ~addr ~pages =
+  check_aligned addr;
+  for i = 0 to pages - 1 do
+    match Pagetable.unmap t.pt ~vpn:(vpn_of addr + i) with
+    | Some pte -> Physmem.decref t.pm pte.Pagetable.frame
+    | None -> ()
+  done
+
+let protect_range t ~addr ~pages ~prot =
+  check_aligned addr;
+  for i = 0 to pages - 1 do
+    match Pagetable.find t.pt ~vpn:(vpn_of addr + i) with
+    | Some pte -> pte.Pagetable.prot <- prot
+    | None -> ()
+  done
+
+let destroy t =
+  let frames = Pagetable.fold (fun vpn pte acc -> (vpn, pte.Pagetable.frame) :: acc) t.pt [] in
+  List.iter
+    (fun (vpn, frame) ->
+      ignore (Pagetable.unmap t.pt ~vpn);
+      Physmem.decref t.pm frame)
+    frames
+
+let mapped_pages t = Pagetable.count t.pt
+
+(* Take a private copy of a COW page so it can be written. *)
+let cow_break t (pte : Pagetable.pte) =
+  Clock.charge t.clock t.costs.Cost_model.page_copy;
+  if Physmem.refcount t.pm pte.frame > 1 then begin
+    let fresh = Physmem.alloc t.pm in
+    Bytes.blit (Physmem.get t.pm pte.frame) 0 (Physmem.get t.pm fresh) 0 page_size;
+    Physmem.decref t.pm pte.frame;
+    pte.frame <- fresh
+  end;
+  pte.prot <- { pr = true; pw = true; pcow = false }
+
+let pte_for t addr access check =
+  match Pagetable.find t.pt ~vpn:(vpn_of addr) with
+  | None -> fault t addr access "unmapped page"
+  | Some pte ->
+      let p = pte.Pagetable.prot in
+      (match access with
+      | Read -> if check && not p.Prot.pr then fault t addr Read "no read permission"
+      | Write ->
+          if p.Prot.pw then ()
+          else if p.Prot.pcow then cow_break t pte
+          else if check then fault t addr Write "no write permission"
+          else if not p.Prot.pw then
+            (* Kernel writes still must not corrupt shared frames. *)
+            if Physmem.refcount t.pm pte.Pagetable.frame > 1 then begin
+              let prot = p in
+              cow_break t pte;
+              pte.Pagetable.prot <- prot
+            end);
+      pte
+
+let read_u8 t addr =
+  let pte = pte_for t addr Read true in
+  Char.code (Bytes.get (Physmem.get t.pm pte.Pagetable.frame) (off_of addr))
+
+let write_u8 t addr v =
+  let pte = pte_for t addr Write true in
+  Bytes.set (Physmem.get t.pm pte.Pagetable.frame) (off_of addr) (Char.chr (v land 0xff))
+
+(* Page-by-page bulk transfer shared by checked and kernel paths. *)
+let rec blit_read t addr buf pos len check =
+  if len > 0 then begin
+    let off = off_of addr in
+    let chunk = min len (page_size - off) in
+    let pte = pte_for t addr Read check in
+    Bytes.blit (Physmem.get t.pm pte.Pagetable.frame) off buf pos chunk;
+    blit_read t (addr + chunk) buf (pos + chunk) (len - chunk) check
+  end
+
+let rec blit_write t addr src pos len check =
+  if len > 0 then begin
+    let off = off_of addr in
+    let chunk = min len (page_size - off) in
+    let pte = pte_for t addr Write check in
+    Bytes.blit src pos (Physmem.get t.pm pte.Pagetable.frame) off chunk;
+    blit_write t (addr + chunk) src (pos + chunk) (len - chunk) check
+  end
+
+(* Bound checked bulk reads before allocating the destination: a
+   compromised compartment that fabricates a huge length (e.g. in a
+   length-value block a callgate will read) must hit a protection fault,
+   not force the host to allocate gigabytes first.  64 MiB is far beyond
+   any simulated address-space region. *)
+let max_read = 64 * 1024 * 1024
+
+let read_bytes t addr len =
+  if len < 0 || len > max_read then
+    fault t addr Read (Printf.sprintf "oversized read of %d bytes" len);
+  let buf = Bytes.create len in
+  blit_read t addr buf 0 len true;
+  buf
+
+let write_bytes t addr src = blit_write t addr src 0 (Bytes.length src) true
+
+let read_bytes_kernel t addr len =
+  let buf = Bytes.create len in
+  blit_read t addr buf 0 len false;
+  buf
+
+let write_bytes_kernel t addr src = blit_write t addr src 0 (Bytes.length src) false
+
+let read_u16 t addr = read_u8 t addr lor (read_u8 t (addr + 1) lsl 8)
+
+let write_u16 t addr v =
+  write_u8 t addr (v land 0xff);
+  write_u8 t (addr + 1) ((v lsr 8) land 0xff)
+
+let read_u32 t addr = read_u16 t addr lor (read_u16 t (addr + 2) lsl 16)
+
+let write_u32 t addr v =
+  write_u16 t addr (v land 0xffff);
+  write_u16 t (addr + 2) ((v lsr 16) land 0xffff)
+
+let read_u64 t addr =
+  let lo = read_u32 t addr and hi = read_u32 t (addr + 4) in
+  lo lor (hi lsl 32)
+
+let write_u64 t addr v =
+  write_u32 t addr (v land 0xffffffff);
+  write_u32 t (addr + 4) ((v lsr 32) land 0xffffffff)
+
+let probe t ~addr ~len access =
+  let rec loop a remaining =
+    remaining <= 0
+    ||
+    match Pagetable.find t.pt ~vpn:(vpn_of a) with
+    | None -> false
+    | Some pte ->
+        let p = pte.Pagetable.prot in
+        let ok =
+          match access with
+          | Read -> p.Prot.pr
+          | Write -> p.Prot.pw || p.Prot.pcow
+        in
+        ok
+        &&
+        let chunk = min remaining (page_size - off_of a) in
+        loop (a + chunk) (remaining - chunk)
+  in
+  loop addr len
+
+let can_read t ~addr ~len = probe t ~addr ~len Read
+let can_write t ~addr ~len = probe t ~addr ~len Write

@@ -1,0 +1,85 @@
+(** A process's virtual address space, with MMU-style enforcement.
+
+    All compartment data access goes through checked reads and writes here;
+    a protection violation raises {!Fault}, which the sthread machinery
+    turns into compartment termination (the paper's SIGSEGV).  Writes to
+    copy-on-write pages transparently take a private copy of the frame,
+    charging the cost model. *)
+
+type access =
+  | Read
+  | Write
+
+type fault = {
+  pid : int;
+  addr : int;
+  access : access;
+  reason : string;
+}
+
+exception Fault of fault
+
+val fault_to_string : fault -> string
+
+type t
+
+val create :
+  pid:int -> Physmem.t -> Wedge_sim.Clock.t -> Wedge_sim.Cost_model.t -> t
+
+val pid : t -> int
+val page_table : t -> Pagetable.t
+
+(** {2 Mapping} *)
+
+val map_fresh :
+  t -> addr:int -> pages:int -> prot:Prot.page -> tag:int option -> unit
+(** Map freshly allocated zeroed frames at [addr] (page aligned). *)
+
+val map_frame :
+  t -> addr:int -> frame:int -> prot:Prot.page -> tag:int option -> unit
+(** Map an existing frame (takes a reference). *)
+
+val share_range :
+  src:t -> dst:t -> addr:int -> pages:int -> prot:Prot.page -> unit
+(** Map [src]'s frames for [addr..] into [dst] with protection [prot]
+    (sharing, not copying; used to grant tagged memory to sthreads). *)
+
+val unmap_range : t -> addr:int -> pages:int -> unit
+val protect_range : t -> addr:int -> pages:int -> prot:Prot.page -> unit
+val destroy : t -> unit
+(** Unmap everything, releasing frame references. *)
+
+val mapped_pages : t -> int
+
+(** {2 Checked access (compartment code)} *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** Bulk read.  Negative or absurd lengths (> 64 MiB, beyond any simulated
+    region) fault immediately — so attacker-fabricated length fields hit
+    the MMU, not the host allocator. *)
+
+val write_bytes : t -> int -> bytes -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_u64 : t -> int -> int
+(** Little-endian; the top bit is lost (63-bit OCaml ints), which is fine
+    for simulated pointers and lengths. *)
+
+val write_u64 : t -> int -> int -> unit
+
+val can_read : t -> addr:int -> len:int -> bool
+val can_write : t -> addr:int -> len:int -> bool
+
+(** {2 Unchecked access (kernel use only)} *)
+
+val read_bytes_kernel : t -> int -> int -> bytes
+(** Bypasses protection checks (still faults on unmapped pages). *)
+
+val write_bytes_kernel : t -> int -> bytes -> unit
+(** Bypasses protection checks but still performs COW breaks, so kernel
+    writes never corrupt shared pristine frames. *)

@@ -1,0 +1,1 @@
+lib/mem/smalloc.ml: Printf Wedge_kernel

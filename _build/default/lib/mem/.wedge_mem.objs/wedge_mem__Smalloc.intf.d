@@ -1,0 +1,1 @@
+lib/mem/smalloc.mli: Wedge_kernel

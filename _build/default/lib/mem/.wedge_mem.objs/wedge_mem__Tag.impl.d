@@ -1,0 +1,1 @@
+lib/mem/tag.ml: Hashtbl List Wedge_kernel

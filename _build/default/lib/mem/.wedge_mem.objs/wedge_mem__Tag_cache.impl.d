@@ -1,0 +1,1 @@
+lib/mem/tag_cache.ml: Bytes Hashtbl List Wedge_kernel

@@ -1,0 +1,1 @@
+lib/mem/tag_cache.mli: Wedge_kernel

@@ -1,0 +1,167 @@
+module Vm = Wedge_kernel.Vm
+
+exception Out_of_tag_memory of { base : int; requested : int }
+
+(* Segment header:
+     base + 0  : magic
+     base + 8  : free-list head (0 = empty)
+     base + 16 : segment end address
+   Chunks (8-byte aligned):
+     chunk + 0        : size lor in-use bit   (size includes header+footer)
+     chunk + size - 8 : same word (footer)
+   Free chunks additionally:
+     chunk + 8  : next free chunk (0 = nil)
+     chunk + 16 : prev free chunk (0 = nil)
+   User pointers are chunk + 8. *)
+
+let magic = 0x5745444745_53 (* "WEDGE-S" ish *)
+let overhead = 32
+let min_chunk = 32
+let min_alloc = 16
+let inuse_bit = 1
+
+let align8 n = (n + 7) land lnot 7
+let hd_free base = base + 8
+let hd_end base = base + 16
+
+let chunk_size_word vm c = Vm.read_u64 vm c
+let size_of w = w land lnot 7
+let is_inuse w = w land inuse_bit <> 0
+
+let set_chunk vm c ~size ~inuse =
+  let w = size lor (if inuse then inuse_bit else 0) in
+  Vm.write_u64 vm c w;
+  Vm.write_u64 vm (c + size - 8) w
+
+let fl_next vm c = Vm.read_u64 vm (c + 8)
+let fl_prev vm c = Vm.read_u64 vm (c + 16)
+let set_fl_next vm c v = Vm.write_u64 vm (c + 8) v
+let set_fl_prev vm c v = Vm.write_u64 vm (c + 16) v
+
+let fl_push vm ~base c =
+  let head = Vm.read_u64 vm (hd_free base) in
+  set_fl_next vm c head;
+  set_fl_prev vm c 0;
+  if head <> 0 then set_fl_prev vm head c;
+  Vm.write_u64 vm (hd_free base) c
+
+let fl_remove vm ~base c =
+  let next = fl_next vm c and prev = fl_prev vm c in
+  if prev = 0 then Vm.write_u64 vm (hd_free base) next else set_fl_next vm prev next;
+  if next <> 0 then set_fl_prev vm next prev
+
+let first_chunk base = base + overhead
+
+let init vm ~base ~size =
+  if size < overhead + min_chunk then invalid_arg "Smalloc.init: segment too small";
+  let seg_end = base + (size land lnot 7) in
+  Vm.write_u64 vm base magic;
+  Vm.write_u64 vm (hd_end base) seg_end;
+  let c = first_chunk base in
+  let csize = seg_end - c in
+  set_chunk vm c ~size:csize ~inuse:false;
+  Vm.write_u64 vm (hd_free base) 0;
+  fl_push vm ~base c
+
+let prefill_image ~base ~size =
+  let seg_end = base + (size land lnot 7) in
+  let c = base + overhead in
+  let csize = seg_end - c in
+  [
+    (base, magic);
+    (base + 8, c);
+    (base + 16, seg_end);
+    (c, csize);
+    (c + 8, 0);
+    (c + 16, 0);
+    (seg_end - 8, csize);
+  ]
+
+let assert_magic vm base =
+  if Vm.read_u64 vm base <> magic then
+    invalid_arg (Printf.sprintf "Smalloc: no segment at 0x%x (bad magic)" base)
+
+let alloc vm ~base n =
+  assert_magic vm base;
+  if n <= 0 then invalid_arg "Smalloc.alloc: n <= 0";
+  let need = max min_chunk (align8 n + 16) in
+  (* First fit. *)
+  let rec find c =
+    if c = 0 then raise (Out_of_tag_memory { base; requested = n })
+    else
+      let w = chunk_size_word vm c in
+      if size_of w >= need then c else find (fl_next vm c)
+  in
+  let c = find (Vm.read_u64 vm (hd_free base)) in
+  let csize = size_of (chunk_size_word vm c) in
+  fl_remove vm ~base c;
+  if csize - need >= min_chunk then begin
+    (* Split: tail remains free. *)
+    let tail = c + need in
+    set_chunk vm c ~size:need ~inuse:true;
+    set_chunk vm tail ~size:(csize - need) ~inuse:false;
+    fl_push vm ~base tail
+  end
+  else set_chunk vm c ~size:csize ~inuse:true;
+  c + 8
+
+let free vm ~base ptr =
+  assert_magic vm base;
+  let seg_end = Vm.read_u64 vm (hd_end base) in
+  let c = ptr - 8 in
+  let w = chunk_size_word vm c in
+  if not (is_inuse w) then invalid_arg (Printf.sprintf "Smalloc.free: double free at 0x%x" ptr);
+  let csize = size_of w in
+  (* Coalesce with successor. *)
+  let c, csize =
+    let next = c + csize in
+    if next < seg_end && not (is_inuse (chunk_size_word vm next)) then begin
+      fl_remove vm ~base next;
+      (c, csize + size_of (chunk_size_word vm next))
+    end
+    else (c, csize)
+  in
+  (* Coalesce with predecessor via its footer. *)
+  let c, csize =
+    if c > first_chunk base then begin
+      let pw = Vm.read_u64 vm (c - 8) in
+      if not (is_inuse pw) then begin
+        let prev = c - size_of pw in
+        fl_remove vm ~base prev;
+        (prev, csize + size_of pw)
+      end
+      else (c, csize)
+    end
+    else (c, csize)
+  in
+  set_chunk vm c ~size:csize ~inuse:false;
+  fl_push vm ~base c
+
+let usable_size vm ~ptr =
+  let w = chunk_size_word vm (ptr - 8) in
+  if not (is_inuse w) then invalid_arg "Smalloc.usable_size: free chunk";
+  size_of w - 16
+
+let free_bytes vm ~base =
+  assert_magic vm base;
+  let rec go c acc = if c = 0 then acc else go (fl_next vm c) (acc + size_of (chunk_size_word vm c)) in
+  go (Vm.read_u64 vm (hd_free base)) 0
+
+let check vm ~base =
+  assert_magic vm base;
+  let seg_end = Vm.read_u64 vm (hd_end base) in
+  let rec walk c prev_free =
+    if c < seg_end then begin
+      let w = chunk_size_word vm c in
+      let size = size_of w in
+      if size < min_chunk || c + size > seg_end then
+        invalid_arg (Printf.sprintf "Smalloc.check: bad chunk size %d at 0x%x" size c);
+      let fw = Vm.read_u64 vm (c + size - 8) in
+      if fw <> w then
+        invalid_arg (Printf.sprintf "Smalloc.check: header/footer mismatch at 0x%x" c);
+      if prev_free && not (is_inuse w) then
+        invalid_arg (Printf.sprintf "Smalloc.check: uncoalesced free chunks at 0x%x" c);
+      walk (c + size) (not (is_inuse w))
+    end
+  in
+  walk (first_chunk base) false

@@ -1,0 +1,56 @@
+module Physmem = Wedge_kernel.Physmem
+
+type entry = {
+  base : int;
+  pages : int;
+  frames : int list;
+}
+
+type t = {
+  pm : Physmem.t;
+  by_pages : (int, entry list ref) Hashtbl.t;
+  mutable enabled : bool;
+  scrub : bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable count : int;
+}
+
+let create ?(enabled = true) ?(scrub = true) pm =
+  { pm; by_pages = Hashtbl.create 8; enabled; scrub; hits = 0; misses = 0; count = 0 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let put t entry =
+  if t.enabled then begin
+    List.iter (fun f -> Physmem.incref t.pm f) entry.frames;
+    (match Hashtbl.find_opt t.by_pages entry.pages with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.add t.by_pages entry.pages (ref [ entry ]));
+    t.count <- t.count + 1
+  end
+
+let take t ~pages =
+  if not t.enabled then begin
+    t.misses <- t.misses + 1;
+    None
+  end
+  else
+    match Hashtbl.find_opt t.by_pages pages with
+    | Some ({ contents = entry :: rest } as l) ->
+        l := rest;
+        t.count <- t.count - 1;
+        t.hits <- t.hits + 1;
+        if t.scrub then
+          List.iter
+            (fun f -> Bytes.fill (Physmem.get t.pm f) 0 Physmem.page_size '\000')
+            entry.frames;
+        Some entry
+    | _ ->
+        t.misses <- t.misses + 1;
+        None
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = t.count

@@ -1,0 +1,34 @@
+(** Userland free-list of deleted tag segments (§4.1).
+
+    [tag_new] system-call and bookkeeping-initialisation overhead is
+    mitigated by caching deleted tags and reusing them when a request of
+    the same page count arrives.  For secrecy the reused memory is scrubbed
+    (the cache holds references to the old frames, so without scrubbing the
+    previous owner's data would be visible — the [scrub] knob exists so a
+    test can demonstrate that leak).  The paper reports this cache
+    improved partitioned Apache throughput by 20% (ablation E7). *)
+
+type entry = {
+  base : int;
+  pages : int;
+  frames : int list;  (** cached physical frames (one reference held) *)
+}
+
+type t
+
+val create : ?enabled:bool -> ?scrub:bool -> Wedge_kernel.Physmem.t -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val put : t -> entry -> unit
+(** Cache a deleted tag's range and frames (takes references on the
+    frames).  Drops the entry (releasing frames) when the cache is
+    disabled. *)
+
+val take : t -> pages:int -> entry option
+(** Pop a cached range with exactly [pages] pages, scrubbing its frames
+    (unless scrubbing is off). *)
+
+val hits : t -> int
+val misses : t -> int
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/net/attacker.ml: List Result Wedge_core Wedge_kernel Wedge_mem

@@ -1,0 +1,1 @@
+lib/net/attacker.mli: Wedge_core Wedge_mem

@@ -1,0 +1,1 @@
+lib/net/chan.ml: Buffer Bytes Queue Wedge_kernel Wedge_sim

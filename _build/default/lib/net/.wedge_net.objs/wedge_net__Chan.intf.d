@@ -1,0 +1,1 @@
+lib/net/chan.mli: Wedge_kernel Wedge_sim

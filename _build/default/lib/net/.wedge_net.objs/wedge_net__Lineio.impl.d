@@ -1,0 +1,1 @@
+lib/net/lineio.ml: Buffer Bytes Chan String

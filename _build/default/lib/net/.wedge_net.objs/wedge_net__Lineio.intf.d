@@ -1,0 +1,1 @@
+lib/net/lineio.mli: Chan

@@ -1,0 +1,1 @@
+lib/net/mitm.ml: Buffer Bytes Chan Wedge_sim

@@ -1,0 +1,1 @@
+lib/net/mitm.mli: Chan

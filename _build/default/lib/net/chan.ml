@@ -1,0 +1,138 @@
+module Fiber = Wedge_sim.Fiber
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+module Fd_table = Wedge_kernel.Fd_table
+
+(* One direction of flow: a byte FIFO with a close flag. *)
+type dir = {
+  mutable data : Bytes.t;
+  mutable rpos : int;
+  mutable wpos : int;
+  mutable closed : bool;
+}
+
+let dir_create () = { data = Bytes.create 256; rpos = 0; wpos = 0; closed = false }
+let dir_available d = d.wpos - d.rpos
+
+let dir_push d b =
+  let n = Bytes.length b in
+  let cap = Bytes.length d.data in
+  if d.wpos + n > cap then begin
+    let live = dir_available d in
+    let need = live + n in
+    let newcap = max (cap * 2) (need * 2) in
+    let fresh = Bytes.create newcap in
+    Bytes.blit d.data d.rpos fresh 0 live;
+    d.data <- fresh;
+    d.rpos <- 0;
+    d.wpos <- live
+  end;
+  Bytes.blit b 0 d.data d.wpos n;
+  d.wpos <- d.wpos + n
+
+let dir_pop d n =
+  let take = min n (dir_available d) in
+  let b = Bytes.sub d.data d.rpos take in
+  d.rpos <- d.rpos + take;
+  if d.rpos = d.wpos then begin
+    d.rpos <- 0;
+    d.wpos <- 0
+  end;
+  b
+
+type ep = {
+  rx : dir;
+  tx : dir;
+  clock : Clock.t option;
+  costs : Cost_model.t;
+}
+
+let pair ?clock ?(costs = Cost_model.default) () =
+  let ab = dir_create () and ba = dir_create () in
+  ( { rx = ba; tx = ab; clock; costs },
+    { rx = ab; tx = ba; clock; costs } )
+
+let charge_rtt ep half =
+  match ep.clock with
+  | Some c -> Clock.charge c (if half then ep.costs.Cost_model.net_rtt / 2 else ep.costs.Cost_model.net_rtt)
+  | None -> ()
+
+let read ep n =
+  if n <= 0 then invalid_arg "Chan.read: n <= 0";
+  let blocked = dir_available ep.rx = 0 && not ep.rx.closed in
+  Fiber.wait_until ~what:"channel data" (fun () ->
+      dir_available ep.rx > 0 || ep.rx.closed);
+  if blocked then charge_rtt ep true;
+  dir_pop ep.rx n
+
+let read_exact ep n =
+  let buf = Buffer.create n in
+  let rec go () =
+    if Buffer.length buf >= n then Some (Buffer.to_bytes buf)
+    else
+      let chunk = read ep (n - Buffer.length buf) in
+      if Bytes.length chunk = 0 then None
+      else begin
+        Buffer.add_bytes buf chunk;
+        go ()
+      end
+  in
+  go ()
+
+let write ep b =
+  if ep.tx.closed then invalid_arg "Chan.write: endpoint closed";
+  dir_push ep.tx b;
+  Fiber.progress ();
+  Fiber.yield ()
+
+let write_string ep s = write ep (Bytes.of_string s)
+
+let close ep =
+  ep.tx.closed <- true;
+  Fiber.progress ()
+
+let is_eof ep = dir_available ep.rx = 0 && ep.rx.closed
+let bytes_in_flight ep = dir_available ep.rx
+
+let to_endpoint ep =
+  {
+    Fd_table.ep_read = (fun n -> read ep n);
+    ep_write = (fun b -> write ep b);
+    ep_close = (fun () -> close ep);
+    ep_eof = (fun () -> is_eof ep);
+    ep_desc = "chan";
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type listener = {
+  queue : ep Queue.t;
+  mutable down : bool;
+  lclock : Clock.t option;
+  lcosts : Cost_model.t;
+}
+
+let listener ?clock ?(costs = Cost_model.default) () =
+  { queue = Queue.create (); down = false; lclock = clock; lcosts = costs }
+
+let connect l =
+  if l.down then invalid_arg "Chan.connect: listener is down";
+  let client, server =
+    match l.lclock with
+    | Some c -> pair ~clock:c ~costs:l.lcosts ()
+    | None -> pair ~costs:l.lcosts ()
+  in
+  Queue.push server l.queue;
+  Fiber.progress ();
+  client
+
+let accept l =
+  Fiber.wait_until ~what:"incoming connection" (fun () ->
+      not (Queue.is_empty l.queue) || l.down);
+  Queue.take_opt l.queue
+
+let shutdown l =
+  l.down <- true;
+  Fiber.progress ()
+
+let pending l = Queue.length l.queue

@@ -1,0 +1,47 @@
+(** Simulated duplex byte-stream channels (TCP-connection stand-ins).
+
+    Reads block the calling {!Wedge_sim.Fiber} until data arrives or the
+    peer closes; a blocking read charges half a network round trip to the
+    simulated clock when one is attached.  Endpoints convert to
+    {!Wedge_kernel.Fd_table.endpoint}s so compartments reach the network
+    only through descriptor permissions. *)
+
+type ep
+(** One end of a duplex channel. *)
+
+val pair :
+  ?clock:Wedge_sim.Clock.t -> ?costs:Wedge_sim.Cost_model.t -> unit -> ep * ep
+(** A connected pair of endpoints. *)
+
+val read : ep -> int -> bytes
+(** Up to [n] bytes; blocks until at least one byte or EOF; the empty result
+    means the peer closed. *)
+
+val read_exact : ep -> int -> bytes option
+(** Exactly [n] bytes, or [None] if the peer closes first. *)
+
+val write : ep -> bytes -> unit
+val write_string : ep -> string -> unit
+val close : ep -> unit
+val is_eof : ep -> bool
+val bytes_in_flight : ep -> int
+(** Bytes buffered toward this endpoint. *)
+
+val to_endpoint : ep -> Wedge_kernel.Fd_table.endpoint
+(** Wrap as a descriptor target. *)
+
+(** {2 Listeners} *)
+
+type listener
+
+val listener : ?clock:Wedge_sim.Clock.t -> ?costs:Wedge_sim.Cost_model.t -> unit -> listener
+
+val connect : listener -> ep
+(** Client side of a fresh connection; the server side is queued for
+    {!accept}. *)
+
+val accept : listener -> ep option
+(** Blocks until a connection arrives or the listener shuts down. *)
+
+val shutdown : listener -> unit
+val pending : listener -> int

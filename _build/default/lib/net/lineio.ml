@@ -1,0 +1,63 @@
+type t = {
+  recv : int -> bytes;
+  send : bytes -> unit;
+  buf : Buffer.t;
+  mutable eof : bool;
+}
+
+let create ~recv ~send = { recv; send; buf = Buffer.create 256; eof = false }
+let of_chan ep = create ~recv:(fun n -> Chan.read ep n) ~send:(fun b -> Chan.write ep b)
+
+let refill t =
+  if not t.eof then begin
+    let chunk = t.recv 512 in
+    if Bytes.length chunk = 0 then t.eof <- true else Buffer.add_bytes t.buf chunk
+  end
+
+let find_newline t =
+  let s = Buffer.contents t.buf in
+  String.index_opt s '\n'
+
+let consume t n =
+  let s = Buffer.contents t.buf in
+  let taken = String.sub s 0 n in
+  Buffer.clear t.buf;
+  Buffer.add_substring t.buf s n (String.length s - n);
+  taken
+
+let read_line t =
+  let rec go () =
+    match find_newline t with
+    | Some i ->
+        let line = consume t (i + 1) in
+        let line = String.sub line 0 i in
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        Some line
+    | None ->
+        if t.eof then
+          if Buffer.length t.buf = 0 then None
+          else Some (consume t (Buffer.length t.buf))
+        else begin
+          refill t;
+          go ()
+        end
+  in
+  go ()
+
+let read_exact t n =
+  let rec go () =
+    if Buffer.length t.buf >= n then Some (Bytes.of_string (consume t n))
+    else if t.eof then None
+    else begin
+      refill t;
+      go ()
+    end
+  in
+  go ()
+
+let write t b = t.send b
+let write_line t s = t.send (Bytes.of_string (s ^ "\r\n"))

@@ -1,0 +1,19 @@
+(** Buffered line-oriented I/O over abstract byte streams — the classic
+    text-protocol front end (POP3, HTTP, SSH version exchange).  Works over
+    compartment file descriptors or raw channels alike. *)
+
+type t
+
+val create : recv:(int -> bytes) -> send:(bytes -> unit) -> t
+(** [recv n] returns up to [n] bytes, empty meaning EOF. *)
+
+val of_chan : Chan.ep -> t
+
+val read_line : t -> string option
+(** Next line without its terminator (accepts LF and CRLF); [None] at
+    EOF.  A final unterminated line is returned as-is. *)
+
+val read_exact : t -> int -> bytes option
+val write : t -> bytes -> unit
+val write_line : t -> string -> unit
+(** Appends CRLF. *)

@@ -1,0 +1,1 @@
+lib/pop3/pop3_client.ml: Bytes List Printf String Wedge_net

@@ -1,0 +1,1 @@
+lib/pop3/pop3_client.mli: Wedge_net

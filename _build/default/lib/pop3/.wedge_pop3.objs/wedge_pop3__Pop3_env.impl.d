@@ -1,0 +1,1 @@
+lib/pop3/pop3_env.ml: List Printf String Wedge_crypto Wedge_kernel

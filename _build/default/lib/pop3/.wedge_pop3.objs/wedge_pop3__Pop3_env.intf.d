@@ -1,0 +1,1 @@
+lib/pop3/pop3_env.mli: Wedge_kernel

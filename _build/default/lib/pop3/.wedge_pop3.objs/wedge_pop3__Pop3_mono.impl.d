@@ -1,0 +1,1 @@
+lib/pop3/pop3_mono.ml: List Option Pop3_env Pop3_proto Printf Result String Wedge_core Wedge_kernel Wedge_net

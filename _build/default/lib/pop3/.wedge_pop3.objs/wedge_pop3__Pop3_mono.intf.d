@@ -1,0 +1,1 @@
+lib/pop3/pop3_mono.mli: Wedge_core Wedge_net

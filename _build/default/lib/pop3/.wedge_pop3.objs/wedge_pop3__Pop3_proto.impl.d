@@ -1,0 +1,1 @@
+lib/pop3/pop3_proto.ml: Bytes Printf Stdlib String Wedge_net

@@ -1,0 +1,1 @@
+lib/pop3/pop3_wedge.ml: List Option Pop3_env Pop3_proto Printf String Wedge_core Wedge_kernel Wedge_mem Wedge_net

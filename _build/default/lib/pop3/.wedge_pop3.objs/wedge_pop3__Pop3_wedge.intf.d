@@ -1,0 +1,1 @@
+lib/pop3/pop3_wedge.mli: Wedge_core Wedge_kernel Wedge_mem Wedge_net

@@ -1,0 +1,70 @@
+module Kernel = Wedge_kernel.Kernel
+module Vfs = Wedge_kernel.Vfs
+module Sha256 = Wedge_crypto.Sha256
+
+type user = {
+  name : string;
+  uid : int;
+  password : string;
+  mails : string list;
+}
+
+let default_users =
+  [
+    {
+      name = "alice";
+      uid = 1000;
+      password = "wonderland";
+      mails =
+        [
+          "From: bob\r\nSubject: lunch\r\n\r\nNoon at the usual place?";
+          "From: bank\r\nSubject: statement\r\n\r\nYour balance is 42.";
+        ];
+    };
+    {
+      name = "bob";
+      uid = 1001;
+      password = "builder";
+      mails = [ "From: alice\r\nSubject: re: lunch\r\n\r\nSure." ];
+    };
+  ]
+
+let passwd_path = "/etc/pop3.passwd"
+let maildir name = "/var/mail/" ^ name
+
+let hash_password ~salt pw = Sha256.hex (Sha256.digest_string (salt ^ pw))
+
+let install k users =
+  let vfs = k.Kernel.vfs in
+  Vfs.mkdir_p vfs "/var/empty";
+  let lines =
+    List.map
+      (fun u ->
+        let salt = "s" ^ string_of_int u.uid in
+        Printf.sprintf "%s:%d:%s:%s" u.name u.uid salt (hash_password ~salt u.password))
+      users
+  in
+  Vfs.install vfs ~uid:0 ~mode:0o600 passwd_path (String.concat "\n" lines);
+  List.iter
+    (fun u ->
+      Vfs.mkdir_p vfs ~uid:u.uid ~mode:0o700 (maildir u.name);
+      List.iteri
+        (fun i m ->
+          Vfs.install vfs ~uid:u.uid ~mode:0o600
+            (Printf.sprintf "%s/%d.eml" (maildir u.name) (i + 1))
+            m)
+        u.mails)
+    users
+
+let lookup_line ~passwd_file ~user =
+  String.split_on_char '\n' passwd_file
+  |> List.find_opt (fun line ->
+         match String.index_opt line ':' with
+         | Some i -> String.sub line 0 i = user
+         | None -> false)
+
+let check_password ~passwd_line ~user ~password =
+  match String.split_on_char ':' passwd_line with
+  | [ name; uid; salt; hash ] when name = user ->
+      if String.equal (hash_password ~salt password) hash then int_of_string_opt uid else None
+  | _ -> None

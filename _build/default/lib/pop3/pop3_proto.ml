@@ -1,0 +1,99 @@
+module Lineio = Wedge_net.Lineio
+
+type command =
+  | User of string
+  | Pass of string
+  | Stat
+  | List
+  | Retr of int
+  | Dele of int
+  | Quit
+  | Xploit
+  | Unknown of string
+
+let parse line =
+  let line = String.trim line in
+  let upper = String.uppercase_ascii in
+  match String.index_opt line ' ' with
+  | None -> (
+      match upper line with
+      | "STAT" -> Stat
+      | "LIST" -> List
+      | "QUIT" -> Quit
+      | "XPLOIT" -> Xploit
+      | _ -> Unknown line)
+  | Some i -> (
+      let cmd = upper (String.sub line 0 i) in
+      let arg = String.sub line (i + 1) (String.length line - i - 1) in
+      match cmd with
+      | "USER" -> User arg
+      | "PASS" -> Pass arg
+      | "RETR" -> ( match int_of_string_opt arg with Some n -> Retr n | None -> Unknown line)
+      | "DELE" -> ( match int_of_string_opt arg with Some n -> Dele n | None -> Unknown line)
+      | _ -> Unknown line)
+
+type backend = {
+  login : user:string -> password:string -> bool;
+  stat : unit -> (int * int) option;
+  list_mails : unit -> (int * int) list option;
+  retr : int -> string option;
+  dele : int -> bool;
+}
+
+let serve io backend ~exploit =
+  let ok fmt = Printf.ksprintf (fun s -> Lineio.write_line io ("+OK " ^ s)) fmt in
+  let err fmt = Printf.ksprintf (fun s -> Lineio.write_line io ("-ERR " ^ s)) fmt in
+  ok "wedge-pop3 ready";
+  let pending_user = ref None in
+  let rec loop () =
+    match Lineio.read_line io with
+    | None -> ()
+    | Some line -> (
+        match parse line with
+        | Quit ->
+            ok "bye";
+            ()
+        | User u ->
+            pending_user := Some u;
+            ok "send PASS";
+            loop ()
+        | Pass p ->
+            (match !pending_user with
+            | None -> err "USER first"
+            | Some u -> if backend.login ~user:u ~password:p then ok "logged in" else err "auth failed");
+            loop ()
+        | Stat ->
+            (match backend.stat () with
+            | Some (n, bytes) -> ok "%d %d" n bytes
+            | None -> err "not authenticated");
+            loop ()
+        | List ->
+            (match backend.list_mails () with
+            | Some entries ->
+                ok "%d messages" (Stdlib.List.length entries);
+                Stdlib.List.iter (fun (i, sz) -> Lineio.write_line io (Printf.sprintf "%d %d" i sz)) entries;
+                Lineio.write_line io "."
+            | None -> err "not authenticated");
+            loop ()
+        | Retr n ->
+            (match backend.retr n with
+            | Some body ->
+                ok "%d octets" (String.length body);
+                Lineio.write io (Bytes.of_string body);
+                Lineio.write io (Bytes.of_string "\r\n.\r\n")
+            | None -> err "no such message");
+            loop ()
+        | Dele n ->
+            if backend.dele n then ok "deleted" else err "no such message";
+            loop ()
+        | Xploit ->
+            (* The modelled parser vulnerability: attacker code executes in
+               this compartment, then the session continues. *)
+            (match exploit with Some payload -> payload () | None -> ());
+            err "syntax error";
+            loop ()
+        | Unknown _ ->
+            err "unknown command";
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,36 @@
+(** POP3 command parsing and the server session loop, shared by the
+    monolithic and Wedge-partitioned servers.
+
+    The loop is parameterised over a {!backend} — the monolithic server
+    implements it with direct filesystem access, the partitioned server in
+    terms of callgate invocations — so protocol behaviour is identical by
+    construction and tests can assert equivalence.
+
+    The [XPLOIT] pseudo-command models a vulnerability in the
+    network-facing parser: when the server was built with an exploit hook,
+    the attacker's payload runs {e in the compartment that parses client
+    input}, which is the paper's attacker model. *)
+
+type command =
+  | User of string
+  | Pass of string
+  | Stat
+  | List
+  | Retr of int
+  | Dele of int
+  | Quit
+  | Xploit
+  | Unknown of string
+
+val parse : string -> command
+
+type backend = {
+  login : user:string -> password:string -> bool;
+  stat : unit -> (int * int) option;  (** (count, total bytes), [None] if unauthenticated *)
+  list_mails : unit -> (int * int) list option;  (** (msgno, size) *)
+  retr : int -> string option;
+  dele : int -> bool;
+}
+
+val serve : Wedge_net.Lineio.t -> backend -> exploit:(unit -> unit) option -> unit
+(** Run one POP3 session to QUIT or EOF. *)

@@ -1,0 +1,33 @@
+(** The Wedge-partitioned POP3 server — Figure 1 of the paper, executable.
+
+    Per connection:
+    - a {e client handler} sthread parses commands.  It runs as uid 99 with
+      an empty chroot, holds read-write on the argument tag, read-only on
+      the mail buffer tag, the connection descriptor, and two callgates —
+      nothing else;
+    - a {e login} callgate (runs as root) verifies credentials against
+      /etc/pop3.passwd and writes the authenticated uid into the uid tag,
+      which the handler cannot even read;
+    - a {e mailbox} callgate reads the uid tag and serves only that user's
+      mail into the mail buffer.
+
+    Authentication cannot be bypassed: the mailbox callgate refuses until
+    the login callgate has written the uid, and only the login callgate
+    holds write permission on that tag. *)
+
+type conn_debug = {
+  uid_tag : Wedge_mem.Tag.t;
+  arg_tag : Wedge_mem.Tag.t;
+  mail_tag : Wedge_mem.Tag.t;
+  worker_status : Wedge_kernel.Process.status;
+}
+(** Introspection for tests (tag identities to probe, final worker state). *)
+
+val serve_connection :
+  ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  Wedge_core.Wedge.ctx ->
+  Wedge_net.Chan.ep ->
+  conn_debug
+(** Serve one connection from the master context ([main]); blocks until the
+    session ends.  [exploit] runs inside the {e worker} compartment when
+    triggered — the paper's attacker model. *)

@@ -1,0 +1,85 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Spawn : (unit -> unit) -> unit Effect.t
+
+exception Deadlock of string
+
+type sched = {
+  runq : (unit -> unit) Queue.t;
+  mutable stamp : int;  (* bumped by [progress] *)
+  mutable active : bool;
+}
+
+let current : sched option ref = ref None
+let in_scheduler () = !current <> None
+let progress () = match !current with Some s -> s.stamp <- s.stamp + 1 | None -> ()
+
+let yield () = if in_scheduler () then perform Yield
+
+let spawn f =
+  match !current with
+  | Some _ -> perform (Spawn f)
+  | None -> invalid_arg "Fiber.spawn: not inside Fiber.run"
+
+let wait_until ?(what = "condition") cond =
+  match !current with
+  | None ->
+      if not (cond ()) then
+        raise (Deadlock (Printf.sprintf "%s (no scheduler running)" what))
+  | Some s ->
+      let rec loop last_stamp spins =
+        if not (cond ()) then begin
+          (* If we have spun through the run queue many times with no global
+             progress, every other fiber is blocked too: deadlock. *)
+          if s.stamp = last_stamp && spins > 10_000 then
+            raise (Deadlock what);
+          perform Yield;
+          if s.stamp = last_stamp then loop last_stamp (spins + 1)
+          else loop s.stamp 0
+        end
+      in
+      loop s.stamp 0
+
+let run main =
+  if in_scheduler () then invalid_arg "Fiber.run: nested run";
+  let s = { runq = Queue.create (); stamp = 0; active = true } in
+  current := Some s;
+  let rec exec (f : unit -> unit) : unit =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc =
+          (fun e ->
+            current := None;
+            raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.push (fun () -> continue k ()) s.runq)
+            | Spawn g ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.push (fun () -> exec g) s.runq;
+                    continue k ())
+            | _ -> None);
+      }
+  in
+  let finish () =
+    s.active <- false;
+    current := None
+  in
+  (try
+     exec main;
+     while not (Queue.is_empty s.runq) do
+       let f = Queue.pop s.runq in
+       f ()
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ()

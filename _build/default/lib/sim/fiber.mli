@@ -1,0 +1,39 @@
+(** Cooperative fibers (effects-based) for driving client/server/attacker
+    interactions over simulated channels.
+
+    The simulated network ({!Wedge_net.Chan}) blocks a fiber when it reads
+    from an empty channel; the scheduler round-robins runnable fibers until
+    everything has finished.  Compartment code itself runs to completion
+    inside whichever fiber spawned it — blocking on I/O inside an sthread
+    suspends the whole caller chain, which matches the paper's semantics
+    (the parent blocks on [sthread_join], a callgate's caller blocks until
+    the callgate terminates). *)
+
+exception Deadlock of string
+(** Raised by {!run} when every live fiber is blocked and no progress is
+    possible. *)
+
+val run : (unit -> unit) -> unit
+(** [run main] executes [main] as the first fiber and schedules every fiber
+    it spawns, returning when all fibers have terminated.
+    @raise Deadlock if fibers block forever. *)
+
+val spawn : (unit -> unit) -> unit
+(** Add a new fiber.  Must be called from within {!run}. *)
+
+val yield : unit -> unit
+(** Give up the processor; the fiber resumes after other runnable fibers
+    have had a turn.  No-op when called outside {!run} (so library code can
+    yield unconditionally). *)
+
+val wait_until : ?what:string -> (unit -> bool) -> unit
+(** [wait_until cond] yields until [cond ()] is true.
+    @raise Deadlock if the whole system stops making progress first;
+    [what] names the awaited condition in the exception message. *)
+
+val progress : unit -> unit
+(** Record that global progress happened (e.g. bytes were delivered);
+    resets the deadlock detector. *)
+
+val in_scheduler : unit -> bool
+(** True when called from inside {!run}. *)

@@ -1,0 +1,41 @@
+type kind =
+  | Read
+  | Write
+
+type alloc_kind =
+  | Heap
+  | Tagged of int * string
+  | Stack of string
+  | Global of string
+
+type t = {
+  on_access : int -> int -> kind -> unit;
+  on_enter : string -> string -> int -> unit;
+  on_exit : unit -> unit;
+  on_alloc : int -> int -> alloc_kind -> unit;
+  on_free : int -> unit;
+}
+
+let null =
+  {
+    on_access = (fun _ _ _ -> ());
+    on_enter = (fun _ _ _ -> ());
+    on_exit = (fun () -> ());
+    on_alloc = (fun _ _ _ -> ());
+    on_free = (fun _ -> ());
+  }
+
+let is_null t = t == null
+
+let scoped t ~name ~file ~line f =
+  if is_null t then f ()
+  else begin
+    t.on_enter name file line;
+    match f () with
+    | v ->
+        t.on_exit ();
+        v
+    | exception e ->
+        t.on_exit ();
+        raise e
+  end

@@ -1,0 +1,47 @@
+(** Instrumentation hooks threaded through every simulated memory access.
+
+    This is the seam where Crowbar's [cb-log] attaches (the paper implements
+    it with Pin; we substitute explicit hooks, see DESIGN.md §2).  Application
+    and workload code calls these hooks on every data access, function entry
+    and exit, and allocation; the three execution modes of Figure 9 are three
+    implementations of this record:
+
+    - {e Native}: [null] below, all hooks are no-ops;
+    - {e Pin}: basic-block accounting only (see {!Wedge_crowbar.Cb_log.pin});
+    - {e Crowbar}: full access logging ({!Wedge_crowbar.Cb_log.create}). *)
+
+(** Access mode of a memory operation. *)
+type kind =
+  | Read
+  | Write
+
+(** Provenance of an allocation, used by cb-log to attribute accesses to
+    allocation sites. *)
+type alloc_kind =
+  | Heap             (** untagged per-sthread heap ([malloc]) *)
+  | Tagged of int * string
+      (** [smalloc] from a tag: id and programmer-visible name *)
+  | Stack of string  (** a function's stack frame (function name) *)
+  | Global of string (** a named global variable *)
+
+type t = {
+  on_access : int -> int -> kind -> unit;
+      (** [on_access addr len kind] fires on every load and store. *)
+  on_enter : string -> string -> int -> unit;
+      (** [on_enter fn file line] fires on function entry. *)
+  on_exit : unit -> unit;  (** fires on function exit. *)
+  on_alloc : int -> int -> alloc_kind -> unit;
+      (** [on_alloc base len kind] registers a new memory segment. *)
+  on_free : int -> unit;  (** [on_free base] retires a segment. *)
+}
+
+val null : t
+(** The no-op instrumentation ("native" execution). *)
+
+val is_null : t -> bool
+(** [is_null t] is [true] iff [t] is physically {!null}; lets hot paths skip
+    hook dispatch entirely when uninstrumented. *)
+
+val scoped : t -> name:string -> file:string -> line:int -> (unit -> 'a) -> 'a
+(** [scoped t ~name ~file ~line f] brackets [f] with [on_enter]/[on_exit],
+    restoring balance even if [f] raises. *)

@@ -1,0 +1,1 @@
+lib/spec/w_bzip2.ml: Array Wedge_crypto Wmem

@@ -1,0 +1,1 @@
+lib/spec/w_gobmk.ml: List Wedge_crypto Wmem

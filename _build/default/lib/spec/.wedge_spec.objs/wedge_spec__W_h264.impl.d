@@ -1,0 +1,1 @@
+lib/spec/w_h264.ml: Wedge_crypto Wmem

@@ -1,0 +1,1 @@
+lib/spec/w_hmmer.ml: Wedge_crypto Wmem

@@ -1,0 +1,1 @@
+lib/spec/w_mcf.ml: Wedge_crypto Wmem

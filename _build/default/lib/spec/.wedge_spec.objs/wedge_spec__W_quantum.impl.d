@@ -1,0 +1,1 @@
+lib/spec/w_quantum.ml: Wmem

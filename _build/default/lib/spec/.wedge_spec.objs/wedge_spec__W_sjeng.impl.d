@@ -1,0 +1,1 @@
+lib/spec/w_sjeng.ml: Wmem

@@ -1,0 +1,1 @@
+lib/spec/wmem.ml: Bytes Char Int32 Int64 Wedge_sim

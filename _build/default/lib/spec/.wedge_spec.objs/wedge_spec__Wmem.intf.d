@@ -1,0 +1,1 @@
+lib/spec/wmem.mli: Wedge_sim

@@ -1,0 +1,1 @@
+lib/spec/workload.ml: List W_bzip2 W_gobmk W_h264 W_hmmer W_mcf W_quantum W_sjeng Wedge_sim

@@ -1,0 +1,1 @@
+lib/spec/workload.mli: Wedge_sim

@@ -1,0 +1,125 @@
+(* bzip2-like kernel: Burrows–Wheeler transform + move-to-front + run-length
+   coding of data blocks, then the full inverse pipeline with a roundtrip
+   check — 401.bzip2's sort- and table-heavy behaviour. *)
+
+module Drbg = Wedge_crypto.Drbg
+
+let name = "bzip2"
+let block = 2048
+
+let run ~instr ~scale =
+  let m = Wmem.create ~instr ((block * 16) + 65536) in
+  let input = Wmem.alloc m ~name:"input_block" block in
+  let rot = Wmem.alloc m ~name:"rotation_index" (block * 4) in
+  let bwt = Wmem.alloc m ~name:"bwt_output" block in
+  let mtf = Wmem.alloc m ~name:"mtf_output" block in
+  let table = Wmem.alloc m ~name:"mtf_table" 256 in
+  let decode = Wmem.alloc m ~name:"decoded" block in
+  let counts = Wmem.alloc m ~name:"counts" (256 * 4) in
+  let next = Wmem.alloc m ~name:"next_index" (block * 4) in
+  let rng = Drbg.create ~seed:0xb21b2 in
+  let acc = ref 0 in
+  for blk = 1 to scale do
+    (* Compressible-ish input: runs + noise. *)
+    Wmem.scope m "generate_block" (fun () ->
+        let i = ref 0 in
+        while !i < block do
+          let c = Drbg.int_below rng 64 in
+          let run = 1 + Drbg.int_below rng 6 in
+          let stop = min block (!i + run) in
+          while !i < stop do
+            Wmem.set8 m (input + !i) c;
+            incr i
+          done
+        done);
+    (* BWT: sort all rotations (index sort with comparison on demand). *)
+    Wmem.scope m "bwt_sort" (fun () ->
+        let idx = Array.init block (fun i -> i) in
+        let cmp a b =
+          let rec go k =
+            if k = block then 0
+            else
+              let ca = Wmem.get8 m (input + ((a + k) mod block)) in
+              let cb = Wmem.get8 m (input + ((b + k) mod block)) in
+              if ca <> cb then compare ca cb else go (k + 1)
+          in
+          go 0
+        in
+        Array.sort cmp idx;
+        Array.iteri (fun i v -> Wmem.set32 m (rot + (i * 4)) v) idx);
+    let primary = ref 0 in
+    Wmem.scope m "bwt_emit" (fun () ->
+        for i = 0 to block - 1 do
+          let r = Wmem.get32 m (rot + (i * 4)) in
+          if r = 0 then primary := i;
+          Wmem.set8 m (bwt + i) (Wmem.get8 m (input + ((r + block - 1) mod block)))
+        done);
+    (* Move-to-front + RLE accounting. *)
+    Wmem.scope m "mtf" (fun () ->
+        for c = 0 to 255 do
+          Wmem.set8 m (table + c) c
+        done;
+        for i = 0 to block - 1 do
+          let c = Wmem.get8 m (bwt + i) in
+          let rec find j = if Wmem.get8 m (table + j) = c then j else find (j + 1) in
+          let pos = find 0 in
+          Wmem.set8 m (mtf + i) pos;
+          for j = pos downto 1 do
+            Wmem.set8 m (table + j) (Wmem.get8 m (table + (j - 1)))
+          done;
+          Wmem.set8 m (table + 0) c
+        done);
+    Wmem.scope m "rle_estimate" (fun () ->
+        let zeros = ref 0 in
+        for i = 0 to block - 1 do
+          if Wmem.get8 m (mtf + i) = 0 then incr zeros
+        done;
+        acc := (!acc + !zeros) land 0x3fffffff);
+    (* Inverse MTF. *)
+    Wmem.scope m "unmtf" (fun () ->
+        for c = 0 to 255 do
+          Wmem.set8 m (table + c) c
+        done;
+        for i = 0 to block - 1 do
+          let pos = Wmem.get8 m (mtf + i) in
+          let c = Wmem.get8 m (table + pos) in
+          Wmem.set8 m (bwt + i) c;
+          for j = pos downto 1 do
+            Wmem.set8 m (table + j) (Wmem.get8 m (table + (j - 1)))
+          done;
+          Wmem.set8 m (table + 0) c
+        done);
+    (* Inverse BWT. *)
+    Wmem.scope m "unbwt" (fun () ->
+        for c = 0 to 255 do
+          Wmem.set32 m (counts + (c * 4)) 0
+        done;
+        for i = 0 to block - 1 do
+          let c = Wmem.get8 m (bwt + i) in
+          Wmem.set32 m (counts + (c * 4)) (Wmem.get32 m (counts + (c * 4)) + 1)
+        done;
+        let totals = Array.make 257 0 in
+        for c = 0 to 255 do
+          totals.(c + 1) <- totals.(c) + Wmem.get32 m (counts + (c * 4))
+        done;
+        let seen = Array.make 256 0 in
+        for i = 0 to block - 1 do
+          let c = Wmem.get8 m (bwt + i) in
+          Wmem.set32 m (next + (i * 4)) (totals.(c) + seen.(c));
+          seen.(c) <- seen.(c) + 1
+        done;
+        (* walk: standard inverse-BWT traversal *)
+        let p = ref !primary in
+        for i = block - 1 downto 0 do
+          Wmem.set8 m (decode + i) (Wmem.get8 m (bwt + !p));
+          p := Wmem.get32 m (next + (!p * 4))
+        done);
+    (* Roundtrip self-check. *)
+    Wmem.scope m "verify" (fun () ->
+        for i = 0 to block - 1 do
+          if Wmem.get8 m (decode + i) <> Wmem.get8 m (input + i) then
+            failwith "bzip2 kernel: roundtrip mismatch"
+        done);
+    ignore blk
+  done;
+  !acc

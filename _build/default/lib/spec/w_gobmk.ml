@@ -1,0 +1,64 @@
+(* gobmk-like kernel: Go board liberty counting — repeated flood fills over
+   a 19x19 board with many short function calls, the branchy
+   pattern-matching character of 445.gobmk. *)
+
+module Drbg = Wedge_crypto.Drbg
+
+let name = "gobmk"
+let dim = 19
+
+let run ~instr ~scale =
+  let cells = dim * dim in
+  let m = Wmem.create ~instr ((cells * 2) + (cells * 4) + 64) in
+  let board = Wmem.alloc m ~name:"board" cells in
+  let mark = Wmem.alloc m ~name:"mark" cells in
+  let stack = Wmem.alloc m ~name:"stack" (cells * 4) in
+  let rng = Drbg.create ~seed:0x60 in
+  let acc = ref 0 in
+  let liberties pos colour =
+    Wmem.scope m "count_liberties" (fun () ->
+        for i = 0 to cells - 1 do
+          Wmem.set8 m (mark + i) 0
+        done;
+        let sp = ref 0 in
+        let libs = ref 0 in
+        let push p =
+          Wmem.set32 m (stack + (!sp * 4)) p;
+          incr sp
+        in
+        push pos;
+        Wmem.set8 m (mark + pos) 1;
+        while !sp > 0 do
+          decr sp;
+          let p = Wmem.get32 m (stack + (!sp * 4)) in
+          let x = p mod dim and y = p / dim in
+          List.iter
+            (fun (dx, dy) ->
+              let nx = x + dx and ny = y + dy in
+              if nx >= 0 && nx < dim && ny >= 0 && ny < dim then begin
+                let np = (ny * dim) + nx in
+                if Wmem.get8 m (mark + np) = 0 then begin
+                  Wmem.set8 m (mark + np) 1;
+                  let c = Wmem.get8 m (board + np) in
+                  if c = 0 then incr libs else if c = colour then push np
+                end
+              end)
+            [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+        done;
+        !libs)
+  in
+  for game = 1 to 4 * scale do
+    Wmem.scope m "play_game" (fun () ->
+        for i = 0 to cells - 1 do
+          Wmem.set8 m (board + i) 0
+        done;
+        for move = 1 to 160 do
+          let pos = Drbg.int_below rng cells in
+          let colour = 1 + (move land 1) in
+          if Wmem.get8 m (board + pos) = 0 then begin
+            Wmem.set8 m (board + pos) colour;
+            acc := (!acc + liberties pos colour + game) land 0x3fffffff
+          end
+        done)
+  done;
+  !acc

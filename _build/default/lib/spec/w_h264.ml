@@ -1,0 +1,70 @@
+(* h264ref-like kernel: exhaustive motion estimation — sum-of-absolute-
+   differences over a search window for every macroblock, 464.h264ref's
+   dominant inner loop and the most access-dense kernel in the set. *)
+
+module Drbg = Wedge_crypto.Drbg
+
+let name = "h264"
+let w = 96
+let h = 64
+let mb = 16
+let search = 5
+
+let run ~instr ~scale =
+  let frame = w * h in
+  let m = Wmem.create ~instr ((frame * 2) + 64) in
+  let ref_f = Wmem.alloc m ~name:"reference_frame" frame in
+  let cur_f = Wmem.alloc m ~name:"current_frame" frame in
+  let rng = Drbg.create ~seed:0x264 in
+  Wmem.scope m "generate_frames" (fun () ->
+      for i = 0 to frame - 1 do
+        Wmem.set8 m (ref_f + i) (Drbg.int_below rng 256)
+      done;
+      (* current = reference shifted by (3,2) + noise *)
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          let sx = min (w - 1) (x + 3) and sy = min (h - 1) (y + 2) in
+          let v = Wmem.get8 m (ref_f + (sy * w) + sx) in
+          Wmem.set8 m (cur_f + (y * w) + x) ((v + Drbg.int_below rng 5) land 0xff)
+        done
+      done);
+  let sad bx by dx dy =
+    Wmem.scope m "sad_16x16" (fun () ->
+        let total = ref 0 in
+        for y = 0 to mb - 1 do
+          for x = 0 to mb - 1 do
+            let cy = by + y and cx = bx + x in
+            let ry = cy + dy and rx = cx + dx in
+            if ry >= 0 && ry < h && rx >= 0 && rx < w then
+              total :=
+                !total
+                + abs (Wmem.get8 m (cur_f + (cy * w) + cx) - Wmem.get8 m (ref_f + (ry * w) + rx))
+            else total := !total + 255
+          done
+        done;
+        !total)
+  in
+  let acc = ref 0 in
+  for pass = 1 to scale do
+    Wmem.scope m "motion_estimate" (fun () ->
+        let by = ref 0 in
+        while !by + mb <= h do
+          let bx = ref 0 in
+          while !bx + mb <= w do
+            let best = ref max_int and bestv = ref 0 in
+            for dy = -search to search do
+              for dx = -search to search do
+                let s = sad !bx !by dx dy in
+                if s < !best then begin
+                  best := s;
+                  bestv := ((dy + search) * 32) + dx + search
+                end
+              done
+            done;
+            acc := (!acc + !best + !bestv + pass) land 0x3fffffff;
+            bx := !bx + mb
+          done;
+          by := !by + mb
+        done)
+  done;
+  !acc

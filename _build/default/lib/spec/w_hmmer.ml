@@ -1,0 +1,52 @@
+(* hmmer-like kernel: Viterbi dynamic programming of a profile HMM against
+   random sequences — 456.hmmer's dense per-cell max/add inner loops. *)
+
+module Drbg = Wedge_crypto.Drbg
+
+let name = "hmmer"
+
+let run ~instr ~scale =
+  let states = 64 in
+  let seqlen = 180 * scale in
+  let alpha = 20 in
+  let m = Wmem.create ~instr ((states * alpha * 4) + (states * 4 * 2) + seqlen + (states * 4) + 64) in
+  let emit = Wmem.alloc m ~name:"emission_scores" (states * alpha * 4) in
+  let trans = Wmem.alloc m ~name:"transition_scores" (states * 4) in
+  let seq = Wmem.alloc m ~name:"sequence" seqlen in
+  let prev = Wmem.alloc m ~name:"viterbi_prev" (states * 4) in
+  let cur = Wmem.alloc m ~name:"viterbi_cur" (states * 4) in
+  let rng = Drbg.create ~seed:0x4a3 in
+  Wmem.scope m "build_model" (fun () ->
+      for i = 0 to (states * alpha) - 1 do
+        Wmem.set32 m (emit + (i * 4)) (Drbg.int_below rng 50)
+      done;
+      for i = 0 to states - 1 do
+        Wmem.set32 m (trans + (i * 4)) (Drbg.int_below rng 20);
+        Wmem.set32 m (prev + (i * 4)) 0
+      done;
+      for i = 0 to seqlen - 1 do
+        Wmem.set8 m (seq + i) (Drbg.int_below rng alpha)
+      done);
+  Wmem.scope m "viterbi" (fun () ->
+      for pos = 0 to seqlen - 1 do
+        let c = Wmem.get8 m (seq + pos) in
+        for s = 0 to states - 1 do
+          let stay = Wmem.get32 m (prev + (s * 4)) in
+          let from_prev =
+            if s > 0 then Wmem.get32 m (prev + ((s - 1) * 4)) + Wmem.get32 m (trans + (s * 4))
+            else stay
+          in
+          let best = if from_prev > stay then from_prev else stay in
+          Wmem.set32 m (cur + (s * 4)) (best + Wmem.get32 m (emit + (((s * alpha) + c) * 4)))
+        done;
+        for s = 0 to states - 1 do
+          Wmem.set32 m (prev + (s * 4)) (Wmem.get32 m (cur + (s * 4)))
+        done
+      done);
+  Wmem.scope m "score" (fun () ->
+      let best = ref 0 in
+      for s = 0 to states - 1 do
+        let v = Wmem.get32 m (prev + (s * 4)) in
+        if v > !best then best := v
+      done;
+      !best land 0x3fffffff)

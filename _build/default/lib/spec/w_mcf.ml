@@ -1,0 +1,51 @@
+(* mcf-like kernel: Bellman–Ford shortest-path relaxation over a random
+   sparse graph held in instrumented memory — the pointer-chasing,
+   relaxation-heavy character of 429.mcf's network simplex. *)
+
+module Drbg = Wedge_crypto.Drbg
+
+let name = "mcf"
+
+let run ~instr ~scale =
+  let nodes = 600 * scale in
+  let deg = 4 in
+  let edges = nodes * deg in
+  let m = Wmem.create ~instr ((edges * 12) + (nodes * 4) + 64) in
+  let eh = Wmem.alloc m ~name:"edge_head" (edges * 4) in
+  let et = Wmem.alloc m ~name:"edge_tail" (edges * 4) in
+  let ew = Wmem.alloc m ~name:"edge_cost" (edges * 4) in
+  let dist = Wmem.alloc m ~name:"dist" (nodes * 4) in
+  let rng = Drbg.create ~seed:0x3cf in
+  Wmem.scope m "build_graph" (fun () ->
+      for e = 0 to edges - 1 do
+        Wmem.set32 m (eh + (e * 4)) (e / deg);
+        Wmem.set32 m (et + (e * 4)) (Drbg.int_below rng nodes);
+        Wmem.set32 m (ew + (e * 4)) (1 + Drbg.int_below rng 100)
+      done;
+      for v = 0 to nodes - 1 do
+        Wmem.set32 m (dist + (v * 4)) 0x3fffffff
+      done;
+      Wmem.set32 m dist 0);
+  Wmem.scope m "relax" (fun () ->
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 30 do
+        changed := false;
+        incr rounds;
+        for e = 0 to edges - 1 do
+          let u = Wmem.get32 m (eh + (e * 4)) in
+          let v = Wmem.get32 m (et + (e * 4)) in
+          let w = Wmem.get32 m (ew + (e * 4)) in
+          let du = Wmem.get32 m (dist + (u * 4)) in
+          if du + w < Wmem.get32 m (dist + (v * 4)) then begin
+            Wmem.set32 m (dist + (v * 4)) (du + w);
+            changed := true
+          end
+        done
+      done);
+  Wmem.scope m "checksum" (fun () ->
+      let acc = ref 0 in
+      for v = 0 to nodes - 1 do
+        acc := (!acc + Wmem.get32 m (dist + (v * 4))) land 0x3fffffff
+      done;
+      !acc)

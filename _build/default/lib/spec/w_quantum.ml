@@ -1,0 +1,70 @@
+(* libquantum-like kernel: a quantum register of 2^n fixed-point
+   amplitudes, streamed over by Hadamard and controlled-NOT gate loops —
+   462.libquantum's long sequential sweeps over a big amplitude array. *)
+
+let name = "quantum"
+
+let run ~instr ~scale =
+  let qubits = 11 in
+  let states = 1 lsl qubits in
+  let m = Wmem.create ~instr ((states * 16) + 64) in
+  (* amplitude = (re, im) pairs of 8-byte fixed point (<< 20) *)
+  let amp = Wmem.alloc m ~name:"amplitudes" (states * 16) in
+  let one = 1 lsl 20 in
+  Wmem.scope m "init_register" (fun () ->
+      Wmem.set64 m amp one;
+      for s = 1 to states - 1 do
+        Wmem.set64 m (amp + (s * 16)) 0;
+        Wmem.set64 m (amp + (s * 16) + 8) 0
+      done);
+  let hadamard target =
+    Wmem.scope m "hadamard" (fun () ->
+        (* 1/sqrt2 ~ 0.7071 in fixed point *)
+        let c = 741455 in
+        let bit = 1 lsl target in
+        for s = 0 to states - 1 do
+          if s land bit = 0 then begin
+            let s1 = s lxor bit in
+            let a_re = Wmem.get64 m (amp + (s * 16)) in
+            let a_im = Wmem.get64 m (amp + (s * 16) + 8) in
+            let b_re = Wmem.get64 m (amp + (s1 * 16)) in
+            let b_im = Wmem.get64 m (amp + (s1 * 16) + 8) in
+            Wmem.set64 m (amp + (s * 16)) ((a_re + b_re) * c asr 20);
+            Wmem.set64 m (amp + (s * 16) + 8) ((a_im + b_im) * c asr 20);
+            Wmem.set64 m (amp + (s1 * 16)) ((a_re - b_re) * c asr 20);
+            Wmem.set64 m (amp + (s1 * 16) + 8) ((a_im - b_im) * c asr 20)
+          end
+        done)
+  in
+  let cnot control target =
+    Wmem.scope m "cnot" (fun () ->
+        let cb = 1 lsl control and tb = 1 lsl target in
+        for s = 0 to states - 1 do
+          if s land cb <> 0 && s land tb = 0 then begin
+            let s1 = s lxor tb in
+            let a_re = Wmem.get64 m (amp + (s * 16)) in
+            let a_im = Wmem.get64 m (amp + (s * 16) + 8) in
+            Wmem.set64 m (amp + (s * 16)) (Wmem.get64 m (amp + (s1 * 16)));
+            Wmem.set64 m (amp + (s * 16) + 8) (Wmem.get64 m (amp + (s1 * 16) + 8));
+            Wmem.set64 m (amp + (s1 * 16)) a_re;
+            Wmem.set64 m (amp + (s1 * 16) + 8) a_im
+          end
+        done)
+  in
+  for round = 1 to 6 * scale do
+    for q = 0 to qubits - 1 do
+      hadamard q
+    done;
+    for q = 0 to qubits - 2 do
+      cnot q (q + 1)
+    done;
+    ignore round
+  done;
+  Wmem.scope m "norm" (fun () ->
+      let acc = ref 1 in
+      for s = 0 to states - 1 do
+        let re = Wmem.get64 m (amp + (s * 16)) in
+        let im = Wmem.get64 m (amp + (s * 16) + 8) in
+        acc := ((!acc * 31) + abs re + abs im) land 0x3fffffff
+      done;
+      !acc)

@@ -1,0 +1,48 @@
+(* sjeng-like kernel: alpha-beta minimax with make/unmake moves over a
+   synthetic position array — 458.sjeng's recursive search with hash-based
+   evaluation. *)
+
+let name = "sjeng"
+let cells = 64
+
+let run ~instr ~scale =
+  let m = Wmem.create ~instr (cells + 64) in
+  let board = Wmem.alloc m ~name:"board" cells in
+  Wmem.scope m "setup" (fun () ->
+      for i = 0 to cells - 1 do
+        Wmem.set8 m (board + i) ((i * 7) land 0xf)
+      done);
+  let evaluate () =
+    Wmem.scope m "evaluate" (fun () ->
+        let h = ref 17 in
+        for i = 0 to cells - 1 do
+          h := ((!h * 31) + Wmem.get8 m (board + i)) land 0xffffff
+        done;
+        (!h mod 2001) - 1000)
+  in
+  let rec search depth alpha beta ply =
+    if depth = 0 then evaluate ()
+    else
+      Wmem.scope m "search" (fun () ->
+          let alpha = ref alpha in
+          let moves = 5 in
+          (try
+             for mv = 0 to moves - 1 do
+               let sq = ((ply * 13) + (mv * 17)) mod cells in
+               let old = Wmem.get8 m (board + sq) in
+               (* make *)
+               Wmem.set8 m (board + sq) ((old + mv + 1) land 0xf);
+               let score = -search (depth - 1) (-beta) (- !alpha) (ply + 1) in
+               (* unmake *)
+               Wmem.set8 m (board + sq) old;
+               if score > !alpha then alpha := score;
+               if !alpha >= beta then raise Exit
+             done
+           with Exit -> ());
+          !alpha)
+  in
+  let acc = ref 0 in
+  for root = 1 to scale do
+    acc := (!acc + search 7 (-10000) 10000 root) land 0x3fffffff
+  done;
+  !acc

@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  run : instr:Wedge_sim.Instr.t -> scale:int -> int;
+  default_scale : int;
+}
+
+let all =
+  [
+    { name = W_mcf.name; run = W_mcf.run; default_scale = 2 };
+    { name = W_gobmk.name; run = W_gobmk.run; default_scale = 2 };
+    { name = W_quantum.name; run = W_quantum.run; default_scale = 1 };
+    { name = W_hmmer.name; run = W_hmmer.run; default_scale = 3 };
+    { name = W_sjeng.name; run = W_sjeng.run; default_scale = 2 };
+    { name = W_bzip2.name; run = W_bzip2.run; default_scale = 2 };
+    { name = W_h264.name; run = W_h264.run; default_scale = 1 };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all

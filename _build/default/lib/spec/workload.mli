@@ -1,0 +1,17 @@
+(** The workload registry for Figure 9: seven SPEC-like kernels with
+    deterministic synthetic inputs, runnable under any instrumentation
+    mode.  (The figure's remaining two entries, ssh and apache, are the
+    real application stand-ins and are driven directly by the benchmark
+    harness.) *)
+
+type t = {
+  name : string;
+  run : instr:Wedge_sim.Instr.t -> scale:int -> int;
+      (** Returns a deterministic checksum; raises on self-check failure. *)
+  default_scale : int;  (** calibrated so a native run takes ~tens of ms *)
+}
+
+val all : t list
+(** mcf, gobmk, quantum, hmmer, sjeng, bzip2, h264. *)
+
+val find : string -> t option

@@ -1,0 +1,1 @@
+lib/sshd/pam.ml: String Wedge_core Wedge_crypto

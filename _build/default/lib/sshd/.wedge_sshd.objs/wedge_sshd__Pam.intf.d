@@ -1,0 +1,1 @@
+lib/sshd/pam.mli: Wedge_core

@@ -1,0 +1,1 @@
+lib/sshd/skey.ml: Printf String Wedge_crypto

@@ -1,0 +1,1 @@
+lib/sshd/skey.mli:

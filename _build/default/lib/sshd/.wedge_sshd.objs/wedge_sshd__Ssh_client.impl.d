@@ -1,0 +1,1 @@
+lib/sshd/ssh_client.ml: Bytes Printf Skey Ssh_proto String Wedge_crypto Wedge_net Wedge_tls

@@ -1,0 +1,1 @@
+lib/sshd/ssh_client.mli: Wedge_crypto Wedge_net

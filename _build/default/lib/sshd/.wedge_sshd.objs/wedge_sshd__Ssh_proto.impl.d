@@ -1,0 +1,1 @@
+lib/sshd/ssh_proto.ml: Buffer Bytes Char Option String Wedge_crypto Wedge_tls

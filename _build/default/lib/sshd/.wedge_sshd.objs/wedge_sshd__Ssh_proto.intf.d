@@ -1,0 +1,1 @@
+lib/sshd/ssh_proto.mli: Wedge_tls

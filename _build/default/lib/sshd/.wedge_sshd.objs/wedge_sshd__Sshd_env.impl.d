@@ -1,0 +1,1 @@
+lib/sshd/sshd_env.ml: Hashtbl List Printf Skey String Wedge_core Wedge_crypto Wedge_kernel Wedge_mem

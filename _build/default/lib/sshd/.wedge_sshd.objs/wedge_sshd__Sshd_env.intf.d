@@ -1,0 +1,1 @@
+lib/sshd/sshd_env.mli: Wedge_core Wedge_crypto Wedge_kernel Wedge_mem

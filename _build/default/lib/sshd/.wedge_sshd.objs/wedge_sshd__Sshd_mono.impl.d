@@ -1,0 +1,1 @@
+lib/sshd/sshd_mono.ml: Bytes List Pam Skey Ssh_proto Sshd_env Sshd_session String Wedge_core Wedge_crypto Wedge_kernel Wedge_net Wedge_sim Wedge_tls

@@ -1,0 +1,1 @@
+lib/sshd/sshd_mono.mli: Sshd_env Sshd_session Wedge_core Wedge_net

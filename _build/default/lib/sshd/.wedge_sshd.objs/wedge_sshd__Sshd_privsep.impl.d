@@ -1,0 +1,1 @@
+lib/sshd/sshd_privsep.ml: Bytes Option Ssh_proto Sshd_env Sshd_mono Sshd_session Wedge_core Wedge_crypto Wedge_kernel Wedge_net Wedge_sim Wedge_tls

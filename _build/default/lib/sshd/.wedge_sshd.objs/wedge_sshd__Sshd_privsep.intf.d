@@ -1,0 +1,1 @@
+lib/sshd/sshd_privsep.mli: Sshd_env Wedge_core Wedge_net

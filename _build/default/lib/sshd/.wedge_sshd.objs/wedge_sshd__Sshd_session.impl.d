@@ -1,0 +1,1 @@
+lib/sshd/sshd_session.ml: Buffer Bytes Printf Result Ssh_proto String Wedge_core Wedge_crypto Wedge_kernel Wedge_sim Wedge_tls

@@ -1,0 +1,1 @@
+lib/sshd/sshd_session.mli: Wedge_core Wedge_crypto Wedge_tls

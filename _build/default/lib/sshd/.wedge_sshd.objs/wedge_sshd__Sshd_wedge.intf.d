@@ -1,0 +1,1 @@
+lib/sshd/sshd_wedge.mli: Sshd_env Wedge_core Wedge_kernel Wedge_mem Wedge_net

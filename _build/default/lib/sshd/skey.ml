@@ -1,0 +1,35 @@
+module Sha256 = Wedge_crypto.Sha256
+
+let hash_hex s = Sha256.hex (Sha256.digest_string s)
+
+let chain ~passphrase ~seed ~count =
+  if count < 1 then invalid_arg "Skey.chain: count < 1";
+  let rec go h n = if n = 0 then h else go (hash_hex h) (n - 1) in
+  go (hash_hex (passphrase ^ seed)) (count - 1)
+
+type entry = {
+  user : string;
+  seq : int;
+  seed : string;
+  stored : string;
+}
+
+let entry_to_line e = Printf.sprintf "%s:%d:%s:%s" e.user e.seq e.seed e.stored
+
+let entry_of_line line =
+  match String.split_on_char ':' line with
+  | [ user; seq; seed; stored ] -> (
+      match int_of_string_opt seq with
+      | Some seq -> Some { user; seq; seed; stored }
+      | None -> None)
+  | _ -> None
+
+let challenge e = (e.seq - 1, e.seed)
+let respond ~passphrase ~seed ~seq = chain ~passphrase ~seed ~count:seq
+let exhausted e = e.seq <= 1
+
+let verify e ~response =
+  if exhausted e then None
+  else if String.equal (hash_hex response) e.stored then
+    Some { e with seq = e.seq - 1; stored = response }
+  else None

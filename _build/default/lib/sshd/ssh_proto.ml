@@ -1,0 +1,173 @@
+module Wire = Wedge_tls.Wire
+module Record = Wedge_tls.Record
+module Sha256 = Wedge_crypto.Sha256
+
+type msg =
+  | Version of string
+  | Kexinit of bytes
+  | Kexreply of {
+      host_rsa : string;
+      host_dsa : string;
+      server_nonce : bytes;
+      signature : string;
+    }
+  | Kexsecret of bytes
+  | Auth_password of { user : string; password : string }
+  | Auth_pubkey of { user : string; pub : string; proof : string }
+  | Skey_start of { user : string }
+  | Skey_challenge of { seq : int; seed : string }
+  | Skey_response of { response : string }
+  | Auth_result of bool
+  | Exec of string
+  | Data of bytes
+  | Eof
+  | Disconnect
+
+let kex_binding ~client_nonce ~server_nonce ~host_rsa ~host_dsa =
+  let b = Buffer.create 128 in
+  Buffer.add_bytes b client_nonce;
+  Buffer.add_bytes b server_nonce;
+  Buffer.add_string b host_rsa;
+  Buffer.add_string b host_dsa;
+  Sha256.digest (Buffer.to_bytes b)
+
+let auth_proof_binding ~session_fp ~user =
+  Sha256.digest_string ("wssh-auth:" ^ session_fp ^ ":" ^ user)
+
+let expand secret cn sn label =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx label;
+  Sha256.update ctx secret;
+  Sha256.update ctx cn;
+  Sha256.update ctx sn;
+  Sha256.final ctx
+
+let derive_keys ~secret ~client_nonce ~server_nonce ~side =
+  let master = expand secret client_nonce server_nonce "wssh-master" in
+  Record.derive ~master ~client_random:client_nonce ~server_random:server_nonce ~side
+
+let session_fingerprint ~secret ~client_nonce ~server_nonce =
+  Sha256.hex (expand secret client_nonce server_nonce "wssh-fp")
+
+(* ---------------- marshalling ---------------- *)
+
+let put_lv b s =
+  let n = String.length s in
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b s
+
+let get_lv s pos =
+  let n = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1] in
+  (String.sub s (pos + 2) n, pos + 2 + n)
+
+let marshal msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Version v ->
+      Buffer.add_char b 'V';
+      put_lv b v
+  | Kexinit nonce ->
+      Buffer.add_char b 'I';
+      put_lv b (Bytes.to_string nonce)
+  | Kexreply { host_rsa; host_dsa; server_nonce; signature } ->
+      Buffer.add_char b 'R';
+      put_lv b host_rsa;
+      put_lv b host_dsa;
+      put_lv b (Bytes.to_string server_nonce);
+      put_lv b signature
+  | Kexsecret ct ->
+      Buffer.add_char b 'S';
+      put_lv b (Bytes.to_string ct)
+  | Auth_password { user; password } ->
+      Buffer.add_char b 'p';
+      put_lv b user;
+      put_lv b password
+  | Auth_pubkey { user; pub; proof } ->
+      Buffer.add_char b 'k';
+      put_lv b user;
+      put_lv b pub;
+      put_lv b proof
+  | Skey_start { user } ->
+      Buffer.add_char b 's';
+      put_lv b user
+  | Skey_challenge { seq; seed } ->
+      Buffer.add_char b 'c';
+      put_lv b (string_of_int seq);
+      put_lv b seed
+  | Skey_response { response } ->
+      Buffer.add_char b 'r';
+      put_lv b response
+  | Auth_result ok ->
+      Buffer.add_char b 'a';
+      Buffer.add_char b (if ok then '\001' else '\000')
+  | Exec cmd ->
+      Buffer.add_char b 'e';
+      put_lv b cmd
+  | Data d ->
+      Buffer.add_char b 'd';
+      put_lv b (Bytes.to_string d)
+  | Eof -> Buffer.add_char b 'f'
+  | Disconnect -> Buffer.add_char b 'q');
+  Buffer.to_bytes b
+
+let unmarshal payload =
+  let s = Bytes.to_string payload in
+  try
+    match s.[0] with
+    | 'V' -> Some (Version (fst (get_lv s 1)))
+    | 'I' -> Some (Kexinit (Bytes.of_string (fst (get_lv s 1))))
+    | 'R' ->
+        let host_rsa, p = get_lv s 1 in
+        let host_dsa, p = get_lv s p in
+        let sn, p = get_lv s p in
+        let signature, _ = get_lv s p in
+        Some (Kexreply { host_rsa; host_dsa; server_nonce = Bytes.of_string sn; signature })
+    | 'S' -> Some (Kexsecret (Bytes.of_string (fst (get_lv s 1))))
+    | 'p' ->
+        let user, p = get_lv s 1 in
+        let password, _ = get_lv s p in
+        Some (Auth_password { user; password })
+    | 'k' ->
+        let user, p = get_lv s 1 in
+        let pub, p = get_lv s p in
+        let proof, _ = get_lv s p in
+        Some (Auth_pubkey { user; pub; proof })
+    | 's' -> Some (Skey_start { user = fst (get_lv s 1) })
+    | 'c' ->
+        let seq, p = get_lv s 1 in
+        let seed, _ = get_lv s p in
+        Option.map (fun seq -> Skey_challenge { seq; seed }) (int_of_string_opt seq)
+    | 'r' -> Some (Skey_response { response = fst (get_lv s 1) })
+    | 'a' -> Some (Auth_result (s.[1] = '\001'))
+    | 'e' -> Some (Exec (fst (get_lv s 1)))
+    | 'd' -> Some (Data (Bytes.of_string (fst (get_lv s 1))))
+    | 'f' -> Some Eof
+    | 'q' -> Some Disconnect
+    | _ -> None
+  with Invalid_argument _ -> None
+
+(* Plain messages reuse the Wire frame with App_data as a neutral carrier;
+   sealed messages are records inside Finished-typed frames so the two
+   layers cannot be confused. *)
+let send_plain io msg = Wire.send_msg io Wire.App_data (marshal msg)
+
+let recv_plain io =
+  match Wire.recv_msg io with
+  | Wire.App_data, payload -> (
+      match unmarshal payload with
+      | Some m -> m
+      | None -> failwith "wssh: bad message")
+  | _ -> failwith "wssh: unexpected frame"
+
+let send_sealed io keys msg = Wire.send_msg io Wire.Finished (Record.seal keys (marshal msg))
+
+let recv_sealed io keys =
+  match Wire.recv_msg io with
+  | Wire.Finished, record -> (
+      match Record.open_ keys record with
+      | Some payload -> (
+          match unmarshal payload with Some m -> Ok m | None -> Error `Mac_fail)
+      | None -> Error `Mac_fail)
+  | _ -> Error `Mac_fail
+  | exception Wire.Closed -> Error `Eof

@@ -1,0 +1,282 @@
+module W = Wedge_core.Wedge
+module Kernel = Wedge_kernel.Kernel
+module Cost_model = Wedge_sim.Cost_model
+module Prot = Wedge_kernel.Prot
+module Fd_table = Wedge_kernel.Fd_table
+module Vfs = Wedge_kernel.Vfs
+module Chan = Wedge_net.Chan
+module Tag = Wedge_mem.Tag
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module Dsa = Wedge_crypto.Dsa
+module Sha256 = Wedge_crypto.Sha256
+module Wire = Wedge_tls.Wire
+module P = Ssh_proto
+
+type conn_debug = {
+  arg_tag : Tag.t;
+  worker_status : Wedge_kernel.Process.status;
+  final_uid : int;
+}
+
+let io_of_fd ctx fd =
+  Wire.io_of_fns
+    ~recv:(fun n ->
+      let b = W.fd_read ctx fd n in
+      if Bytes.length b = 0 then None else Some b)
+    ~send:(fun b -> W.fd_write ctx fd b)
+
+let charge_rsa ctx =
+  W.charge_app ctx (W.kernel (W.app_of ctx)).Kernel.costs.Cost_model.rsa_private_op
+
+let charge_dsa ctx =
+  W.charge_app ctx (W.kernel (W.app_of ctx)).Kernel.costs.Cost_model.rsa_public_op
+
+(* Escalate the calling worker after successful authentication (§5.2,
+   the Privtrans idiom): the only path by which the worker's uid ever
+   changes. *)
+let promote_caller gctx (env : Sshd_env.t) user =
+  match (W.caller_pid gctx, Sshd_env.find_user env user) with
+  | Some pid, Some u ->
+      W.set_identity gctx ~target_pid:pid ~uid:u.Sshd_env.uid ~root:("/home/" ^ user) ()
+  | _ -> ()
+
+(* ---------------- callgates ---------------- *)
+
+(* dsa_sign: the only code that can touch the DSA host key.  It signs the
+   hash it computes itself over the caller's data stream — the caller
+   cannot obtain a signature over bytes of its choosing (§5.2). *)
+let dsa_sign_entry (env : Sshd_env.t) gctx ~trusted:_ ~arg =
+  let cn = Bytes.of_string (W.read_lv gctx (arg + 0)) in
+  let sn = Bytes.of_string (W.read_lv gctx (arg + 256)) in
+  charge_dsa gctx;
+  let binding =
+    P.kex_binding ~client_nonce:cn ~server_nonce:sn
+      ~host_rsa:(W.read_lv gctx env.Sshd_env.pub_rsa_addr)
+      ~host_dsa:(W.read_lv gctx env.Sshd_env.pub_dsa_addr)
+  in
+  let key = Sshd_env.read_host_dsa gctx env in
+  let signature = Dsa.sign env.Sshd_env.rng key binding in
+  W.write_lv gctx (arg + 512) (Dsa.signature_to_string signature);
+  1
+
+(* rsa_kex: host-key decryption of the key-exchange secret; only this gate
+   reads the RSA host key. *)
+let rsa_kex_entry (env : Sshd_env.t) gctx ~trusted:_ ~arg =
+  let ct = Bytes.of_string (W.read_lv gctx (arg + 0)) in
+  charge_rsa gctx;
+  let key = Sshd_env.read_host_rsa gctx env in
+  match Rsa.decrypt key ct with
+  | Some secret when Bytes.length secret = 32 ->
+      W.write_lv gctx (arg + 512) (Bytes.to_string secret);
+      1
+  | Some _ | None -> 0
+
+(* password gate: two-step getpwnam + verify kept for ease of coding, but
+   with the dummy-passwd fix — an unknown user takes the same path as a
+   wrong password, so the gate is not a username oracle (§5.2). *)
+let dummy_shadow_line user = user ^ ":0:dummysalt:" ^ String.make 64 '0'
+
+let auth_password_entry (env : Sshd_env.t) gctx ~trusted:_ ~arg =
+  let user = W.read_lv gctx (arg + 0) in
+  let password = W.read_lv gctx (arg + 256) in
+  match W.vfs_read gctx Sshd_env.shadow_path with
+  | Error _ -> 0
+  | Ok shadow ->
+      let line =
+        match Sshd_env.lookup_shadow shadow ~user with
+        | Some line -> line
+        | None -> dummy_shadow_line user
+      in
+      (* PAM scratch lives and dies in this callgate's private heap. *)
+      if Pam.authenticate gctx ~shadow_line:line ~user ~password then begin
+        promote_caller gctx env user;
+        1
+      end
+      else 0
+
+(* dsa_auth gate: check the offered key against the user's authorized_keys
+   and verify the session-bound proof. *)
+let auth_pubkey_entry (env : Sshd_env.t) gctx ~trusted:_ ~arg =
+  let user = W.read_lv gctx (arg + 0) in
+  let pub = W.read_lv gctx (arg + 256) in
+  let proof = W.read_lv gctx (arg + 1024) in
+  let session_fp = W.read_lv gctx (arg + 1280) in
+  match W.vfs_read gctx ("/home/" ^ user ^ "/.ssh/authorized_keys") with
+  | Error _ -> 0
+  | Ok keys ->
+      if
+        List.mem pub (String.split_on_char '\n' keys)
+        &&
+        match (Dsa.pub_of_string pub, Dsa.signature_of_string proof) with
+        | Some pk, Some signature ->
+            charge_dsa gctx;
+            Dsa.verify pk (P.auth_proof_binding ~session_fp ~user) ~signature
+        | _ -> false
+      then begin
+        promote_caller gctx env user;
+        1
+      end
+      else 0
+
+(* skey gate: op 1 issues a challenge (a deterministic dummy for unknown
+   users, fixing the Rembrandt 2002 leak); op 2 verifies and advances the
+   chain. *)
+let dummy_challenge user =
+  let h = Sha256.hex (Sha256.digest_string ("skey-dummy:" ^ user)) in
+  let seq = 40 + (Char.code h.[0] mod 50) in
+  (seq, "dk" ^ String.sub h 0 6)
+
+let skey_entry (env : Sshd_env.t) gctx ~trusted:_ ~arg =
+  let op = W.read_u8 gctx arg in
+  let user = W.read_lv gctx (arg + 8) in
+  let db () = match W.vfs_read gctx Sshd_env.skey_path with Ok d -> d | Error _ -> "" in
+  if op = 1 then begin
+    let seq, seed =
+      match
+        String.split_on_char '\n' (db ())
+        |> List.find_map (fun line ->
+               match Skey.entry_of_line line with
+               | Some e when e.Skey.user = user && not (Skey.exhausted e) ->
+                   Some (Skey.challenge e)
+               | _ -> None)
+      with
+      | Some c -> c
+      | None -> dummy_challenge user
+    in
+    W.write_u32 gctx (arg + 512) seq;
+    W.write_lv gctx (arg + 520) seed;
+    1
+  end
+  else begin
+    let response = W.read_lv gctx (arg + 256) in
+    let lines = String.split_on_char '\n' (db ()) in
+    let updated = ref false in
+    let lines' =
+      List.map
+        (fun line ->
+          match Skey.entry_of_line line with
+          | Some e when e.Skey.user = user -> (
+              match Skey.verify e ~response with
+              | Some e' ->
+                  updated := true;
+                  Skey.entry_to_line e'
+              | None -> line)
+          | _ -> line)
+        lines
+    in
+    if !updated then begin
+      ignore (W.vfs_write gctx Sshd_env.skey_path (String.concat "\n" lines'));
+      promote_caller gctx env user;
+      1
+    end
+    else 0
+  end
+
+(* ---------------- the worker's view of the gates ---------------- *)
+
+let worker_ops ctx ~arg_tag ~arg_block ~g_sign ~g_kex ~g_pass ~g_pub ~g_skey =
+  let perms = W.sc_create () in
+  W.sc_mem_add perms arg_tag Prot.RW;
+  let call g = W.cgate ctx g ~perms ~arg:arg_block in
+  {
+    Sshd_session.sign_kex =
+      (fun ~client_nonce ~server_nonce ->
+        W.write_lv ctx (arg_block + 0) (Bytes.to_string client_nonce);
+        W.write_lv ctx (arg_block + 256) (Bytes.to_string server_nonce);
+        if call g_sign = 1 then W.read_lv ctx (arg_block + 512) else "");
+    kex_decrypt =
+      (fun ct ->
+        W.write_lv ctx (arg_block + 0) (Bytes.to_string ct);
+        if call g_kex = 1 then Some (Bytes.of_string (W.read_lv ctx (arg_block + 512)))
+        else None);
+    auth_password =
+      (fun ~user ~password ->
+        if String.length user > 200 || String.length password > 200 then false
+        else begin
+          W.write_lv ctx (arg_block + 0) user;
+          W.write_lv ctx (arg_block + 256) password;
+          call g_pass = 1
+        end);
+    auth_pubkey =
+      (fun ~user ~pub ~proof ~session_fp ->
+        W.write_lv ctx (arg_block + 0) user;
+        W.write_lv ctx (arg_block + 256) pub;
+        W.write_lv ctx (arg_block + 1024) proof;
+        W.write_lv ctx (arg_block + 1280) session_fp;
+        call g_pub = 1);
+    skey_challenge =
+      (fun ~user ->
+        W.write_u8 ctx arg_block 1;
+        W.write_lv ctx (arg_block + 8) user;
+        if call g_skey = 1 then
+          Some (W.read_u32 ctx (arg_block + 512), W.read_lv ctx (arg_block + 520))
+        else None);
+    skey_verify =
+      (fun ~user ~response ->
+        W.write_u8 ctx arg_block 2;
+        W.write_lv ctx (arg_block + 8) user;
+        W.write_lv ctx (arg_block + 256) response;
+        call g_skey = 1);
+  }
+
+(* ---------------- master: one connection ---------------- *)
+
+let serve_connection ?(recycled = false) ?exploit (env : Sshd_env.t) ep =
+  let main = env.Sshd_env.main in
+  let arg_tag = W.tag_new ~name:"sshd.arg" ~pages:2 main in
+  let arg_block = W.smalloc main 6000 arg_tag in
+  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+  let worker_sc = W.sc_create () in
+  let hostkey_sc () =
+    let sc = W.sc_create () in
+    W.sc_mem_add sc env.Sshd_env.hostkey_tag Prot.R;
+    W.sc_mem_add sc env.Sshd_env.public_tag Prot.R;
+    sc
+  in
+  let g_sign =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"dsa_sign" ~entry:(dsa_sign_entry env)
+      ~cgsc:(hostkey_sc ()) ~trusted:0
+  in
+  let g_kex =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"rsa_kex" ~entry:(rsa_kex_entry env)
+      ~cgsc:(hostkey_sc ()) ~trusted:0
+  in
+  let g_pass =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"auth_password"
+      ~entry:(auth_password_entry env) ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  let g_pub =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"dsa_auth" ~entry:(auth_pubkey_entry env)
+      ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  let g_skey =
+    W.sc_cgate_add ~recycled main worker_sc ~name:"skey" ~entry:(skey_entry env)
+      ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  W.sc_mem_add worker_sc arg_tag Prot.RW;
+  W.sc_mem_add worker_sc env.Sshd_env.public_tag Prot.R;
+  W.sc_fd_add worker_sc fd Fd_table.perm_rw;
+  W.sc_set_uid worker_sc 99;
+  W.sc_set_root worker_sc "/var/empty";
+  let wrng_seed = Drbg.next64 env.Sshd_env.rng in
+  let final_uid = ref 99 in
+  let handle =
+    W.sthread_create main worker_sc
+      (fun ctx _ ->
+        let io = io_of_fd ctx fd in
+        let ops = worker_ops ctx ~arg_tag ~arg_block ~g_sign ~g_kex ~g_pass ~g_pub ~g_skey in
+        Sshd_session.run ~ctx ~io ~wrng:(Drbg.create ~seed:wrng_seed)
+          ~host_rsa_pub:(W.read_lv ctx env.Sshd_env.pub_rsa_addr)
+          ~host_dsa_pub:(W.read_lv ctx env.Sshd_env.pub_dsa_addr)
+          ~ops ~exploit;
+        final_uid := W.getuid ctx;
+        0)
+      0
+  in
+  ignore (W.sthread_join main handle);
+  W.fd_close main fd;
+  Chan.close ep;
+  let debug = { arg_tag; worker_status = W.handle_status handle; final_uid = !final_uid } in
+  W.tag_delete main arg_tag;
+  debug

@@ -1,0 +1,29 @@
+(** The Wedge-partitioned OpenSSH (Figure 6).
+
+    Per connection, the master spawns one {e worker} sthread that runs as
+    an unprivileged user with an empty filesystem root and holds only: the
+    connection descriptor, read access to the public host keys and
+    configuration, a read-write argument tag, and five callgates —
+    {e dsa_sign} (host signature over a hash the gate computes itself),
+    {e rsa_kex} (host-key decryption of the key-exchange secret), and one
+    authentication gate per mechanism ({e password}, {e dsa_auth},
+    {e skey}).  Since sthreads inherit no memory, nothing needs scrubbing.
+
+    Authentication cannot be skipped: only a successful authentication
+    callgate changes the worker's uid and filesystem root (the Privtrans
+    idiom).  The password gate returns a dummy verdict for unknown users
+    and the S/Key gate issues dummy challenges, so neither is a username
+    oracle (the two lessons of §5.2). *)
+
+type conn_debug = {
+  arg_tag : Wedge_mem.Tag.t;
+  worker_status : Wedge_kernel.Process.status;
+  final_uid : int;  (** the worker's uid when the session ended *)
+}
+
+val serve_connection :
+  ?recycled:bool ->
+  ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  Sshd_env.t ->
+  Wedge_net.Chan.ep ->
+  conn_debug

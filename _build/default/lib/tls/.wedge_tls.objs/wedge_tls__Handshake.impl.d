@@ -1,0 +1,1 @@
+lib/tls/handshake.ml: Buffer Bytes Char Record Result Session String Wedge_crypto Wire

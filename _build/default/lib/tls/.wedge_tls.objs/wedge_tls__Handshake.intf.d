@@ -1,0 +1,1 @@
+lib/tls/handshake.mli: Record Session Wedge_crypto Wire

@@ -1,0 +1,1 @@
+lib/tls/record.ml: Buffer Bytes Char Wedge_crypto

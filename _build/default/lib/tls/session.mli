@@ -1,0 +1,14 @@
+(** Server-side SSL session cache: session id -> master secret.
+
+    With caching on, a returning client skips the RSA key exchange — the
+    workload split that drives the two halves of Table 2. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val store : t -> sid:string -> master:bytes -> unit
+val lookup : t -> sid:string -> bytes option
+val size : t -> int
+val flush : t -> unit

@@ -1,0 +1,42 @@
+(** Message framing for the mini-SSL protocol ("wssl").
+
+    Each message is [type byte ++ u16 length ++ payload] over an abstract
+    byte-stream [io], so the same protocol code runs over simulated network
+    channels, over compartment file descriptors, or over an attacker's
+    captured trace. *)
+
+exception Closed
+(** The peer closed mid-message. *)
+
+type io = {
+  recv : int -> bytes;  (** exactly n bytes. @raise Closed on EOF *)
+  send : bytes -> unit;
+}
+
+val io_of_fns : recv:(int -> bytes option) -> send:(bytes -> unit) -> io
+(** Adapt read-up-to-n functions ([None] = EOF) into an exact-read [io]. *)
+
+(** Message types of the protocol. *)
+type mtype =
+  | Client_hello
+  | Server_hello
+  | Certificate
+  | Client_key_exchange
+  | Finished
+  | App_data
+  | Alert
+
+val mtype_to_char : mtype -> char
+val mtype_of_char : char -> mtype option
+
+val send_msg : io -> mtype -> bytes -> unit
+val recv_msg : io -> mtype * bytes
+(** @raise Closed on EOF, [Failure] on garbage. *)
+
+val frame : mtype -> bytes -> bytes
+(** The exact bytes [send_msg] would transmit (for transcript hashing and
+    for attackers crafting injections). *)
+
+val parse_frames : string -> (mtype * bytes) list
+(** Parse a captured byte trace into messages (eavesdropper's view);
+    ignores a trailing partial frame. *)

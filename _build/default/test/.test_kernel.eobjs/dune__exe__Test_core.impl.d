@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Char String Wedge_core Wedge_kernel Wedge_mem Wedge_sim

@@ -1,0 +1,1 @@
+test/test_crowbar.ml: Alcotest Array Filename List String Sys Wedge_core Wedge_crowbar Wedge_kernel Wedge_mem Wedge_sim

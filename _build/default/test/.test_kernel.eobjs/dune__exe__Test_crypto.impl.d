@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Hashtbl List Printf QCheck QCheck_alcotest String Wedge_crypto

@@ -1,0 +1,1 @@
+test/test_engine_extra.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_mem Wedge_net Wedge_sim

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest String Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_mem Wedge_net Wedge_pop3 Wedge_sim Wedge_sshd

@@ -1,0 +1,1 @@
+test/test_httpd.ml: Alcotest Buffer Bytes Char Fun List Option String Wedge_core Wedge_crypto Wedge_httpd Wedge_kernel Wedge_mem Wedge_net Wedge_sim Wedge_tls

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Bytes Gen List QCheck QCheck_alcotest Wedge_kernel Wedge_sim

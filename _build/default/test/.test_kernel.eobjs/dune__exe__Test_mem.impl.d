@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Gen Hashtbl List Printf QCheck QCheck_alcotest Wedge_kernel Wedge_mem Wedge_sim

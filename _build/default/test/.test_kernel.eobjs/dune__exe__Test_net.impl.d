@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Buffer Bytes Option String Wedge_net Wedge_sim

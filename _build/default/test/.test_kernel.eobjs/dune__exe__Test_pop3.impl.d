@@ -1,0 +1,1 @@
+test/test_pop3.ml: Alcotest List Option Wedge_core Wedge_kernel Wedge_net Wedge_pop3 Wedge_sim

@@ -1,0 +1,1 @@
+test/test_pop3.mli:

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest List Option Wedge_crowbar Wedge_sim Wedge_spec

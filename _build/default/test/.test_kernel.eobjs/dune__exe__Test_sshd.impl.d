@@ -1,0 +1,1 @@
+test/test_sshd.ml: Alcotest Bytes Char List Option QCheck QCheck_alcotest String Wedge_core Wedge_crypto Wedge_kernel Wedge_net Wedge_sim Wedge_sshd

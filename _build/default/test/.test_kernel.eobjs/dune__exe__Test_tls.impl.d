@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Buffer Bytes Char Gen Hashtbl List Option Printf QCheck QCheck_alcotest String Wedge_crypto Wedge_net Wedge_sim Wedge_tls

@@ -1,0 +1,427 @@
+(* Crypto substrate tests: bignum arithmetic (with qcheck properties against
+   native-int references), SHA-256 / HMAC / RC4 standard test vectors, prime
+   generation, RSA and DSA roundtrips and tamper-rejection. *)
+
+module B = Wedge_crypto.Bignum
+module Drbg = Wedge_crypto.Drbg
+module Prime = Wedge_crypto.Prime
+module Rsa = Wedge_crypto.Rsa
+module Dsa = Wedge_crypto.Dsa
+module Sha256 = Wedge_crypto.Sha256
+module Hmac = Wedge_crypto.Hmac
+module Rc4 = Wedge_crypto.Rc4
+
+let check = Alcotest.check
+let rng () = Drbg.create ~seed:0x5eed
+
+(* ---------- Bignum ---------- *)
+
+let test_bignum_int_roundtrip () =
+  List.iter
+    (fun n -> check Alcotest.int (string_of_int n) n (B.to_int (B.of_int n)))
+    [ 0; 1; 2; 255; 256; 65535; 1 lsl 26; (1 lsl 26) - 1; 123456789; max_int / 2 ]
+
+let test_bignum_hex () =
+  check Alcotest.string "hex" "deadbeef" (B.to_hex (B.of_hex "DEADBEEF"));
+  check Alcotest.string "zero" "0" (B.to_hex B.zero);
+  check Alcotest.int "hex value" 0xdeadbeef (B.to_int (B.of_hex "deadbeef"))
+
+let test_bignum_bytes_be () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  check Alcotest.int "of_bytes" 0x010203 (B.to_int (B.of_bytes_be b));
+  check Alcotest.string "to_bytes padded" "\x00\x01\x02\x03"
+    (Bytes.to_string (B.to_bytes_be ~len:4 (B.of_int 0x010203)));
+  (match B.to_bytes_be ~len:2 (B.of_int 0x010203) with
+  | _ -> Alcotest.fail "expected overflow rejection"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.string "zero is one byte" "\x00" (Bytes.to_string (B.to_bytes_be B.zero))
+
+let test_bignum_sub_negative_rejected () =
+  match B.sub (B.of_int 3) (B.of_int 5) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_bignum_divmod_by_zero () =
+  match B.divmod B.one B.zero with
+  | _ -> Alcotest.fail "expected Division_by_zero"
+  | exception Division_by_zero -> ()
+
+let test_bignum_modexp_known () =
+  (* 5^117 mod 19 = 1 (5 has order dividing 18; 117 mod 18 = 9; 5^9 mod 19 = 5^9 = 1953125 mod 19) *)
+  let v = B.modexp ~base:(B.of_int 5) ~exp:(B.of_int 117) ~m:(B.of_int 19) in
+  check Alcotest.int "5^117 mod 19" (let rec p b e m acc = if e = 0 then acc else p b (e-1) m (acc * b mod m) in p 5 117 19 1) (B.to_int v);
+  let v2 = B.modexp ~base:(B.of_hex "123456789abcdef") ~exp:(B.of_int 2) ~m:(B.of_hex "fffffffffffffff1") in
+  let expected =
+    let x = B.of_hex "123456789abcdef" in
+    B.rem (B.mul x x) (B.of_hex "fffffffffffffff1")
+  in
+  check Alcotest.bool "square mod big" true (B.equal v2 expected)
+
+let test_bignum_modinv () =
+  let m = B.of_int 97 in
+  for a = 1 to 96 do
+    let inv = B.modinv (B.of_int a) ~m in
+    check Alcotest.int (Printf.sprintf "inv %d" a) 1 (B.to_int (B.rem (B.mul (B.of_int a) inv) m))
+  done;
+  match B.modinv (B.of_int 6) ~m:(B.of_int 9) with
+  | _ -> Alcotest.fail "expected Not_found for non-coprime"
+  | exception Not_found -> ()
+
+let test_bignum_shift () =
+  let x = B.of_hex "123456789abcdef0" in
+  check Alcotest.bool "shl/shr inverse" true (B.equal x (B.shift_right (B.shift_left x 37) 37));
+  check Alcotest.int "shr drops" 0x12 (B.to_int (B.shift_right x 56));
+  check Alcotest.int "num_bits" 61 (B.num_bits x)
+
+let small = QCheck.int_range 0 0x3fffffff
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bignum add matches int" ~count:200 (QCheck.pair small small)
+    (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bignum mul matches int" ~count:200
+    (QCheck.pair (QCheck.int_range 0 0x7fffffff) (QCheck.int_range 0 0x7fffffff))
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"a = q*b + r with r < b" ~count:200
+    (QCheck.pair (QCheck.int_range 0 max_int) (QCheck.int_range 1 max_int))
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int q = a / b && B.to_int r = a mod b)
+
+let prop_big_divmod_identity =
+  (* Same identity over operands far beyond the int range. *)
+  QCheck.Test.make ~name:"big divmod reconstructs dividend" ~count:60
+    (QCheck.pair (QCheck.int_range 1 1_000_000) (QCheck.int_range 1 1_000_000))
+    (fun (sa, sb) ->
+      let ra = Drbg.create ~seed:sa and rb = Drbg.create ~seed:sb in
+      let a = B.random_bits ra ~bits:300 and b = B.random_bits rb ~bits:130 in
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r) && B.compare r b < 0)
+
+let prop_modexp_matches_naive =
+  QCheck.Test.make ~name:"modexp matches naive square-and-multiply" ~count:50
+    (QCheck.triple (QCheck.int_range 2 9999) (QCheck.int_range 0 50) (QCheck.int_range 2 9999))
+    (fun (b, e, m) ->
+      let rec naive acc i = if i = 0 then acc else naive (acc * b mod m) (i - 1) in
+      B.to_int (B.modexp ~base:(B.of_int b) ~exp:(B.of_int e) ~m:(B.of_int m)) = naive 1 e)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"of_bytes_be . to_bytes_be = id" ~count:100
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let r = Drbg.create ~seed in
+      let v = B.random_bits r ~bits:(1 + Drbg.int_below r 300) in
+      B.equal v (B.of_bytes_be (B.to_bytes_be v)))
+
+let test_bignum_modexp_edges () =
+  let m = B.of_int 97 in
+  check Alcotest.int "x^0 = 1" 1 (B.to_int (B.modexp ~base:(B.of_int 5) ~exp:B.zero ~m));
+  check Alcotest.int "0^x = 0" 0 (B.to_int (B.modexp ~base:B.zero ~exp:(B.of_int 5) ~m));
+  check Alcotest.int "mod 1 = 0" 0 (B.to_int (B.modexp ~base:(B.of_int 5) ~exp:(B.of_int 5) ~m:B.one));
+  match B.modexp ~base:B.one ~exp:B.one ~m:B.zero with
+  | _ -> Alcotest.fail "expected Division_by_zero"
+  | exception Division_by_zero -> ()
+
+let test_bignum_to_int_overflow () =
+  let huge = B.shift_left B.one 80 in
+  match B.to_int huge with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
+let test_dsa_params_are_sound () =
+  let p = Dsa.demo_params () in
+  (* q divides p-1 and g has order q. *)
+  check Alcotest.bool "q | p-1" true
+    (B.is_zero (B.rem (B.sub p.Dsa.p B.one) p.Dsa.q));
+  check Alcotest.bool "g^q = 1 mod p" true
+    (B.equal (B.modexp ~base:p.Dsa.g ~exp:p.Dsa.q ~m:p.Dsa.p) B.one);
+  check Alcotest.bool "g <> 1" false (B.equal p.Dsa.g B.one)
+
+(* ---------- SHA-256 ---------- *)
+
+let test_sha256_vectors () =
+  let t s = Sha256.hex (Sha256.digest_string s) in
+  check Alcotest.string "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" (t "");
+  check Alcotest.string "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" (t "abc");
+  check Alcotest.string "two-block"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (t "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check Alcotest.string "448-bit edge"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (t "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha256_incremental () =
+  let one_shot = Sha256.digest_string "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  List.iter (Sha256.update_string ctx) [ "the quick brown "; "fox jumps "; ""; "over the lazy dog" ];
+  check Alcotest.string "incremental = one-shot" (Sha256.hex one_shot) (Sha256.hex (Sha256.final ctx))
+
+let prop_sha256_incremental_split =
+  QCheck.Test.make ~name:"sha256: any split gives same digest" ~count:100
+    (QCheck.pair (QCheck.string_of_size (QCheck.Gen.int_range 0 300)) (QCheck.int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let ctx = Sha256.init () in
+      Sha256.update_string ctx (String.sub s 0 cut);
+      Sha256.update_string ctx (String.sub s cut (String.length s - cut));
+      Sha256.final ctx = Sha256.digest_string s)
+
+(* ---------- HMAC ---------- *)
+
+let test_hmac_rfc4231 () =
+  let tag1 = Hmac.mac ~key:(Bytes.make 20 '\x0b') (Bytes.of_string "Hi There") in
+  check Alcotest.string "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" (Sha256.hex tag1);
+  let tag2 = Hmac.mac ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?") in
+  check Alcotest.string "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" (Sha256.hex tag2);
+  (* long key (> block size) *)
+  let tag3 = Hmac.mac ~key:(Bytes.make 131 '\xaa') (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First") in
+  check Alcotest.string "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" (Sha256.hex tag3)
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "k" in
+  let data = Bytes.of_string "data" in
+  let tag = Hmac.mac ~key data in
+  check Alcotest.bool "accepts" true (Hmac.verify ~key data ~tag);
+  Bytes.set tag 5 (Char.chr (Char.code (Bytes.get tag 5) lxor 1));
+  check Alcotest.bool "rejects flipped bit" false (Hmac.verify ~key data ~tag);
+  check Alcotest.bool "rejects short tag" false (Hmac.verify ~key data ~tag:(Bytes.sub tag 0 16))
+
+(* ---------- RC4 ---------- *)
+
+let test_rc4_vectors () =
+  let t key pt =
+    Sha256.hex (Rc4.crypt (Rc4.create ~key:(Bytes.of_string key)) (Bytes.of_string pt))
+  in
+  ignore t;
+  let hexify b = String.concat "" (List.map (fun c -> Printf.sprintf "%02X" (Char.code c)) (List.of_seq (Bytes.to_seq b))) in
+  let enc key pt = hexify (Rc4.crypt (Rc4.create ~key:(Bytes.of_string key)) (Bytes.of_string pt)) in
+  check Alcotest.string "Key/Plaintext" "BBF316E8D940AF0AD3" (enc "Key" "Plaintext");
+  check Alcotest.string "Wiki/pedia" "1021BF0420" (enc "Wiki" "pedia");
+  check Alcotest.string "Secret/dawn" "45A01F645FC35B383552544B9BF5" (enc "Secret" "Attack at dawn")
+
+let test_rc4_roundtrip_and_state () =
+  let key = Bytes.of_string "some key" in
+  let enc = Rc4.create ~key and dec = Rc4.create ~key in
+  let msgs = [ "first"; "second message"; "third!" ] in
+  List.iter
+    (fun m ->
+      let ct = Rc4.crypt enc (Bytes.of_string m) in
+      check Alcotest.string "stream decrypts in order" m (Bytes.to_string (Rc4.crypt dec ct)))
+    msgs;
+  (* Serialisation preserves mid-stream state. *)
+  let enc2 = Rc4.deserialize (Rc4.serialize enc) in
+  let dec2 = Rc4.deserialize (Rc4.serialize dec) in
+  let ct = Rc4.crypt enc2 (Bytes.of_string "resumed") in
+  check Alcotest.string "state roundtrip" "resumed" (Bytes.to_string (Rc4.crypt dec2 ct))
+
+(* ---------- Prime ---------- *)
+
+let test_prime_known () =
+  let r = rng () in
+  List.iter
+    (fun (n, expect) ->
+      check Alcotest.bool (string_of_int n) expect (Prime.is_prime r (B.of_int n)))
+    [ (0, false); (1, false); (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *);
+      (7919, true); (7917, false); (104729, true); (104730, false) ]
+
+let test_prime_large () =
+  let r = rng () in
+  (* 2^89 - 1 is a Mersenne prime; 2^67 - 1 is famously composite. *)
+  let m89 = B.sub (B.shift_left B.one 89) B.one in
+  let m67 = B.sub (B.shift_left B.one 67) B.one in
+  check Alcotest.bool "M89 prime" true (Prime.is_prime r m89);
+  check Alcotest.bool "M67 composite" false (Prime.is_prime r m67)
+
+let test_gen_prime_bits () =
+  let r = rng () in
+  let p = Prime.gen_prime r ~bits:64 in
+  check Alcotest.int "exact bits" 64 (B.num_bits p);
+  check Alcotest.bool "prime" true (Prime.is_prime r p)
+
+(* ---------- RSA ---------- *)
+
+let test_rsa_roundtrip () =
+  let k = Rsa.demo_key () in
+  let r = rng () in
+  let msg = Bytes.of_string "premaster-secret-48-bytes-................" in
+  let ct = Rsa.encrypt r k.Rsa.pub msg in
+  check Alcotest.bool "decrypts" true (Rsa.decrypt k ct = Some msg)
+
+let test_rsa_padding_randomizes () =
+  let k = Rsa.demo_key () in
+  let r = rng () in
+  let msg = Bytes.of_string "same message" in
+  let c1 = Rsa.encrypt r k.Rsa.pub msg and c2 = Rsa.encrypt r k.Rsa.pub msg in
+  check Alcotest.bool "ciphertexts differ" false (Bytes.equal c1 c2)
+
+let test_rsa_wrong_key_fails () =
+  let k1 = Rsa.demo_key () and k2 = Rsa.demo_key2 () in
+  let r = rng () in
+  let ct = Rsa.encrypt r k1.Rsa.pub (Bytes.of_string "for key 1") in
+  check Alcotest.bool "other key cannot decrypt" true (Rsa.decrypt k2 ct <> Some (Bytes.of_string "for key 1"))
+
+let test_rsa_tampered_ct_fails () =
+  let k = Rsa.demo_key () in
+  let r = rng () in
+  let ct = Rsa.encrypt r k.Rsa.pub (Bytes.of_string "payload") in
+  Bytes.set ct 10 (Char.chr (Char.code (Bytes.get ct 10) lxor 0x40));
+  check Alcotest.bool "padding check rejects" true (Rsa.decrypt k ct <> Some (Bytes.of_string "payload"))
+
+let test_rsa_sign_verify () =
+  let k = Rsa.demo_key () in
+  let msg = Bytes.of_string "host key proof" in
+  let signature = Rsa.sign k msg in
+  check Alcotest.bool "verifies" true (Rsa.verify k.Rsa.pub msg ~signature);
+  check Alcotest.bool "wrong message rejected" false
+    (Rsa.verify k.Rsa.pub (Bytes.of_string "other") ~signature);
+  Bytes.set signature 3 'X';
+  check Alcotest.bool "tampered signature rejected" false (Rsa.verify k.Rsa.pub msg ~signature)
+
+let test_rsa_pub_serialization () =
+  let k = Rsa.demo_key () in
+  match Rsa.pub_of_string (Rsa.pub_to_string k.Rsa.pub) with
+  | Some p ->
+      check Alcotest.bool "n" true (B.equal p.Rsa.n k.Rsa.pub.Rsa.n);
+      check Alcotest.bool "e" true (B.equal p.Rsa.e k.Rsa.pub.Rsa.e)
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_rsa_max_payload_enforced () =
+  let k = Rsa.demo_key () in
+  let r = rng () in
+  let too_big = Bytes.create (Rsa.max_payload k.Rsa.pub + 1) in
+  match Rsa.encrypt r k.Rsa.pub too_big with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let prop_rsa_roundtrip_random =
+  QCheck.Test.make ~name:"rsa roundtrips random payloads" ~count:15
+    (QCheck.string_of_size (QCheck.Gen.int_range 1 30))
+    (fun s ->
+      let k = Rsa.demo_key () in
+      let r = Drbg.create ~seed:(Hashtbl.hash s) in
+      Rsa.decrypt k (Rsa.encrypt r k.Rsa.pub (Bytes.of_string s)) = Some (Bytes.of_string s))
+
+(* ---------- DSA ---------- *)
+
+let test_dsa_sign_verify () =
+  let r = rng () in
+  let params = Dsa.demo_params () in
+  let key = Dsa.keygen r params in
+  let msg = Bytes.of_string "authenticate me" in
+  let signature = Dsa.sign r key msg in
+  check Alcotest.bool "verifies" true (Dsa.verify key.Dsa.pub msg ~signature);
+  check Alcotest.bool "other message rejected" false
+    (Dsa.verify key.Dsa.pub (Bytes.of_string "forged") ~signature)
+
+let test_dsa_wrong_key_rejected () =
+  let r = rng () in
+  let params = Dsa.demo_params () in
+  let k1 = Dsa.keygen r params and k2 = Dsa.keygen r params in
+  let msg = Bytes.of_string "msg" in
+  let signature = Dsa.sign r k1 msg in
+  check Alcotest.bool "k2 pub rejects k1 sig" false (Dsa.verify k2.Dsa.pub msg ~signature)
+
+let test_dsa_signature_randomized () =
+  let r = rng () in
+  let params = Dsa.demo_params () in
+  let key = Dsa.keygen r params in
+  let msg = Bytes.of_string "m" in
+  let r1, s1 = Dsa.sign r key msg and r2, s2 = Dsa.sign r key msg in
+  check Alcotest.bool "nonces differ" false (B.equal r1 r2 && B.equal s1 s2)
+
+(* ---------- Drbg ---------- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:7 and b = Drbg.create ~seed:7 in
+  check Alcotest.string "same stream" (Bytes.to_string (Drbg.bytes a 64)) (Bytes.to_string (Drbg.bytes b 64));
+  let c = Drbg.create ~seed:8 in
+  check Alcotest.bool "different seed differs" false
+    (Bytes.equal (Drbg.bytes (Drbg.create ~seed:7) 64) (Drbg.bytes c 64))
+
+let test_drbg_int_below_range () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Drbg.int_below r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "wedge_crypto"
+    [
+      ( "bignum",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_bignum_int_roundtrip;
+          Alcotest.test_case "hex" `Quick test_bignum_hex;
+          Alcotest.test_case "bytes be" `Quick test_bignum_bytes_be;
+          Alcotest.test_case "negative sub rejected" `Quick test_bignum_sub_negative_rejected;
+          Alcotest.test_case "div by zero" `Quick test_bignum_divmod_by_zero;
+          Alcotest.test_case "modexp known" `Quick test_bignum_modexp_known;
+          Alcotest.test_case "modinv exhaustive mod 97" `Quick test_bignum_modinv;
+          Alcotest.test_case "shifts" `Quick test_bignum_shift;
+          Alcotest.test_case "modexp edges" `Quick test_bignum_modexp_edges;
+          Alcotest.test_case "to_int overflow" `Quick test_bignum_to_int_overflow;
+        ] );
+      ( "bignum-properties",
+        qcheck
+          [
+            prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_divmod_identity;
+            prop_big_divmod_identity;
+            prop_modexp_matches_naive;
+            prop_bytes_roundtrip;
+          ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+        ]
+        @ qcheck [ prop_sha256_incremental_split ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "rc4",
+        [
+          Alcotest.test_case "classic vectors" `Quick test_rc4_vectors;
+          Alcotest.test_case "roundtrip + state" `Quick test_rc4_roundtrip_and_state;
+        ] );
+      ( "prime",
+        [
+          Alcotest.test_case "known primes" `Quick test_prime_known;
+          Alcotest.test_case "large Mersenne" `Quick test_prime_large;
+          Alcotest.test_case "gen_prime size" `Quick test_gen_prime_bits;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip;
+          Alcotest.test_case "padding randomizes" `Quick test_rsa_padding_randomizes;
+          Alcotest.test_case "wrong key fails" `Quick test_rsa_wrong_key_fails;
+          Alcotest.test_case "tampered ciphertext" `Quick test_rsa_tampered_ct_fails;
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "pub serialization" `Quick test_rsa_pub_serialization;
+          Alcotest.test_case "max payload" `Quick test_rsa_max_payload_enforced;
+        ]
+        @ qcheck [ prop_rsa_roundtrip_random ] );
+      ( "dsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_dsa_sign_verify;
+          Alcotest.test_case "wrong key" `Quick test_dsa_wrong_key_rejected;
+          Alcotest.test_case "randomized" `Quick test_dsa_signature_randomized;
+          Alcotest.test_case "parameters sound" `Quick test_dsa_params_are_sound;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "int_below range" `Quick test_drbg_int_below_range;
+        ] );
+    ]

@@ -1,0 +1,466 @@
+(* Tests for the simulated machine and OS: physical memory, page tables,
+   the VM layer (protection, COW), VFS permissions, fd tables, SELinux. *)
+
+module Physmem = Wedge_kernel.Physmem
+module Pagetable = Wedge_kernel.Pagetable
+module Vm = Wedge_kernel.Vm
+module Prot = Wedge_kernel.Prot
+module Vfs = Wedge_kernel.Vfs
+module Fd_table = Wedge_kernel.Fd_table
+module Selinux = Wedge_kernel.Selinux
+module Kernel = Wedge_kernel.Kernel
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+
+let check = Alcotest.check
+let ps = Physmem.page_size
+
+let mk_vm ?(pid = 1) () =
+  let pm = Physmem.create () in
+  (pm, Vm.create ~pid pm (Clock.create ()) Cost_model.free)
+
+let expect_fault f =
+  match f () with
+  | _ -> Alcotest.fail "expected Vm.Fault"
+  | exception Vm.Fault _ -> ()
+
+(* ---------- Physmem ---------- *)
+
+let test_physmem_alloc_zeroed () =
+  let pm = Physmem.create () in
+  let f = Physmem.alloc pm in
+  let b = Physmem.get pm f in
+  check Alcotest.int "page size" ps (Bytes.length b);
+  check Alcotest.bool "zeroed" true (Bytes.for_all (fun c -> c = '\000') b)
+
+let test_physmem_refcount () =
+  let pm = Physmem.create () in
+  let f = Physmem.alloc pm in
+  Physmem.incref pm f;
+  check Alcotest.int "refcount 2" 2 (Physmem.refcount pm f);
+  Physmem.decref pm f;
+  check Alcotest.int "still live" 1 (Physmem.refcount pm f);
+  Physmem.decref pm f;
+  check Alcotest.int "freed" 0 (Physmem.frames_in_use pm)
+
+let test_physmem_reuse () =
+  let pm = Physmem.create () in
+  let f = Physmem.alloc pm in
+  Bytes.set (Physmem.get pm f) 0 'x';
+  Physmem.decref pm f;
+  let g = Physmem.alloc pm in
+  check Alcotest.int "frame number reused" f g;
+  check Alcotest.char "scrubbed on alloc" '\000' (Bytes.get (Physmem.get pm g) 0)
+
+let test_physmem_dead_access () =
+  let pm = Physmem.create () in
+  let f = Physmem.alloc pm in
+  Physmem.decref pm f;
+  (match Physmem.get pm f with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.bool "ok" true true
+
+let test_physmem_growth () =
+  let pm = Physmem.create () in
+  let frames = List.init 300 (fun _ -> Physmem.alloc pm) in
+  check Alcotest.int "300 in use" 300 (Physmem.frames_in_use pm);
+  List.iter (fun f -> Physmem.decref pm f) frames;
+  check Alcotest.int "all freed" 0 (Physmem.frames_in_use pm)
+
+(* ---------- Vm: mapping, protection, COW ---------- *)
+
+let test_vm_rw_roundtrip () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:2 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_u64 vm 0x1ffc 0x1122334455667788;
+  (* crosses a page boundary *)
+  check Alcotest.int "u64 across pages" 0x1122334455667788 (Vm.read_u64 vm 0x1ffc);
+  Vm.write_bytes vm 0x1800 (Bytes.of_string "hello world");
+  check Alcotest.string "bytes" "hello world" (Bytes.to_string (Vm.read_bytes vm 0x1800 11))
+
+let test_vm_unmapped_faults () =
+  let _, vm = mk_vm () in
+  expect_fault (fun () -> Vm.read_u8 vm 0x5000);
+  expect_fault (fun () -> Vm.write_u8 vm 0x5000 1)
+
+let test_vm_readonly_faults_on_write () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_r ~tag:None;
+  check Alcotest.int "read ok" 0 (Vm.read_u8 vm 0x1000);
+  expect_fault (fun () -> Vm.write_u8 vm 0x1000 7)
+
+let test_vm_noread_faults () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_none ~tag:None;
+  expect_fault (fun () -> Vm.read_u8 vm 0x1000)
+
+let test_vm_fault_is_partial_read_safe () =
+  (* A bulk read that crosses into a forbidden page must fault, not return
+     partial data. *)
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.map_fresh vm ~addr:0x2000 ~pages:1 ~prot:Prot.page_none ~tag:None;
+  expect_fault (fun () -> Vm.read_bytes vm 0x1ff0 32)
+
+let test_vm_cow_break_isolates () =
+  let pm = Physmem.create () in
+  let clock = Clock.create () in
+  let vm1 = Vm.create ~pid:1 pm clock Cost_model.free in
+  let vm2 = Vm.create ~pid:2 pm clock Cost_model.free in
+  Vm.map_fresh vm1 ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_bytes vm1 0x1000 (Bytes.of_string "shared");
+  (* Share the page COW into vm2. *)
+  Vm.share_range ~src:vm1 ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_cow;
+  check Alcotest.string "vm2 sees data" "shared"
+    (Bytes.to_string (Vm.read_bytes vm2 0x1000 6));
+  Vm.write_bytes vm2 0x1000 (Bytes.of_string "child!");
+  check Alcotest.string "vm2 sees its write" "child!"
+    (Bytes.to_string (Vm.read_bytes vm2 0x1000 6));
+  check Alcotest.string "vm1 unaffected" "shared"
+    (Bytes.to_string (Vm.read_bytes vm1 0x1000 6))
+
+let test_vm_cow_sole_owner_claims_in_place () =
+  let pm, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_cow ~tag:None;
+  let before = Physmem.frames_in_use pm in
+  Vm.write_u8 vm 0x1000 42;
+  check Alcotest.int "no copy when refcount = 1" before (Physmem.frames_in_use pm);
+  check Alcotest.int "write visible" 42 (Vm.read_u8 vm 0x1000)
+
+let test_vm_cow_charges_cost () =
+  let pm = Physmem.create () in
+  let clock = Clock.create () in
+  let vm1 = Vm.create ~pid:1 pm clock Cost_model.default in
+  let vm2 = Vm.create ~pid:2 pm clock Cost_model.default in
+  Vm.map_fresh vm1 ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.share_range ~src:vm1 ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_cow;
+  let t0 = Clock.now clock in
+  Vm.write_u8 vm2 0x1000 1;
+  check Alcotest.bool "COW break charged" true
+    (Clock.now clock - t0 >= Cost_model.default.Cost_model.page_copy)
+
+let test_vm_share_readonly_then_write_faults () =
+  let pm = Physmem.create () in
+  let clock = Clock.create () in
+  let vm1 = Vm.create ~pid:1 pm clock Cost_model.free in
+  let vm2 = Vm.create ~pid:2 pm clock Cost_model.free in
+  Vm.map_fresh vm1 ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.share_range ~src:vm1 ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_r;
+  expect_fault (fun () -> Vm.write_u8 vm2 0x1000 1)
+
+let test_vm_unmap_releases_frames () =
+  let pm, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:4 ~prot:Prot.page_rw ~tag:None;
+  check Alcotest.int "4 frames" 4 (Physmem.frames_in_use pm);
+  Vm.unmap_range vm ~addr:0x1000 ~pages:4;
+  check Alcotest.int "freed" 0 (Physmem.frames_in_use pm);
+  expect_fault (fun () -> Vm.read_u8 vm 0x1000)
+
+let test_vm_destroy () =
+  let pm, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:3 ~prot:Prot.page_rw ~tag:None;
+  Vm.map_fresh vm ~addr:0x9000 ~pages:2 ~prot:Prot.page_r ~tag:None;
+  Vm.destroy vm;
+  check Alcotest.int "all frames released" 0 (Physmem.frames_in_use pm);
+  check Alcotest.int "no mappings" 0 (Vm.mapped_pages vm)
+
+let test_vm_kernel_write_preserves_shared_frame () =
+  (* A kernel write into a COW page must not alter the shared frame. *)
+  let pm = Physmem.create () in
+  let clock = Clock.create () in
+  let vm1 = Vm.create ~pid:1 pm clock Cost_model.free in
+  let vm2 = Vm.create ~pid:2 pm clock Cost_model.free in
+  Vm.map_fresh vm1 ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_bytes vm1 0x1000 (Bytes.of_string "orig");
+  Vm.share_range ~src:vm1 ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_cow;
+  Vm.write_bytes_kernel vm2 0x1000 (Bytes.of_string "kern");
+  check Alcotest.string "vm1 keeps original" "orig"
+    (Bytes.to_string (Vm.read_bytes vm1 0x1000 4));
+  check Alcotest.string "vm2 got kernel data" "kern"
+    (Bytes.to_string (Vm.read_bytes vm2 0x1000 4))
+
+let test_vm_can_read_write_probes () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_r ~tag:None;
+  check Alcotest.bool "can_read" true (Vm.can_read vm ~addr:0x1000 ~len:16);
+  check Alcotest.bool "cannot write" false (Vm.can_write vm ~addr:0x1000 ~len:16);
+  check Alcotest.bool "unmapped" false (Vm.can_read vm ~addr:0x8000 ~len:1);
+  check Alcotest.bool "crossing into unmapped" false (Vm.can_read vm ~addr:0x1ff0 ~len:32)
+
+(* Random map/share/unmap/write sequences across three address spaces must
+   never corrupt reference counts: destroying everything frees every
+   frame. *)
+let prop_refcount_invariant =
+  QCheck.Test.make ~name:"frame refcounts survive random mapping traffic" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 40) (pair (int_range 0 5) (int_range 0 15)))
+    (fun ops ->
+      let pm = Physmem.create () in
+      let clock = Clock.create () in
+      let vms = Array.init 3 (fun pid -> Vm.create ~pid pm clock Cost_model.free) in
+      let mapped = Array.make 3 [] in
+      List.iter
+        (fun (op, page) ->
+          let vm_i = page mod 3 in
+          let vm = vms.(vm_i) in
+          let addr = 0x10000 + (page * 4096) in
+          match op with
+          | 0 | 1 ->
+              if not (List.mem addr mapped.(vm_i)) then begin
+                Vm.map_fresh vm ~addr ~pages:1 ~prot:Prot.page_rw ~tag:None;
+                mapped.(vm_i) <- addr :: mapped.(vm_i)
+              end
+          | 2 ->
+              (* share from another vm if it has this page *)
+              let src_i = (vm_i + 1) mod 3 in
+              if List.mem addr mapped.(src_i) && not (List.mem addr mapped.(vm_i)) then begin
+                Vm.share_range ~src:vms.(src_i) ~dst:vm ~addr ~pages:1 ~prot:Prot.page_cow;
+                mapped.(vm_i) <- addr :: mapped.(vm_i)
+              end
+          | 3 ->
+              if List.mem addr mapped.(vm_i) then begin
+                Vm.unmap_range vm ~addr ~pages:1;
+                mapped.(vm_i) <- List.filter (fun a -> a <> addr) mapped.(vm_i)
+              end
+          | _ ->
+              if List.mem addr mapped.(vm_i) then
+                (* a write may trigger a COW break *)
+                (try Vm.write_u8 vm addr 1 with Vm.Fault _ -> ()))
+        ops;
+      Array.iter Vm.destroy vms;
+      Physmem.frames_in_use pm = 0)
+
+(* ---------- Pagetable ---------- *)
+
+let test_pagetable_double_map_rejected () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~vpn:5 ~frame:1 ~prot:Prot.page_rw ~tag:None;
+  (match Pagetable.map pt ~vpn:5 ~frame:2 ~prot:Prot.page_rw ~tag:None with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "count" 1 (Pagetable.count pt)
+
+let test_pagetable_unmap () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~vpn:5 ~frame:1 ~prot:Prot.page_rw ~tag:(Some 3);
+  (match Pagetable.unmap pt ~vpn:5 with
+  | Some pte -> check Alcotest.int "frame" 1 pte.Pagetable.frame
+  | None -> Alcotest.fail "expected pte");
+  check Alcotest.bool "gone" false (Pagetable.mem pt ~vpn:5);
+  check Alcotest.bool "unmap missing is None" true (Pagetable.unmap pt ~vpn:5 = None)
+
+(* ---------- Prot ---------- *)
+
+let test_prot_subsumption () =
+  let open Prot in
+  check Alcotest.bool "rw > r" true (grant_subsumes ~parent:RW ~child:R);
+  check Alcotest.bool "rw > cow" true (grant_subsumes ~parent:RW ~child:COW);
+  check Alcotest.bool "r < rw" false (grant_subsumes ~parent:R ~child:RW);
+  check Alcotest.bool "cow < rw" false (grant_subsumes ~parent:COW ~child:RW);
+  check Alcotest.bool "r > cow" true (grant_subsumes ~parent:R ~child:COW);
+  check Alcotest.bool "cow > r" true (grant_subsumes ~parent:COW ~child:R)
+
+(* ---------- Vfs ---------- *)
+
+let mk_vfs () =
+  let v = Vfs.create () in
+  Vfs.mkdir_p v "/etc";
+  Vfs.install v ~uid:0 ~mode:0o600 "/etc/shadow" "root:hash";
+  Vfs.install v ~uid:0 ~mode:0o644 "/etc/motd" "welcome";
+  Vfs.mkdir_p v ~uid:1000 ~mode:0o755 "/home/alice";
+  Vfs.install v ~uid:1000 ~mode:0o600 "/home/alice/secret" "alice-data";
+  v
+
+let test_vfs_read_modes () =
+  let v = mk_vfs () in
+  check Alcotest.bool "root reads shadow" true
+    (Vfs.read_file v ~root:"/" ~uid:0 "/etc/shadow" = Ok "root:hash");
+  check Alcotest.bool "user denied shadow" true
+    (Vfs.read_file v ~root:"/" ~uid:1000 "/etc/shadow" = Error Vfs.Eacces);
+  check Alcotest.bool "user reads motd" true
+    (Vfs.read_file v ~root:"/" ~uid:1000 "/etc/motd" = Ok "welcome");
+  check Alcotest.bool "owner reads own" true
+    (Vfs.read_file v ~root:"/" ~uid:1000 "/home/alice/secret" = Ok "alice-data");
+  check Alcotest.bool "other denied" true
+    (Vfs.read_file v ~root:"/" ~uid:1001 "/home/alice/secret" = Error Vfs.Eacces)
+
+let test_vfs_chroot_confines () =
+  let v = mk_vfs () in
+  Vfs.mkdir_p v "/jail";
+  Vfs.install v "/jail/etc/motd" "jailed";
+  check Alcotest.bool "resolves inside jail" true
+    (Vfs.read_file v ~root:"/jail" ~uid:1000 "/etc/motd" = Ok "jailed");
+  check Alcotest.bool "host shadow invisible" true
+    (Vfs.read_file v ~root:"/jail" ~uid:0 "/etc/shadow" = Error Vfs.Enoent)
+
+let test_vfs_empty_chroot () =
+  let v = mk_vfs () in
+  Vfs.mkdir_p v "/var/empty";
+  check Alcotest.bool "nothing there" true
+    (Vfs.read_file v ~root:"/var/empty" ~uid:99 "/etc/motd" = Error Vfs.Enoent)
+
+let test_vfs_write_and_append () =
+  let v = mk_vfs () in
+  check Alcotest.bool "create" true (Vfs.write_file v ~root:"/" ~uid:0 "/etc/new" "a" = Ok ());
+  check Alcotest.bool "append" true (Vfs.append_file v ~root:"/" ~uid:0 "/etc/new" "b" = Ok ());
+  check Alcotest.bool "contents" true (Vfs.read_file v ~root:"/" ~uid:0 "/etc/new" = Ok "ab");
+  check Alcotest.bool "non-owner write denied" true
+    (Vfs.write_file v ~root:"/" ~uid:1000 "/etc/motd" "x" = Error Vfs.Eacces)
+
+let test_vfs_readdir_and_unlink () =
+  let v = mk_vfs () in
+  (match Vfs.readdir v ~root:"/" ~uid:0 "/etc" with
+  | Ok l -> check (Alcotest.list Alcotest.string) "listing" [ "motd"; "shadow" ] l
+  | Error _ -> Alcotest.fail "readdir failed");
+  check Alcotest.bool "unlink" true (Vfs.unlink v ~root:"/" ~uid:0 "/etc/motd" = Ok ());
+  check Alcotest.bool "gone" false (Vfs.exists v ~root:"/" "/etc/motd")
+
+let test_vfs_chmod_chown () =
+  let v = mk_vfs () in
+  Vfs.chmod v "/etc/shadow" ~mode:0o644;
+  check Alcotest.bool "now readable" true
+    (Vfs.read_file v ~root:"/" ~uid:1000 "/etc/shadow" = Ok "root:hash");
+  Vfs.chown v "/etc/shadow" ~uid:1000;
+  check Alcotest.bool "stat uid" true (Vfs.stat_uid v "/etc/shadow" = Ok 1000)
+
+(* ---------- Fd_table ---------- *)
+
+let test_fd_perm_subsumption () =
+  let open Fd_table in
+  check Alcotest.bool "rw > r" true (perm_subsumes ~parent:perm_rw ~child:perm_r);
+  check Alcotest.bool "r < w" false (perm_subsumes ~parent:perm_r ~child:perm_w);
+  check Alcotest.bool "r = r" true (perm_subsumes ~parent:perm_r ~child:perm_r)
+
+let test_fd_dup_reduces_only () =
+  let src = Fd_table.create () in
+  let dst = Fd_table.create () in
+  let fd = Fd_table.add src Fd_table.Null Fd_table.perm_r in
+  (match Fd_table.dup_into ~src ~dst ~fd ~perm:Fd_table.perm_rw with
+  | _ -> Alcotest.fail "expected escalation rejection"
+  | exception Invalid_argument _ -> ());
+  Fd_table.dup_into ~src ~dst ~fd ~perm:Fd_table.perm_r;
+  check Alcotest.int "dst has one fd" 1 (Fd_table.count dst)
+
+let test_fd_close_independent () =
+  let src = Fd_table.create () in
+  let dst = Fd_table.create () in
+  let fd = Fd_table.add src Fd_table.Null Fd_table.perm_rw in
+  Fd_table.dup_into ~src ~dst ~fd ~perm:Fd_table.perm_rw;
+  Fd_table.close dst fd;
+  check Alcotest.bool "src still open" true (Fd_table.find src fd <> None);
+  check Alcotest.bool "dst closed" true (Fd_table.find dst fd = None)
+
+(* ---------- Selinux ---------- *)
+
+let test_selinux_domain_policy () =
+  let se = Selinux.create ~default_allow:false () in
+  Selinux.allow se ~domain:"worker_t" ~syscall:"read";
+  check Alcotest.bool "allowed" true (Selinux.check se ~sid:"u:r:worker_t" ~syscall:"read");
+  check Alcotest.bool "denied other call" false
+    (Selinux.check se ~sid:"u:r:worker_t" ~syscall:"open");
+  check Alcotest.bool "unknown domain denied" false
+    (Selinux.check se ~sid:"u:r:other_t" ~syscall:"read");
+  Selinux.allow_all_syscalls se ~domain:"init_t";
+  check Alcotest.bool "all granted" true (Selinux.check se ~sid:"u:r:init_t" ~syscall:"anything")
+
+let test_selinux_transitions () =
+  let se = Selinux.create () in
+  check Alcotest.bool "identity ok" true
+    (Selinux.may_transition se ~from_:"u:r:a_t" ~to_:"u:r:a_t");
+  check Alcotest.bool "unknown denied" false
+    (Selinux.may_transition se ~from_:"u:r:a_t" ~to_:"u:r:b_t");
+  Selinux.allow_transition se ~from_:"a_t" ~to_:"b_t";
+  check Alcotest.bool "explicit allowed" true
+    (Selinux.may_transition se ~from_:"u:r:a_t" ~to_:"u:r:b_t")
+
+(* ---------- Kernel ---------- *)
+
+let test_kernel_process_lifecycle () =
+  let k = Kernel.create () in
+  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:t" in
+  check Alcotest.bool "found" true (Kernel.find_process k p.Wedge_kernel.Process.pid <> None);
+  check Alcotest.int "live" 1 (Kernel.live_processes k);
+  p.Wedge_kernel.Process.status <- Wedge_kernel.Process.Exited 0;
+  Kernel.reap k p;
+  check Alcotest.bool "reaped" true (Kernel.find_process k p.Wedge_kernel.Process.pid = None)
+
+let test_kernel_syscall_denial () =
+  let k = Kernel.create () in
+  let se = k.Kernel.selinux in
+  Selinux.allow se ~domain:"locked_t" ~syscall:"read";
+  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:locked_t" in
+  Kernel.syscall_check k p "read";
+  (match Kernel.syscall_check k p "open" with
+  | _ -> Alcotest.fail "expected Eperm"
+  | exception Kernel.Eperm _ -> ());
+  check Alcotest.bool "ok" true true
+
+let test_kernel_trap_charges () =
+  let k = Kernel.create () in
+  let t0 = Clock.now k.Kernel.clock in
+  Kernel.trap k "test";
+  check Alcotest.bool "charged" true
+    (Clock.now k.Kernel.clock - t0 = Cost_model.default.Cost_model.syscall_trap)
+
+let () =
+  Alcotest.run "wedge_kernel"
+    [
+      ( "physmem",
+        [
+          Alcotest.test_case "alloc zeroed" `Quick test_physmem_alloc_zeroed;
+          Alcotest.test_case "refcount" `Quick test_physmem_refcount;
+          Alcotest.test_case "frame reuse" `Quick test_physmem_reuse;
+          Alcotest.test_case "dead frame access" `Quick test_physmem_dead_access;
+          Alcotest.test_case "growth" `Quick test_physmem_growth;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "rw roundtrip" `Quick test_vm_rw_roundtrip;
+          Alcotest.test_case "unmapped faults" `Quick test_vm_unmapped_faults;
+          Alcotest.test_case "read-only write faults" `Quick test_vm_readonly_faults_on_write;
+          Alcotest.test_case "no-read faults" `Quick test_vm_noread_faults;
+          Alcotest.test_case "partial read faults" `Quick test_vm_fault_is_partial_read_safe;
+          Alcotest.test_case "COW break isolates" `Quick test_vm_cow_break_isolates;
+          Alcotest.test_case "COW sole owner in place" `Quick test_vm_cow_sole_owner_claims_in_place;
+          Alcotest.test_case "COW charges cost" `Quick test_vm_cow_charges_cost;
+          Alcotest.test_case "shared read-only write faults" `Quick test_vm_share_readonly_then_write_faults;
+          Alcotest.test_case "unmap releases frames" `Quick test_vm_unmap_releases_frames;
+          Alcotest.test_case "destroy" `Quick test_vm_destroy;
+          Alcotest.test_case "kernel write preserves shared frame" `Quick
+            test_vm_kernel_write_preserves_shared_frame;
+          Alcotest.test_case "probes" `Quick test_vm_can_read_write_probes;
+        ] );
+      ("vm-properties", List.map QCheck_alcotest.to_alcotest [ prop_refcount_invariant ]);
+      ( "pagetable",
+        [
+          Alcotest.test_case "double map rejected" `Quick test_pagetable_double_map_rejected;
+          Alcotest.test_case "unmap" `Quick test_pagetable_unmap;
+        ] );
+      ("prot", [ Alcotest.test_case "grant subsumption" `Quick test_prot_subsumption ]);
+      ( "vfs",
+        [
+          Alcotest.test_case "read modes" `Quick test_vfs_read_modes;
+          Alcotest.test_case "chroot confines" `Quick test_vfs_chroot_confines;
+          Alcotest.test_case "empty chroot" `Quick test_vfs_empty_chroot;
+          Alcotest.test_case "write and append" `Quick test_vfs_write_and_append;
+          Alcotest.test_case "readdir and unlink" `Quick test_vfs_readdir_and_unlink;
+          Alcotest.test_case "chmod chown" `Quick test_vfs_chmod_chown;
+        ] );
+      ( "fd_table",
+        [
+          Alcotest.test_case "perm subsumption" `Quick test_fd_perm_subsumption;
+          Alcotest.test_case "dup reduces only" `Quick test_fd_dup_reduces_only;
+          Alcotest.test_case "close independent" `Quick test_fd_close_independent;
+        ] );
+      ( "selinux",
+        [
+          Alcotest.test_case "domain policy" `Quick test_selinux_domain_policy;
+          Alcotest.test_case "transitions" `Quick test_selinux_transitions;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "process lifecycle" `Quick test_kernel_process_lifecycle;
+          Alcotest.test_case "syscall denial" `Quick test_kernel_syscall_denial;
+          Alcotest.test_case "trap charges" `Quick test_kernel_trap_charges;
+        ] );
+    ]

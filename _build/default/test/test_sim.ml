@@ -1,0 +1,171 @@
+(* Tests for the simulation substrate: the effects-based fiber scheduler,
+   the clock, stats counters and instrumentation plumbing. *)
+
+module Fiber = Wedge_sim.Fiber
+module Clock = Wedge_sim.Clock
+module Stats = Wedge_sim.Stats
+module Instr = Wedge_sim.Instr
+module Cost_model = Wedge_sim.Cost_model
+
+let check = Alcotest.check
+
+(* ---------- fibers ---------- *)
+
+let test_fiber_runs_to_completion () =
+  let log = ref [] in
+  Fiber.run (fun () -> log := "main" :: !log);
+  check (Alcotest.list Alcotest.string) "ran" [ "main" ] !log
+
+let test_fiber_spawn_ordering () =
+  let log = Buffer.create 32 in
+  Fiber.run (fun () ->
+      Buffer.add_string log "a";
+      Fiber.spawn (fun () -> Buffer.add_string log "c");
+      Buffer.add_string log "b";
+      Fiber.yield ();
+      Buffer.add_string log "d");
+  check Alcotest.string "cooperative order" "abcd" (Buffer.contents log)
+
+let test_fiber_nested_spawn () =
+  let count = ref 0 in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () ->
+          incr count;
+          Fiber.spawn (fun () -> incr count));
+      Fiber.spawn (fun () -> incr count));
+  check Alcotest.int "all descendants ran" 3 !count
+
+let test_fiber_wait_until () =
+  let flag = ref false in
+  let seen = ref false in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () ->
+          Fiber.wait_until ~what:"flag" (fun () -> !flag);
+          seen := true);
+      Fiber.yield ();
+      flag := true;
+      Fiber.progress ());
+  check Alcotest.bool "woke up" true !seen
+
+let test_fiber_deadlock_detection () =
+  match Fiber.run (fun () -> Fiber.wait_until ~what:"never" (fun () -> false)) with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Fiber.Deadlock what -> check Alcotest.string "names the condition" "never" what
+
+let test_fiber_exception_propagates () =
+  match Fiber.run (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> check Alcotest.string "propagated" "boom" m
+
+let test_fiber_spawn_outside_run_rejected () =
+  match Fiber.spawn (fun () -> ()) with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_fiber_yield_outside_run_is_noop () =
+  Fiber.yield ();
+  check Alcotest.bool "no crash" true true
+
+let test_fiber_nested_run_rejected () =
+  match Fiber.run (fun () -> Fiber.run (fun () -> ())) with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_fiber_usable_after_crash () =
+  (* A failed run must not poison the scheduler state. *)
+  (try Fiber.run (fun () -> failwith "x") with Failure _ -> ());
+  let ran = ref false in
+  Fiber.run (fun () -> ran := true);
+  check Alcotest.bool "second run works" true !ran
+
+(* ---------- clock ---------- *)
+
+let test_clock_accumulates () =
+  let c = Clock.create () in
+  Clock.charge c 5;
+  Clock.charge c 7;
+  check Alcotest.int "sum" 12 (Clock.now c);
+  Clock.reset c;
+  check Alcotest.int "reset" 0 (Clock.now c)
+
+let test_clock_time_scopes () =
+  let c = Clock.create () in
+  Clock.charge c 100;
+  let v, dt = Clock.time c (fun () -> Clock.charge c 42; "x") in
+  check Alcotest.string "value" "x" v;
+  check Alcotest.int "delta only" 42 dt
+
+(* ---------- stats ---------- *)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.bump s "a";
+  Stats.bump s "a";
+  Stats.add s "b" 5;
+  check Alcotest.int "a" 2 (Stats.get s "a");
+  check Alcotest.int "b" 5 (Stats.get s "b");
+  check Alcotest.int "missing" 0 (Stats.get s "zzz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted" [ ("a", 2); ("b", 5) ] (Stats.to_list s);
+  Stats.reset s;
+  check Alcotest.int "reset" 0 (Stats.get s "a")
+
+(* ---------- instr ---------- *)
+
+let test_instr_null_is_identified () =
+  check Alcotest.bool "null" true (Instr.is_null Instr.null);
+  let other = { Instr.null with Instr.on_exit = (fun () -> ()) } in
+  check Alcotest.bool "non-null" false (Instr.is_null other)
+
+let test_instr_scoped_balances_on_exception () =
+  let depth = ref 0 in
+  let instr =
+    {
+      Instr.null with
+      Instr.on_enter = (fun _ _ _ -> incr depth);
+      on_exit = (fun () -> decr depth);
+    }
+  in
+  (try Instr.scoped instr ~name:"f" ~file:"x" ~line:1 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "balanced after raise" 0 !depth;
+  let v = Instr.scoped instr ~name:"g" ~file:"x" ~line:1 (fun () -> 9) in
+  check Alcotest.int "returns value" 9 v;
+  check Alcotest.int "balanced" 0 !depth
+
+let test_cost_model_free_is_zero () =
+  let open Cost_model in
+  check Alcotest.int "trap" 0 free.syscall_trap;
+  check Alcotest.int "rsa" 0 free.rsa_private_op;
+  check Alcotest.bool "default nonzero" true (default.syscall_trap > 0)
+
+let () =
+  Alcotest.run "wedge_sim"
+    [
+      ( "fiber",
+        [
+          Alcotest.test_case "runs to completion" `Quick test_fiber_runs_to_completion;
+          Alcotest.test_case "spawn ordering" `Quick test_fiber_spawn_ordering;
+          Alcotest.test_case "nested spawn" `Quick test_fiber_nested_spawn;
+          Alcotest.test_case "wait_until" `Quick test_fiber_wait_until;
+          Alcotest.test_case "deadlock detection" `Quick test_fiber_deadlock_detection;
+          Alcotest.test_case "exception propagates" `Quick test_fiber_exception_propagates;
+          Alcotest.test_case "spawn outside run" `Quick test_fiber_spawn_outside_run_rejected;
+          Alcotest.test_case "yield outside run" `Quick test_fiber_yield_outside_run_is_noop;
+          Alcotest.test_case "nested run rejected" `Quick test_fiber_nested_run_rejected;
+          Alcotest.test_case "usable after crash" `Quick test_fiber_usable_after_crash;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "accumulates" `Quick test_clock_accumulates;
+          Alcotest.test_case "time scopes" `Quick test_clock_time_scopes;
+        ] );
+      ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
+      ( "instr",
+        [
+          Alcotest.test_case "null identified" `Quick test_instr_null_is_identified;
+          Alcotest.test_case "scoped balances" `Quick test_instr_scoped_balances_on_exception;
+          Alcotest.test_case "cost models" `Quick test_cost_model_free_is_zero;
+        ] );
+    ]

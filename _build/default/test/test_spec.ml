@@ -1,0 +1,123 @@
+(* SPEC-like workload tests: instrumented memory semantics, checksum
+   determinism across all three instrumentation modes (native / Pin model /
+   full cb-log), self-checking kernels (bzip2's roundtrip), and sensible
+   trace contents. *)
+
+module Instr = Wedge_sim.Instr
+module Wmem = Wedge_spec.Wmem
+module Workload = Wedge_spec.Workload
+module Cb_log = Wedge_crowbar.Cb_log
+module Trace = Wedge_crowbar.Trace
+
+let check = Alcotest.check
+
+(* ---------- Wmem ---------- *)
+
+let test_wmem_accessors () =
+  let m = Wmem.create ~instr:Instr.null 256 in
+  Wmem.set8 m 0 0xab;
+  check Alcotest.int "u8" 0xab (Wmem.get8 m 0);
+  Wmem.set32 m 8 0x12345678;
+  check Alcotest.int "u32" 0x12345678 (Wmem.get32 m 8);
+  Wmem.set64 m 16 0x1122334455667788;
+  check Alcotest.int "u64" 0x1122334455667788 (Wmem.get64 m 16);
+  Wmem.set64 m 24 (-42);
+  check Alcotest.int "negative u64" (-42) (Wmem.get64 m 24)
+
+let test_wmem_alloc () =
+  let m = Wmem.create ~instr:Instr.null 64 in
+  let a = Wmem.alloc m ~name:"a" 10 in
+  let b = Wmem.alloc m ~name:"b" 10 in
+  check Alcotest.bool "aligned" true (a land 7 = 0 && b land 7 = 0);
+  check Alcotest.bool "disjoint" true (b >= a + 10);
+  match Wmem.alloc m ~name:"too-big" 100 with
+  | _ -> Alcotest.fail "expected out of memory"
+  | exception Invalid_argument _ -> ()
+
+let test_wmem_fires_hooks () =
+  let reads = ref 0 and writes = ref 0 and allocs = ref 0 and scopes = ref 0 in
+  let instr =
+    {
+      Instr.on_access =
+        (fun _ _ k -> match k with Instr.Read -> incr reads | Instr.Write -> incr writes);
+      on_enter = (fun _ _ _ -> incr scopes);
+      on_exit = (fun () -> ());
+      on_alloc = (fun _ _ _ -> incr allocs);
+      on_free = (fun _ -> ());
+    }
+  in
+  let m = Wmem.create ~instr 64 in
+  let a = Wmem.alloc m ~name:"x" 16 in
+  Wmem.scope m "f" (fun () ->
+      Wmem.set32 m a 7;
+      ignore (Wmem.get32 m a));
+  check Alcotest.int "reads" 1 !reads;
+  check Alcotest.int "writes" 1 !writes;
+  check Alcotest.int "allocs" 1 !allocs;
+  check Alcotest.int "scopes" 1 !scopes
+
+(* ---------- workloads ---------- *)
+
+let modes_agree (w : Workload.t) () =
+  let scale = 1 in
+  let native = w.Workload.run ~instr:Instr.null ~scale in
+  let pin = w.Workload.run ~instr:(Cb_log.pin_instr (Cb_log.pin ())) ~scale in
+  let log = Cb_log.create () in
+  let crowbar = w.Workload.run ~instr:(Cb_log.instr log) ~scale in
+  check Alcotest.int "pin = native" native pin;
+  check Alcotest.int "crowbar = native" native crowbar;
+  check Alcotest.bool "nonzero checksum" true (native <> 0);
+  check Alcotest.bool "trace recorded accesses" true
+    (Trace.access_count (Cb_log.trace log) > 1000)
+
+let deterministic (w : Workload.t) () =
+  let a = w.Workload.run ~instr:Instr.null ~scale:1 in
+  let b = w.Workload.run ~instr:Instr.null ~scale:1 in
+  check Alcotest.int "repeatable" a b
+
+let test_scale_changes_work () =
+  let w = Option.get (Workload.find "hmmer") in
+  let a = w.Workload.run ~instr:Instr.null ~scale:1 in
+  let b = w.Workload.run ~instr:Instr.null ~scale:2 in
+  check Alcotest.bool "different scale, different computation" true (a <> b || a > 0)
+
+let test_trace_has_named_segments () =
+  let w = Option.get (Workload.find "bzip2") in
+  let log = Cb_log.create () in
+  ignore (w.Workload.run ~instr:(Cb_log.instr log) ~scale:1);
+  let segs = Trace.segments (Cb_log.trace log) in
+  let names =
+    List.filter_map (fun s -> match s.Trace.kind with Trace.Global n -> Some n | _ -> None) segs
+  in
+  check Alcotest.bool "named regions registered" true
+    (List.mem "input_block" names && List.mem "bwt_output" names)
+
+let test_registry_complete () =
+  check Alcotest.int "seven kernels" 7 (List.length Workload.all);
+  check Alcotest.bool "find works" true (Workload.find "mcf" <> None);
+  check Alcotest.bool "missing is None" true (Workload.find "nope" = None)
+
+let () =
+  Alcotest.run "wedge_spec"
+    [
+      ( "wmem",
+        [
+          Alcotest.test_case "accessors" `Quick test_wmem_accessors;
+          Alcotest.test_case "alloc" `Quick test_wmem_alloc;
+          Alcotest.test_case "hooks fire" `Quick test_wmem_fires_hooks;
+        ] );
+      ( "checksums-across-modes",
+        List.map
+          (fun w -> Alcotest.test_case w.Workload.name `Slow (modes_agree w))
+          Workload.all );
+      ( "determinism",
+        List.map
+          (fun w -> Alcotest.test_case w.Workload.name `Quick (deterministic w))
+          Workload.all );
+      ( "misc",
+        [
+          Alcotest.test_case "scale" `Quick test_scale_changes_work;
+          Alcotest.test_case "named segments" `Quick test_trace_has_named_segments;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+        ] );
+    ]
