@@ -1,0 +1,50 @@
+(* Fault-hook overhead: the injection hooks sit on the hot paths of every
+   channel operation and frame allocation, so they must cost nothing when
+   no plan is attached and next to nothing when a plan is armed with a 0%
+   rate (the hook rolls its rule table but never fires).  Wall-clock, so
+   numbers vary by host; the ratio is the point. *)
+
+module Fault_plan = Wedge_fault.Fault_plan
+module Fiber = Wedge_sim.Fiber
+module Chan = Wedge_net.Chan
+
+let iters = 50_000
+
+(* One iteration = client write + server read + server write + client read:
+   four hook crossings per round trip. *)
+let roundtrips ?faults n =
+  Fiber.run (fun () ->
+      let a, b = Chan.pair ?faults () in
+      Fiber.spawn (fun () ->
+          for _ = 1 to n do
+            ignore (Chan.read b 64);
+            Chan.write_string b "pong"
+          done);
+      for _ = 1 to n do
+        Chan.write_string a "ping";
+        ignore (Chan.read a 64)
+      done;
+      Chan.close a;
+      Chan.close b)
+
+let zero_rate_plan () =
+  let p = Fault_plan.create ~seed:1 () in
+  Fault_plan.rule p ~site:"chan.read" ~prob:0. [ Fault_plan.Reset ];
+  Fault_plan.rule p ~site:"chan.write" ~prob:0. [ Fault_plan.Reset ];
+  p
+
+let run () =
+  Bench_util.header "Fault-injection hook overhead (wall clock, this host)";
+  let (), base = Bench_util.wall_time (fun () -> roundtrips iters) in
+  let plan = zero_rate_plan () in
+  let (), hooked = Bench_util.wall_time (fun () -> roundtrips ~faults:plan iters) in
+  let per_op s = s *. 1e9 /. float_of_int (iters * 4) in
+  Bench_util.row3 "configuration" "ns/chan op" "overhead";
+  Bench_util.hr ();
+  Bench_util.row3 "no fault plan" (Printf.sprintf "%.1f" (per_op base)) "-";
+  Bench_util.row3 "armed plan, 0% rate"
+    (Printf.sprintf "%.1f" (per_op hooked))
+    (Printf.sprintf "%+.1f%%" ((hooked -. base) /. base *. 100.));
+  Printf.printf "  (%d round trips; a plan at 0%% never advances the PRNG,\n" iters;
+  print_endline "   so the hook is a hash lookup plus an op counter)";
+  print_newline ()

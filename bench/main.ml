@@ -16,12 +16,13 @@ let experiments =
     ("metrics", Bench_metrics.run);
     ("ablation", Bench_ablation.run);
     ("bechamel", Bench_bechamel.run);
+    ("faults", Bench_faults.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
-    if args = [] then [ "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation" ] else args
+    if args = [] then [ "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults" ] else args
   in
   print_endline "Wedge reproduction benchmarks (NSDI 2008)";
   print_endline "Simulated times are deterministic under the cost model; wall-clock";

@@ -21,9 +21,20 @@ module Pagetable = Wedge_kernel.Pagetable
 module Tag = Wedge_mem.Tag
 module Smalloc = Wedge_mem.Smalloc
 module Tag_cache = Wedge_mem.Tag_cache
+module Fault_plan = Wedge_fault.Fault_plan
 
 exception Privilege_violation of string
 exception Exit_sthread of int
+
+(* The exception classes that kill a compartment without propagating —
+   the simulated SIGSEGV/SIGKILL family.  Everything else (including
+   [Privilege_violation], a policy bug in the caller) propagates. *)
+let fault_reason = function
+  | Vm.Fault f -> Some (Vm.fault_to_string f)
+  | Kernel.Eperm msg -> Some msg
+  | Physmem.Enomem -> Some "out of memory"
+  | Fault_plan.Injected msg -> Some msg
+  | _ -> None
 
 let page_size = Physmem.page_size
 
@@ -326,12 +337,13 @@ let run_compartment ctx fn arg =
     | exception Exit_sthread code ->
         ctx.proc.Process.status <- Process.Exited code;
         Some code
-    | exception Vm.Fault f ->
-        ctx.proc.Process.status <- Process.Faulted (Vm.fault_to_string f);
-        None
-    | exception Kernel.Eperm msg ->
-        ctx.proc.Process.status <- Process.Faulted msg;
-        None
+    | exception e -> (
+        match fault_reason e with
+        | Some reason ->
+            ctx.proc.Process.status <- Process.Faulted reason;
+            stat ctx "fault.compartment";
+            None
+        | None -> raise e)
   in
   charge ctx cm.Cost_model.context_switch;
   result
@@ -634,7 +646,7 @@ let map_extra caller (gctx : ctx) (perms : Sc.t) =
     perms.Sc.fds;
   !mapped
 
-let cgate caller gid ~perms ~arg =
+let cgate ?deadline_ns caller gid ~perms ~arg =
   Kernel.syscall_check caller.app.kernel caller.proc "cgate";
   stat caller "cgate";
   let g = gate_of caller gid in
@@ -644,6 +656,17 @@ let cgate caller gid ~perms ~arg =
   charge caller cm.Cost_model.cgate_validate;
   (* The extra permissions must be a subset of the caller's own (§4.1). *)
   validate_sc caller perms;
+  let started_ns = Clock.now (clock caller) in
+  (* A gate that overruns its deadline is treated as hung: the caller gets
+     -1 after the gate's work has been charged to the clock (the timeout
+     fires only once that much simulated time has passed). *)
+  let apply_deadline result =
+    match deadline_ns with
+    | Some d when Clock.now (clock caller) - started_ns > d ->
+        stat caller "cgate.deadline_exceeded";
+        -1
+    | _ -> result
+  in
   if g.g_recycled then begin
     stat caller "cgate.recycled";
     (* Reuse the long-lived sthread for this gate name if one exists —
@@ -696,23 +719,35 @@ let cgate caller gid ~perms ~arg =
             Vm.unmap_range gctx.proc.Process.vm ~addr:tag.Tag.base ~pages:tag.Tag.pages)
           extra
     in
+    (* One bad invocation must not poison the pool: the faulted (or hung)
+       member is reaped and a fresh one is built eagerly, so the next
+       caller finds a healthy sthread instead of paying a cold start. *)
+    let discard_and_respawn reason =
+      gctx.proc.Process.status <- Process.Faulted reason;
+      if Kernel.find_process caller.app.kernel (gctx.proc.Process.pid) <> None then
+        Kernel.reap caller.app.kernel gctx.proc;
+      let fresh = build_gate_proc caller g Process.Recycled in
+      Hashtbl.replace caller.app.recycled_pool g.g_name { p_ctx = fresh; p_sc = g.g_sc };
+      stat caller "cgate.recycled.respawn"
+    in
     let result =
       match g.g_entry gctx ~trusted:g.g_trusted ~arg with
       | v -> v
       | exception Exit_sthread code -> code
-      | exception Vm.Fault f ->
-          gctx.proc.Process.status <- Process.Faulted (Vm.fault_to_string f);
-          Kernel.reap caller.app.kernel gctx.proc;
-          Hashtbl.remove caller.app.recycled_pool g.g_name;
-          -1
-      | exception Kernel.Eperm msg ->
-          gctx.proc.Process.status <- Process.Faulted msg;
-          Kernel.reap caller.app.kernel gctx.proc;
-          Hashtbl.remove caller.app.recycled_pool g.g_name;
-          -1
+      | exception e -> (
+          match fault_reason e with
+          | Some reason ->
+              stat caller "fault.cgate";
+              discard_and_respawn reason;
+              -1
+          | None -> raise e)
     in
     cleanup_extra ();
-    result
+    let final = apply_deadline result in
+    if final = -1 && result <> -1 then
+      (* Deadline overrun with the member still alive: treat it as hung. *)
+      discard_and_respawn "callgate deadline exceeded";
+    final
   end
   else begin
     let gctx = build_gate_proc caller g Process.Cgate in
@@ -721,10 +756,12 @@ let cgate caller gid ~perms ~arg =
     let result =
       match run_compartment gctx (fun c a -> g.g_entry c ~trusted:g.g_trusted ~arg:a) arg with
       | Some v -> v
-      | None -> -1
+      | None ->
+          stat caller "fault.cgate";
+          -1
     in
     Kernel.reap caller.app.kernel gctx.proc;
-    result
+    apply_deadline result
   end
 
 let gate_name ctx gid = (gate_of ctx gid).g_name

@@ -1,0 +1,53 @@
+(* Restart supervision for compartments (the recovery half of §4.1's
+   containment story): a compartment crash is already contained by the
+   engine; this module decides what happens next.  Policies retry a
+   crashed sthread with exponential backoff charged to the simulated
+   clock, and give up into a [Gave_up] outcome the caller turns into a
+   degraded response (HTTP 500, POP3 -ERR, SSH disconnect). *)
+
+module Clock = Wedge_sim.Clock
+module Process = Wedge_kernel.Process
+
+type policy = {
+  max_restarts : int;  (* retries after the first attempt *)
+  backoff_ns : int;  (* charged before retry k as backoff_ns * 2^(k-1) *)
+}
+
+let default_policy = { max_restarts = 0; backoff_ns = 100 }
+let policy ?(max_restarts = 0) ?(backoff_ns = 100) () = { max_restarts; backoff_ns }
+
+type outcome =
+  | Done of { value : int; attempts : int }
+  | Gave_up of { attempts : int; last_fault : string }
+
+let outcome_to_string = function
+  | Done { value; attempts } -> Printf.sprintf "done value=%d attempts=%d" value attempts
+  | Gave_up { attempts; last_fault } ->
+      Printf.sprintf "gave up after %d attempts: %s" attempts last_fault
+
+(* [run] produces one attempt's handle (an [sthread_create] or [fork]
+   application); keeping it a thunk lets one supervisor cover both. *)
+let supervise ?(policy = default_policy) ctx run =
+  let rec go attempt =
+    let handle = run () in
+    match Engine.handle_status handle with
+    | Process.Faulted reason ->
+        if attempt <= policy.max_restarts then begin
+          Engine.stat ctx "supervisor.restart";
+          (* Exponential backoff, charged to the simulated clock: 1x, 2x,
+             4x ... of [backoff_ns]. *)
+          Engine.charge_app ctx (policy.backoff_ns * (1 lsl (attempt - 1)));
+          go (attempt + 1)
+        end
+        else begin
+          Engine.stat ctx "supervisor.gave_up";
+          Gave_up { attempts = attempt; last_fault = reason }
+        end
+    | _ -> Done { value = Engine.sthread_join ctx handle; attempts = attempt }
+  in
+  go 1
+
+let supervise_sthread ?policy ?instr ctx sc fn arg =
+  supervise ?policy ctx (fun () -> Engine.sthread_create ?instr ctx sc fn arg)
+
+let supervise_fork ?policy ctx fn = supervise ?policy ctx (fun () -> Engine.fork ctx fn)

@@ -1,0 +1,50 @@
+(** Restart policies for compartments.
+
+    The engine contains a compartment crash (protection fault, SELinux
+    denial, injected ENOMEM or channel fault) by terminating only that
+    compartment; a supervisor decides what happens next.  Each faulted
+    attempt is retried up to [max_restarts] times with exponential backoff
+    charged to the simulated clock; when the policy is exhausted the
+    caller receives {!Gave_up} and degrades the one affected connection
+    (HTTP 500, POP3 [-ERR], SSH disconnect) while the listener lives on. *)
+
+type policy = {
+  max_restarts : int;  (** retries after the first attempt *)
+  backoff_ns : int;  (** retry [k] charges [backoff_ns * 2^(k-1)] ns *)
+}
+
+val default_policy : policy
+(** No restarts: fail straight to degraded (right for workers whose input
+    stream is consumed by the failed attempt). *)
+
+val policy : ?max_restarts:int -> ?backoff_ns:int -> unit -> policy
+
+type outcome =
+  | Done of { value : int; attempts : int }
+      (** The compartment terminated by exiting (any code, including
+          nonzero protocol failures) on attempt [attempts]. *)
+  | Gave_up of { attempts : int; last_fault : string }
+      (** Every attempt faulted; [last_fault] is the final reason. *)
+
+val outcome_to_string : outcome -> string
+
+val supervise :
+  ?policy:policy -> Engine.ctx -> (unit -> Engine.handle) -> outcome
+(** [supervise ctx run] runs attempts produced by [run] until one exits or
+    the policy gives up.  Bumps kernel stats [supervisor.restart] and
+    [supervisor.gave_up]. *)
+
+val supervise_sthread :
+  ?policy:policy ->
+  ?instr:Wedge_sim.Instr.t ->
+  Engine.ctx ->
+  Sc.t ->
+  (Engine.ctx -> int -> int) ->
+  int ->
+  outcome
+(** {!supervise} over {!Engine.sthread_create}: each attempt is a fresh
+    default-deny sthread with grants [sc]. *)
+
+val supervise_fork :
+  ?policy:policy -> Engine.ctx -> (Engine.ctx -> int) -> outcome
+(** {!supervise} over {!Engine.fork} (the privsep baseline's slave). *)

@@ -141,10 +141,15 @@ val sc_cgate_add :
     creator's privileges.  [recycled] gates reuse one long-lived sthread
     across invocations (§3.3, §4.1). *)
 
-val cgate : ctx -> gate_id -> perms:Sc.t -> arg:int -> int
+val cgate : ?deadline_ns:int -> ctx -> gate_id -> perms:Sc.t -> arg:int -> int
 (** Invoke a callgate with additional (subset-checked) permissions [perms]
     — typically read access to the tag holding [arg].  Blocks until the
-    gate terminates; a faulting gate yields -1. *)
+    gate terminates; a faulting gate yields -1.  With [deadline_ns], an
+    invocation whose simulated-clock cost exceeds the deadline also yields
+    -1 (the work is still charged — the timeout only fires after that much
+    simulated time has passed); a recycled gate member that faults or
+    overruns is reaped and eagerly respawned rather than poisoning the
+    pool. *)
 
 val gate_name : ctx -> gate_id -> string
 
@@ -183,6 +188,17 @@ val read_lv : ctx -> int -> string
 (** [charge_app ctx ns] charges simulated nanoseconds of application-level
     work to the clock. *)
 val charge_app : ctx -> int -> unit
+
+val stat : ctx -> string -> unit
+(** Bump a named counter in the kernel's stats table (how servers surface
+    fault/recovery counts). *)
+
+val fault_reason : exn -> string option
+(** [Some reason] iff the exception is in the fault class that terminates
+    a compartment (protection fault, SELinux denial, frame exhaustion,
+    injected fault) rather than a programming error.  What monitors use to
+    guard their own per-connection setup work. *)
+
 val can_read : ctx -> addr:int -> len:int -> bool
 val can_write : ctx -> addr:int -> len:int -> bool
 

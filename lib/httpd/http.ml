@@ -20,6 +20,7 @@ let reason = function
   | 200 -> "OK"
   | 403 -> "Forbidden"
   | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
   | _ -> "Unknown"
 
 let format_response r =
@@ -52,3 +53,4 @@ let parse_response s =
 let ok body = { status = 200; body }
 let not_found = { status = 404; body = "not found" }
 let forbidden = { status = 403; body = "forbidden" }
+let internal_error = { status = 500; body = "internal server error" }

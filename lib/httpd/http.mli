@@ -19,3 +19,7 @@ val parse_response : string -> response option
 val ok : string -> response
 val not_found : response
 val forbidden : response
+
+val internal_error : response
+(** 500 — the plaintext degraded answer a monitor sends when a worker
+    compartment crashed and supervision gave up. *)

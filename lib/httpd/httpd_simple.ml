@@ -9,11 +9,15 @@ module Record = Wedge_tls.Record
 module Session = Wedge_tls.Session
 module Handshake = Wedge_tls.Handshake
 
+module Supervisor = Wedge_core.Supervisor
+
 type conn_debug = {
-  conn_tag : Tag.t;
-  arg_tag : Tag.t;
+  conn_tag : Tag.t option;
+  arg_tag : Tag.t option;
   arg_block : int;
   worker_status : Wedge_kernel.Process.status;
+  degraded : bool;
+  attempts : int;
 }
 
 let io_of_fd ctx fd =
@@ -153,67 +157,117 @@ let worker_ops ctx ~gate ~arg_tag ~arg_block ~master_ref ~keys_ref ~finished_ref
         | None -> invalid_arg "send_finished before keys");
   }
 
-let serve_connection ?(recycled = false) ?exploit_handshake ?exploit_request
-    (env : Httpd_env.t) ep =
+(* The degraded answer when the worker is gone: the TLS keys died with it,
+   so the monitor sends a plaintext 500 and closes — the client sees a
+   definite failure instead of a hang.  Best-effort: the channel itself
+   may already be reset. *)
+let send_degraded main ep =
+  W.stat main "httpd.degraded";
+  try Chan.write_string ep (Http.format_response Http.internal_error) with _ -> ()
+
+let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_policy)
+    ?exploit_handshake ?exploit_request (env : Httpd_env.t) ep =
   let main = env.Httpd_env.main in
-  let conn_tag = W.tag_new ~name:"httpd.conn" ~pages:1 main in
-  let arg_tag = W.tag_new ~name:"httpd.arg" ~pages:2 main in
-  let conn_block = W.smalloc main Conn_state.size conn_tag in
-  Conn_state.init main conn_block;
-  let arg_block = W.smalloc main 4096 arg_tag in
-  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
-  let worker_sc = W.sc_create () in
-  let cgsc = W.sc_create () in
-  W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
-  W.sc_mem_add cgsc conn_tag Prot.RW;
-  W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
-  let gate =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"setup_session_key"
-      ~entry:(setup_session_key_entry env) ~cgsc ~trusted:conn_block
+  (* Per-connection setup runs in the monitor, so a fault here (injected
+     frame exhaustion during tag_new, a reset connection) must be contained
+     by hand: release whatever was created and degrade this connection —
+     the accept loop above us never sees the fault. *)
+  let created = ref [] in
+  let fd_ref = ref None in
+  let cleanup () =
+    (match !fd_ref with
+    | Some fd -> ( try W.fd_close main fd with _ -> ())
+    | None -> ());
+    Chan.close ep;
+    List.iter (fun t -> try W.tag_delete main t with _ -> ()) !created
   in
-  W.sc_mem_add worker_sc arg_tag Prot.RW;
-  W.sc_fd_add worker_sc fd Fd_table.perm_rw;
-  W.sc_set_uid worker_sc 33;
-  W.sc_set_root worker_sc Httpd_env.docroot;
-  (match env.Httpd_env.worker_sid with
-  | Some sid -> W.sc_sel_context worker_sc sid
-  | None -> ());
-  let handle =
-    W.sthread_create main worker_sc
-      (fun ctx _ ->
-        let io = io_of_fd ctx fd in
-        let master_ref = ref None and keys_ref = ref None and finished_ref = ref Bytes.empty in
-        let ops =
-          worker_ops ctx ~gate ~arg_tag ~arg_block ~master_ref ~keys_ref ~finished_ref
-        in
-        match Handshake.server_handshake ~ops ~cert:(Httpd_env.cert env) io with
-        | Error _ -> 1
-        | Ok _sid -> (
-            (match exploit_handshake with Some payload -> payload ctx | None -> ());
-            match !keys_ref with
-            | None -> 1
-            | Some keys -> (
-                match Handshake.recv_data io keys with
-                | Error _ -> 1
-                | Ok req ->
-                    Httpd_env.charge ctx (Httpd_env.Cipher (Bytes.length req));
-                    let resp =
-                      Httpd_env.handle_request ctx ~exploit:exploit_request
-                        (Bytes.to_string req)
-                    in
-                    Httpd_env.charge ctx (Httpd_env.Cipher (String.length resp));
-                    Httpd_env.charge ctx Httpd_env.Mac;
-                    Handshake.send_data io keys (Bytes.of_string resp);
-                    env.Httpd_env.served <- env.Httpd_env.served + 1;
-                    0)))
-      0
-  in
-  ignore (W.sthread_join main handle);
-  W.fd_close main fd;
-  Chan.close ep;
-  let debug =
-    { conn_tag; arg_tag; arg_block; worker_status = W.handle_status handle }
-  in
-  W.tag_delete main conn_tag;
-  W.tag_delete main arg_tag;
-  debug
+  match
+    let conn_tag = W.tag_new ~name:"httpd.conn" ~pages:1 main in
+    created := conn_tag :: !created;
+    let arg_tag = W.tag_new ~name:"httpd.arg" ~pages:2 main in
+    created := arg_tag :: !created;
+    let conn_block = W.smalloc main Conn_state.size conn_tag in
+    Conn_state.init main conn_block;
+    let arg_block = W.smalloc main 4096 arg_tag in
+    let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+    fd_ref := Some fd;
+    let worker_sc = W.sc_create () in
+    let cgsc = W.sc_create () in
+    W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
+    W.sc_mem_add cgsc conn_tag Prot.RW;
+    W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+    let gate =
+      W.sc_cgate_add ~recycled main worker_sc ~name:"setup_session_key"
+        ~entry:(setup_session_key_entry env) ~cgsc ~trusted:conn_block
+    in
+    W.sc_mem_add worker_sc arg_tag Prot.RW;
+    W.sc_fd_add worker_sc fd Fd_table.perm_rw;
+    W.sc_set_uid worker_sc 33;
+    W.sc_set_root worker_sc Httpd_env.docroot;
+    (match env.Httpd_env.worker_sid with
+    | Some sid -> W.sc_sel_context worker_sc sid
+    | None -> ());
+    (conn_tag, arg_tag, arg_block, fd, worker_sc, gate)
+  with
+  | exception e when W.fault_reason e <> None ->
+      let reason = Option.get (W.fault_reason e) in
+      send_degraded main ep;
+      cleanup ();
+      {
+        conn_tag = None;
+        arg_tag = None;
+        arg_block = 0;
+        worker_status = Wedge_kernel.Process.Faulted ("setup: " ^ reason);
+        degraded = true;
+        attempts = 0;
+      }
+  | conn_tag, arg_tag, arg_block, fd, worker_sc, gate ->
+      let outcome =
+        Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
+          (fun ctx _ ->
+            let io = io_of_fd ctx fd in
+            let master_ref = ref None
+            and keys_ref = ref None
+            and finished_ref = ref Bytes.empty in
+            let ops =
+              worker_ops ctx ~gate ~arg_tag ~arg_block ~master_ref ~keys_ref ~finished_ref
+            in
+            match Handshake.server_handshake ~ops ~cert:(Httpd_env.cert env) io with
+            | Error _ -> 1
+            | Ok _sid -> (
+                (match exploit_handshake with Some payload -> payload ctx | None -> ());
+                match !keys_ref with
+                | None -> 1
+                | Some keys -> (
+                    match Handshake.recv_data io keys with
+                    | Error _ -> 1
+                    | Ok req ->
+                        Httpd_env.charge ctx (Httpd_env.Cipher (Bytes.length req));
+                        let resp =
+                          Httpd_env.handle_request ctx ~exploit:exploit_request
+                            (Bytes.to_string req)
+                        in
+                        Httpd_env.charge ctx (Httpd_env.Cipher (String.length resp));
+                        Httpd_env.charge ctx Httpd_env.Mac;
+                        Handshake.send_data io keys (Bytes.of_string resp);
+                        env.Httpd_env.served <- env.Httpd_env.served + 1;
+                        0)))
+          0
+      in
+      let worker_status, degraded, attempts =
+        match outcome with
+        | Supervisor.Done { value; attempts } ->
+            (Wedge_kernel.Process.Exited value, false, attempts)
+        | Supervisor.Gave_up { attempts; last_fault } ->
+            send_degraded main ep;
+            (Wedge_kernel.Process.Faulted last_fault, true, attempts)
+      in
+      cleanup ();
+      {
+        conn_tag = Some conn_tag;
+        arg_tag = Some arg_tag;
+        arg_block;
+        worker_status;
+        degraded;
+        attempts;
+      }

@@ -12,14 +12,17 @@
     man-in-the-middle partitioning ({!Httpd_mitm}) removes. *)
 
 type conn_debug = {
-  conn_tag : Wedge_mem.Tag.t;   (** callgate-private session state *)
-  arg_tag : Wedge_mem.Tag.t;    (** worker-visible argument buffer *)
-  arg_block : int;
+  conn_tag : Wedge_mem.Tag.t option;  (** callgate-private session state *)
+  arg_tag : Wedge_mem.Tag.t option;   (** worker-visible argument buffer *)
+  arg_block : int;  (** 0 when per-connection setup itself faulted *)
   worker_status : Wedge_kernel.Process.status;
+  degraded : bool;  (** this connection was answered with a plaintext 500 *)
+  attempts : int;   (** supervision attempts (0 when setup faulted) *)
 }
 
 val serve_connection :
   ?recycled:bool ->
+  ?restart_policy:Wedge_core.Supervisor.policy ->
   ?exploit_handshake:(Wedge_core.Wedge.ctx -> unit) ->
   ?exploit_request:(Wedge_core.Wedge.ctx -> unit) ->
   Httpd_env.t ->
@@ -28,4 +31,12 @@ val serve_connection :
 (** Serve one connection.  [recycled] backs the callgate with a long-lived
     sthread (§3.3).  [exploit_handshake] runs inside the worker right after
     the handshake (when the session key sits in worker-readable memory);
-    [exploit_request] runs on a "/xploit" request. *)
+    [exploit_request] runs on a "/xploit" request.
+
+    Fault containment: a crash anywhere in this connection — injected or
+    real, in the worker sthread or in the monitor's own per-connection
+    setup — degrades only this connection (plaintext 500, counters
+    [httpd.degraded] / [supervisor.*] bumped) and never propagates to the
+    caller, so an accept loop above survives any connection's death.
+    [restart_policy] retries faulted workers first (default: none — the
+    TLS stream is consumed by the failed attempt). *)

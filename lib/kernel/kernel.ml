@@ -11,18 +11,20 @@ type t = {
   vfs : Vfs.t;
   selinux : Selinux.t;
   stats : Stats.t;
+  faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
 }
 
-let create ?(costs = Cost_model.default) () =
+let create ?(costs = Cost_model.default) ?faults ?max_frames () =
   {
-    pm = Physmem.create ();
+    pm = Physmem.create ?faults ?max_frames ();
     clock = Clock.create ();
     costs;
     vfs = Vfs.create ();
     selinux = Selinux.create ();
     stats = Stats.create ();
+    faults;
     next_pid = 1;
     procs = Hashtbl.create 32;
   }
@@ -44,7 +46,7 @@ let new_process t ~kind ~uid ~root ~sid =
       uid;
       root;
       sid;
-      vm = Vm.create ~pid t.pm t.clock t.costs;
+      vm = Vm.create ?faults:t.faults ~pid t.pm t.clock t.costs;
       fds = Fd_table.create ();
       status = Process.Running;
     }

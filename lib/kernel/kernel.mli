@@ -13,11 +13,20 @@ type t = {
   vfs : Vfs.t;
   selinux : Selinux.t;
   stats : Wedge_sim.Stats.t;
+  faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
 }
 
-val create : ?costs:Wedge_sim.Cost_model.t -> unit -> t
+val create :
+  ?costs:Wedge_sim.Cost_model.t ->
+  ?faults:Wedge_fault.Fault_plan.t ->
+  ?max_frames:int ->
+  unit ->
+  t
+(** [faults] threads a fault plan into physical-memory allocation and
+    every process's MMU checks; [max_frames] caps live physical frames
+    (exhaustion raises {!Physmem.Enomem}). *)
 
 val charge : t -> int -> unit
 val trap : t -> string -> unit

@@ -1,4 +1,8 @@
+module Fault_plan = Wedge_fault.Fault_plan
+
 let page_size = 4096
+
+exception Enomem
 
 type t = {
   mutable frames : bytes option array;
@@ -6,10 +10,20 @@ type t = {
   free : int Queue.t;
   mutable used : int;
   mutable next : int;
+  max_frames : int option;
+  faults : Fault_plan.t option;
 }
 
-let create () =
-  { frames = Array.make 64 None; refs = Array.make 64 0; free = Queue.create (); used = 0; next = 0 }
+let create ?faults ?max_frames () =
+  {
+    frames = Array.make 64 None;
+    refs = Array.make 64 0;
+    free = Queue.create ();
+    used = 0;
+    next = 0;
+    max_frames;
+    faults;
+  }
 
 let grow t =
   let n = Array.length t.frames in
@@ -21,6 +35,12 @@ let grow t =
   t.refs <- refs
 
 let alloc t =
+  (match t.max_frames with
+  | Some m when t.used >= m -> raise Enomem
+  | _ -> ());
+  (match Fault_plan.roll_opt t.faults ~site:"physmem.alloc" with
+  | Some _ -> raise Enomem
+  | None -> ());
   let f =
     match Queue.take_opt t.free with
     | Some f -> f

@@ -7,13 +7,21 @@
 val page_size : int
 (** 4096. *)
 
+exception Enomem
+(** Frame allocation failed: the configured [max_frames] budget is
+    exhausted, or an attached fault plan fired at site ["physmem.alloc"].
+    The engine turns this into compartment termination. *)
+
 type t
 
-val create : unit -> t
+val create : ?faults:Wedge_fault.Fault_plan.t -> ?max_frames:int -> unit -> t
+(** [max_frames] caps live frames ({!frames_in_use}); allocation beyond it
+    raises {!Enomem}.  Unbounded by default. *)
 
 val alloc : t -> int
 (** Allocate a zeroed frame with reference count 1; returns the frame
-    number. *)
+    number.
+    @raise Enomem on budget exhaustion or injected allocation failure. *)
 
 val get : t -> int -> bytes
 (** The backing bytes of a live frame.  O(1).

@@ -25,9 +25,11 @@ type t = {
   pt : Pagetable.t;
   clock : Clock.t;
   costs : Cost_model.t;
+  faults : Wedge_fault.Fault_plan.t option;
 }
 
-let create ~pid pm clock costs = { pid; pm; pt = Pagetable.create (); clock; costs }
+let create ?faults ~pid pm clock costs =
+  { pid; pm; pt = Pagetable.create (); clock; costs; faults }
 let pid t = t.pid
 let page_table t = t.pt
 let page_size = Physmem.page_size
@@ -105,6 +107,12 @@ let cow_break t (pte : Pagetable.pte) =
   pte.prot <- { pr = true; pw = true; pcow = false }
 
 let pte_for t addr access check =
+  (* Checked (compartment) accesses only: kernel paths never take injected
+     faults, mirroring how a real MMU cannot fault the kernel's copies. *)
+  if check then (
+    match Wedge_fault.Fault_plan.roll_opt t.faults ~site:"vm.access" with
+    | Some _ -> fault t addr access "injected protection fault"
+    | None -> ());
   match Pagetable.find t.pt ~vpn:(vpn_of addr) with
   | None -> fault t addr access "unmapped page"
   | Some pte ->

@@ -24,7 +24,14 @@ val fault_to_string : fault -> string
 type t
 
 val create :
-  pid:int -> Physmem.t -> Wedge_sim.Clock.t -> Wedge_sim.Cost_model.t -> t
+  ?faults:Wedge_fault.Fault_plan.t ->
+  pid:int ->
+  Physmem.t ->
+  Wedge_sim.Clock.t ->
+  Wedge_sim.Cost_model.t ->
+  t
+(** [faults] makes checked compartment accesses roll site ["vm.access"];
+    a fired fault raises {!Fault} as a spurious protection fault. *)
 
 val pid : t -> int
 val page_table : t -> Pagetable.t

@@ -2,16 +2,22 @@ module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
 module Fd_table = Wedge_kernel.Fd_table
+module Fault_plan = Wedge_fault.Fault_plan
 
-(* One direction of flow: a byte FIFO with a close flag. *)
+(* One direction of flow: a byte FIFO with a close flag.  [reset] marks a
+   close forced by fault injection: readers still see EOF, but writers get
+   a catchable [Fault_plan.Injected] (the EPIPE analogue) instead of the
+   programming-error [Invalid_argument]. *)
 type dir = {
   mutable data : Bytes.t;
   mutable rpos : int;
   mutable wpos : int;
   mutable closed : bool;
+  mutable reset : bool;
 }
 
-let dir_create () = { data = Bytes.create 256; rpos = 0; wpos = 0; closed = false }
+let dir_create () =
+  { data = Bytes.create 256; rpos = 0; wpos = 0; closed = false; reset = false }
 let dir_available d = d.wpos - d.rpos
 
 let dir_push d b =
@@ -45,20 +51,62 @@ type ep = {
   tx : dir;
   clock : Clock.t option;
   costs : Cost_model.t;
+  faults : Fault_plan.t option;
 }
 
-let pair ?clock ?(costs = Cost_model.default) () =
+let pair ?clock ?(costs = Cost_model.default) ?faults () =
   let ab = dir_create () and ba = dir_create () in
-  ( { rx = ba; tx = ab; clock; costs },
-    { rx = ab; tx = ba; clock; costs } )
+  ( { rx = ba; tx = ab; clock; costs; faults },
+    { rx = ab; tx = ba; clock; costs; faults } )
 
 let charge_rtt ep half =
   match ep.clock with
   | Some c -> Clock.charge c (if half then ep.costs.Cost_model.net_rtt / 2 else ep.costs.Cost_model.net_rtt)
   | None -> ()
 
+(* Tear one direction down as a fault: readers of it see EOF, writers get
+   [Injected].  Pending bytes are lost. *)
+let dir_kill d =
+  d.rpos <- 0;
+  d.wpos <- 0;
+  d.closed <- true;
+  d.reset <- true
+
+(* Close as reset but let already-buffered bytes drain (truncation). *)
+let dir_kill_keep_data d =
+  d.closed <- true;
+  d.reset <- true
+
+(* Connection reset: both directions die so no fiber can block on the
+   carcass (silently dropped bytes would stall the peer forever and take
+   the whole cooperative scheduler down as a deadlock). *)
+let kill ep =
+  dir_kill ep.rx;
+  dir_kill ep.tx;
+  Fiber.progress ()
+
+let charge_delay ep ns =
+  match ep.clock with Some c -> Clock.charge c ns | None -> ()
+
 let read ep n =
   if n <= 0 then invalid_arg "Chan.read: n <= 0";
+  (match Fault_plan.roll_opt ep.faults ~site:"chan.read" with
+  | Some Fault_plan.Reset ->
+      kill ep
+  | Some (Fault_plan.Drop | Fault_plan.Enomem | Fault_plan.Prot_fault) ->
+      (* incoming bytes lost; the read side sees EOF from now on *)
+      dir_kill ep.rx;
+      Fiber.progress ()
+  | Some Fault_plan.Truncate ->
+      (* deliver at most one pending byte, then the direction dies *)
+      let keep = min 1 (dir_available ep.rx) in
+      ep.rx.wpos <- ep.rx.rpos + keep;
+      ep.rx.closed <- true;
+      ep.rx.reset <- true;
+      Fiber.progress ()
+  | Some (Fault_plan.Delay ns) -> charge_delay ep ns
+  | Some (Fault_plan.Crash as k) -> Fault_plan.fail ~site:"chan.read" k
+  | None -> ());
   let blocked = dir_available ep.rx = 0 && not ep.rx.closed in
   Fiber.wait_until ~what:"channel data" (fun () ->
       dir_available ep.rx > 0 || ep.rx.closed);
@@ -80,8 +128,27 @@ let read_exact ep n =
   go ()
 
 let write ep b =
-  if ep.tx.closed then invalid_arg "Chan.write: endpoint closed";
-  dir_push ep.tx b;
+  if ep.tx.closed then
+    if ep.tx.reset then
+      raise (Fault_plan.Injected "chan.write: peer reset (injected)")
+    else invalid_arg "Chan.write: endpoint closed";
+  (match Fault_plan.roll_opt ep.faults ~site:"chan.write" with
+  | Some (Fault_plan.Reset | Fault_plan.Crash as k) ->
+      kill ep;
+      Fault_plan.fail ~site:"chan.write" k
+  | Some (Fault_plan.Drop | Fault_plan.Enomem | Fault_plan.Prot_fault) ->
+      (* the bytes vanish in flight and the direction dies; the writer
+         only finds out on its next write (like a TCP send after FIN) *)
+      dir_kill ep.tx;
+      Fiber.progress ()
+  | Some Fault_plan.Truncate ->
+      if Bytes.length b > 0 then dir_push ep.tx (Bytes.sub b 0 1);
+      dir_kill_keep_data ep.tx;
+      Fiber.progress ()
+  | Some (Fault_plan.Delay ns) ->
+      charge_delay ep ns;
+      dir_push ep.tx b
+  | None -> dir_push ep.tx b);
   Fiber.progress ();
   Fiber.yield ()
 
@@ -110,17 +177,21 @@ type listener = {
   mutable down : bool;
   lclock : Clock.t option;
   lcosts : Cost_model.t;
+  lfaults : Fault_plan.t option;
 }
 
-let listener ?clock ?(costs = Cost_model.default) () =
-  { queue = Queue.create (); down = false; lclock = clock; lcosts = costs }
+let listener ?clock ?(costs = Cost_model.default) ?faults () =
+  { queue = Queue.create (); down = false; lclock = clock; lcosts = costs; lfaults = faults }
 
 let connect l =
   if l.down then invalid_arg "Chan.connect: listener is down";
+  (match Fault_plan.roll_opt l.lfaults ~site:"chan.connect" with
+  | Some k -> Fault_plan.fail ~site:"chan.connect" k
+  | None -> ());
   let client, server =
     match l.lclock with
-    | Some c -> pair ~clock:c ~costs:l.lcosts ()
-    | None -> pair ~costs:l.lcosts ()
+    | Some c -> pair ~clock:c ~costs:l.lcosts ?faults:l.lfaults ()
+    | None -> pair ~costs:l.lcosts ?faults:l.lfaults ()
   in
   Queue.push server l.queue;
   Fiber.progress ();

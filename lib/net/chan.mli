@@ -10,8 +10,18 @@ type ep
 (** One end of a duplex channel. *)
 
 val pair :
-  ?clock:Wedge_sim.Clock.t -> ?costs:Wedge_sim.Cost_model.t -> unit -> ep * ep
-(** A connected pair of endpoints. *)
+  ?clock:Wedge_sim.Clock.t ->
+  ?costs:Wedge_sim.Cost_model.t ->
+  ?faults:Wedge_fault.Fault_plan.t ->
+  unit ->
+  ep * ep
+(** A connected pair of endpoints.  With [faults] attached, reads roll site
+    ["chan.read"] and writes ["chan.write"]: [Drop]/[Truncate]/[Reset]
+    tear the affected direction(s) down (readers see EOF; writers raise
+    {!Wedge_fault.Fault_plan.Injected} — never a blocked peer, so fault
+    injection cannot deadlock the cooperative scheduler), [Delay n]
+    charges the attached clock, and [Crash] raises [Injected]
+    immediately. *)
 
 val read : ep -> int -> bytes
 (** Up to [n] bytes; blocks until at least one byte or EOF; the empty result
@@ -34,7 +44,15 @@ val to_endpoint : ep -> Wedge_kernel.Fd_table.endpoint
 
 type listener
 
-val listener : ?clock:Wedge_sim.Clock.t -> ?costs:Wedge_sim.Cost_model.t -> unit -> listener
+val listener :
+  ?clock:Wedge_sim.Clock.t ->
+  ?costs:Wedge_sim.Cost_model.t ->
+  ?faults:Wedge_fault.Fault_plan.t ->
+  unit ->
+  listener
+(** [faults] is inherited by every accepted connection; {!connect} itself
+    rolls site ["chan.connect"] (a fired fault refuses the connection by
+    raising {!Wedge_fault.Fault_plan.Injected}). *)
 
 val connect : listener -> ep
 (** Client side of a fresh connection; the server side is queued for

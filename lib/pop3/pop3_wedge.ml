@@ -7,11 +7,15 @@ module Chan = Wedge_net.Chan
 module Lineio = Wedge_net.Lineio
 module Tag = Wedge_mem.Tag
 
+module Supervisor = Wedge_core.Supervisor
+
 type conn_debug = {
-  uid_tag : Tag.t;
-  arg_tag : Tag.t;
-  mail_tag : Tag.t;
+  uid_tag : Tag.t option;
+  arg_tag : Tag.t option;
+  mail_tag : Tag.t option;
   worker_status : Wedge_kernel.Process.status;
+  degraded : bool;
+  attempts : int;
 }
 
 (* uid block layout: u8 authed ++ u32 uid ++ u8 namelen ++ name *)
@@ -168,60 +172,106 @@ let worker_backend ctx ~login_gate ~mbox_gate ~arg_tag ~arg_block ~mail_block =
 
 (* ---------- master: assemble one connection's compartments ---------- *)
 
-let serve_connection ?exploit main ep =
-  (* Per-connection tagged memory. *)
-  let uid_tag = W.tag_new ~name:"pop3.uid" ~pages:1 main in
-  let arg_tag = W.tag_new ~name:"pop3.arg" ~pages:1 main in
-  let mail_tag = W.tag_new ~name:"pop3.mail" ~pages:8 main in
-  let uid_block = W.smalloc main 64 uid_tag in
-  let arg_block = W.smalloc main 512 arg_tag in
-  let mail_block = W.smalloc main 16384 mail_tag in
-  W.write_u8 main uid_block 0;
-  (* The connection descriptor, created by the master. *)
-  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
-  (* Callgates: login may write the uid block; mailbox may read it and fill
-     the mail buffer.  Both inherit the master's root identity. *)
-  let worker_sc = W.sc_create () in
-  let login_cgsc = W.sc_create () in
-  W.sc_mem_add login_cgsc uid_tag Prot.RW;
-  let login_gate =
-    W.sc_cgate_add main worker_sc ~name:"pop3.login" ~entry:login_entry ~cgsc:login_cgsc
-      ~trusted:uid_block
+(* Degraded goodbye when the handler compartment is gone: best-effort,
+   the channel itself may already be reset. *)
+let send_degraded main ep =
+  W.stat main "pop3.degraded";
+  try Chan.write_string ep "-ERR internal server error, closing\r\n" with _ -> ()
+
+let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts:1 ())
+    main ep =
+  (* Guard the master's own per-connection setup: an injected fault during
+     tag creation must degrade this connection, not kill the accept loop. *)
+  let created = ref [] in
+  let fd_ref = ref None in
+  let cleanup () =
+    (match !fd_ref with
+    | Some fd -> ( try W.fd_close main fd with _ -> ())
+    | None -> ());
+    Chan.close ep;
+    List.iter (fun t -> try W.tag_delete main t with _ -> ()) !created
   in
-  let mbox_cgsc = W.sc_create () in
-  W.sc_mem_add mbox_cgsc uid_tag Prot.R;
-  W.sc_mem_add mbox_cgsc mail_tag Prot.RW;
-  let mbox_gate =
-    W.sc_cgate_add main worker_sc ~name:"pop3.mailbox" ~entry:(mbox_entry ~mail_block)
-      ~cgsc:mbox_cgsc ~trusted:uid_block
-  in
-  (* The client handler: default-deny plus exactly Figure 1's arrows. *)
-  W.sc_mem_add worker_sc arg_tag Prot.RW;
-  W.sc_mem_add worker_sc mail_tag Prot.R;
-  W.sc_fd_add worker_sc fd Fd_table.perm_rw;
-  W.sc_set_uid worker_sc 99;
-  W.sc_set_root worker_sc "/var/empty";
-  let handle =
-    W.sthread_create main worker_sc
-      (fun ctx _ ->
-        let io =
-          Lineio.create ~recv:(fun n -> W.fd_read ctx fd n) ~send:(fun b -> W.fd_write ctx fd b)
-        in
-        let backend =
-          worker_backend ctx ~login_gate ~mbox_gate ~arg_tag ~arg_block ~mail_block
-        in
-        let exploit = Option.map (fun payload () -> payload ctx) exploit in
-        Pop3_proto.serve io backend ~exploit;
-        0)
-      0
-  in
-  ignore (W.sthread_join main handle);
-  W.fd_close main fd;
-  Chan.close ep;
-  let debug =
-    { uid_tag; arg_tag; mail_tag; worker_status = W.handle_status handle }
-  in
-  W.tag_delete main uid_tag;
-  W.tag_delete main arg_tag;
-  W.tag_delete main mail_tag;
-  debug
+  match
+    (* Per-connection tagged memory. *)
+    let uid_tag = W.tag_new ~name:"pop3.uid" ~pages:1 main in
+    created := uid_tag :: !created;
+    let arg_tag = W.tag_new ~name:"pop3.arg" ~pages:1 main in
+    created := arg_tag :: !created;
+    let mail_tag = W.tag_new ~name:"pop3.mail" ~pages:8 main in
+    created := mail_tag :: !created;
+    let uid_block = W.smalloc main 64 uid_tag in
+    let arg_block = W.smalloc main 512 arg_tag in
+    let mail_block = W.smalloc main 16384 mail_tag in
+    W.write_u8 main uid_block 0;
+    (* The connection descriptor, created by the master. *)
+    let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+    fd_ref := Some fd;
+    (* Callgates: login may write the uid block; mailbox may read it and fill
+       the mail buffer.  Both inherit the master's root identity. *)
+    let worker_sc = W.sc_create () in
+    let login_cgsc = W.sc_create () in
+    W.sc_mem_add login_cgsc uid_tag Prot.RW;
+    let login_gate =
+      W.sc_cgate_add main worker_sc ~name:"pop3.login" ~entry:login_entry ~cgsc:login_cgsc
+        ~trusted:uid_block
+    in
+    let mbox_cgsc = W.sc_create () in
+    W.sc_mem_add mbox_cgsc uid_tag Prot.R;
+    W.sc_mem_add mbox_cgsc mail_tag Prot.RW;
+    let mbox_gate =
+      W.sc_cgate_add main worker_sc ~name:"pop3.mailbox" ~entry:(mbox_entry ~mail_block)
+        ~cgsc:mbox_cgsc ~trusted:uid_block
+    in
+    (* The client handler: default-deny plus exactly Figure 1's arrows. *)
+    W.sc_mem_add worker_sc arg_tag Prot.RW;
+    W.sc_mem_add worker_sc mail_tag Prot.R;
+    W.sc_fd_add worker_sc fd Fd_table.perm_rw;
+    W.sc_set_uid worker_sc 99;
+    W.sc_set_root worker_sc "/var/empty";
+    (uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate)
+  with
+  | exception e when W.fault_reason e <> None ->
+      let reason = Option.get (W.fault_reason e) in
+      send_degraded main ep;
+      cleanup ();
+      {
+        uid_tag = None;
+        arg_tag = None;
+        mail_tag = None;
+        worker_status = Wedge_kernel.Process.Faulted ("setup: " ^ reason);
+        degraded = true;
+        attempts = 0;
+      }
+  | uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate ->
+      let outcome =
+        Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
+          (fun ctx _ ->
+            let io =
+              Lineio.create ~recv:(fun n -> W.fd_read ctx fd n)
+                ~send:(fun b -> W.fd_write ctx fd b)
+            in
+            let backend =
+              worker_backend ctx ~login_gate ~mbox_gate ~arg_tag ~arg_block ~mail_block
+            in
+            let exploit = Option.map (fun payload () -> payload ctx) exploit in
+            Pop3_proto.serve io backend ~exploit;
+            0)
+          0
+      in
+      let worker_status, degraded, attempts =
+        match outcome with
+        | Supervisor.Done { value; attempts } ->
+            (Wedge_kernel.Process.Exited value, false, attempts)
+        | Supervisor.Gave_up { attempts; last_fault } ->
+            send_degraded main ep;
+            (Wedge_kernel.Process.Faulted last_fault, true, attempts)
+      in
+      cleanup ();
+      {
+        uid_tag = Some uid_tag;
+        arg_tag = Some arg_tag;
+        mail_tag = Some mail_tag;
+        worker_status;
+        degraded;
+        attempts;
+      }

@@ -16,18 +16,28 @@
     holds write permission on that tag. *)
 
 type conn_debug = {
-  uid_tag : Wedge_mem.Tag.t;
-  arg_tag : Wedge_mem.Tag.t;
-  mail_tag : Wedge_mem.Tag.t;
+  uid_tag : Wedge_mem.Tag.t option;
+  arg_tag : Wedge_mem.Tag.t option;
+  mail_tag : Wedge_mem.Tag.t option;
   worker_status : Wedge_kernel.Process.status;
+  degraded : bool;  (** this connection was answered with [-ERR] *)
+  attempts : int;  (** supervision attempts (0 when setup faulted) *)
 }
-(** Introspection for tests (tag identities to probe, final worker state). *)
+(** Introspection for tests (tag identities to probe, final worker state).
+    The tags are [None] when per-connection setup itself faulted before
+    creating them. *)
 
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  ?restart_policy:Wedge_core.Supervisor.policy ->
   Wedge_core.Wedge.ctx ->
   Wedge_net.Chan.ep ->
   conn_debug
 (** Serve one connection from the master context ([main]); blocks until the
     session ends.  [exploit] runs inside the {e worker} compartment when
-    triggered — the paper's attacker model. *)
+    triggered — the paper's attacker model.
+
+    Fault containment: a crash anywhere in this connection degrades only
+    this connection (best-effort [-ERR] farewell, [pop3.degraded] counter)
+    and never reaches the caller.  [restart_policy] defaults to one retry —
+    POP3 is line-oriented, so a fresh handler can greet the client again. *)

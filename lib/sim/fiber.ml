@@ -1,5 +1,6 @@
 open Effect
 open Effect.Deep
+module Fault_plan = Wedge_fault.Fault_plan
 
 type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Spawn : (unit -> unit) -> unit Effect.t
@@ -10,18 +11,39 @@ type sched = {
   runq : (unit -> unit) Queue.t;
   mutable stamp : int;  (* bumped by [progress] *)
   mutable active : bool;
+  mutable cur : int;  (* id of the running fiber *)
+  mutable next_id : int;
+  blocked : (int, string) Hashtbl.t;  (* fiber id -> awaited condition *)
+  faults : Fault_plan.t option;
 }
 
 let current : sched option ref = ref None
 let in_scheduler () = !current <> None
 let progress () = match !current with Some s -> s.stamp <- s.stamp + 1 | None -> ()
+let fiber_id () = match !current with Some s -> s.cur | None -> 0
 
-let yield () = if in_scheduler () then perform Yield
+let yield () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      (match Fault_plan.roll_opt s.faults ~site:"fiber.yield" with
+      | Some k -> Fault_plan.fail ~site:"fiber.yield" k
+      | None -> ());
+      perform Yield
 
 let spawn f =
   match !current with
   | Some _ -> perform (Spawn f)
   | None -> invalid_arg "Fiber.spawn: not inside Fiber.run"
+
+(* "never (blocked: fiber 0 awaiting never, fiber 2 awaiting channel data)" *)
+let deadlock_message s what =
+  let entries =
+    Hashtbl.fold (fun id w acc -> (id, w) :: acc) s.blocked []
+    |> List.sort compare
+    |> List.map (fun (id, w) -> Printf.sprintf "fiber %d awaiting %s" id w)
+  in
+  Printf.sprintf "%s (blocked: %s)" what (String.concat ", " entries)
 
 let wait_until ?(what = "condition") cond =
   match !current with
@@ -29,22 +51,44 @@ let wait_until ?(what = "condition") cond =
       if not (cond ()) then
         raise (Deadlock (Printf.sprintf "%s (no scheduler running)" what))
   | Some s ->
-      let rec loop last_stamp spins =
-        if not (cond ()) then begin
-          (* If we have spun through the run queue many times with no global
-             progress, every other fiber is blocked too: deadlock. *)
-          if s.stamp = last_stamp && spins > 10_000 then
-            raise (Deadlock what);
-          perform Yield;
-          if s.stamp = last_stamp then loop last_stamp (spins + 1)
-          else loop s.stamp 0
-        end
-      in
-      loop s.stamp 0
+      if not (cond ()) then begin
+        let id = s.cur in
+        Hashtbl.replace s.blocked id what;
+        let finish () = Hashtbl.remove s.blocked id in
+        let rec loop last_stamp spins =
+          if not (cond ()) then begin
+            (* If we have spun through the run queue many times with no global
+               progress, every other fiber is blocked too: deadlock. *)
+            if s.stamp = last_stamp && spins > 10_000 then begin
+              let msg = deadlock_message s what in
+              finish ();
+              raise (Deadlock msg)
+            end;
+            perform Yield;
+            if s.stamp = last_stamp then loop last_stamp (spins + 1)
+            else loop s.stamp 0
+          end
+        in
+        (match loop s.stamp 0 with
+        | () -> finish ()
+        | exception e ->
+            finish ();
+            raise e)
+      end
 
-let run main =
+let run ?faults main =
   if in_scheduler () then invalid_arg "Fiber.run: nested run";
-  let s = { runq = Queue.create (); stamp = 0; active = true } in
+  let s =
+    {
+      runq = Queue.create ();
+      stamp = 0;
+      active = true;
+      cur = 0;
+      next_id = 1;
+      blocked = Hashtbl.create 8;
+      faults;
+    }
+  in
   current := Some s;
   let rec exec (f : unit -> unit) : unit =
     match_with f ()
@@ -60,11 +104,22 @@ let run main =
             | Yield ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    Queue.push (fun () -> continue k ()) s.runq)
+                    let id = s.cur in
+                    Queue.push
+                      (fun () ->
+                        s.cur <- id;
+                        continue k ())
+                      s.runq)
             | Spawn g ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    Queue.push (fun () -> exec g) s.runq;
+                    let id = s.next_id in
+                    s.next_id <- s.next_id + 1;
+                    Queue.push
+                      (fun () ->
+                        s.cur <- id;
+                        exec g)
+                      s.runq;
                     continue k ())
             | _ -> None);
       }

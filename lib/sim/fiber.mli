@@ -11,11 +11,17 @@
 
 exception Deadlock of string
 (** Raised by {!run} when every live fiber is blocked and no progress is
-    possible. *)
+    possible.  The message names the awaited condition plus every blocked
+    fiber and what it is waiting for, e.g.
+    ["channel data (blocked: fiber 0 awaiting channel data, fiber 2
+    awaiting incoming connection)"]. *)
 
-val run : (unit -> unit) -> unit
+val run : ?faults:Wedge_fault.Fault_plan.t -> (unit -> unit) -> unit
 (** [run main] executes [main] as the first fiber and schedules every fiber
-    it spawns, returning when all fibers have terminated.
+    it spawns, returning when all fibers have terminated.  When [faults] is
+    given, every {!yield} rolls the plan at site ["fiber.yield"]; a fired
+    fault raises {!Wedge_fault.Fault_plan.Injected} in the yielding fiber
+    (crashing it mid-run unless a compartment boundary catches it).
     @raise Deadlock if fibers block forever. *)
 
 val spawn : (unit -> unit) -> unit
@@ -37,3 +43,6 @@ val progress : unit -> unit
 
 val in_scheduler : unit -> bool
 (** True when called from inside {!run}. *)
+
+val fiber_id : unit -> int
+(** The id of the running fiber (main is 0); 0 outside {!run}. *)

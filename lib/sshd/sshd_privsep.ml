@@ -7,6 +7,7 @@ module Drbg = Wedge_crypto.Drbg
 module Rsa = Wedge_crypto.Rsa
 module Dsa = Wedge_crypto.Dsa
 module Wire = Wedge_tls.Wire
+module Supervisor = Wedge_core.Supervisor
 module P = Ssh_proto
 
 type monitor = {
@@ -110,13 +111,14 @@ let slave_ops (env : Sshd_env.t) monitor slave_ctx =
         ok);
   }
 
-let serve_connection ?exploit (env : Sshd_env.t) ep =
+let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy)
+    (env : Sshd_env.t) ep =
   let main = env.Sshd_env.main in
   let monitor = make_monitor env in
   let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
   let wrng = Drbg.create ~seed:(Drbg.next64 env.Sshd_env.rng) in
-  let handle =
-    W.fork main (fun slave ->
+  let outcome =
+    Supervisor.supervise_fork ~policy:restart_policy main (fun slave ->
         (* The slave drops privileges after the fork — but its address
            space is already a copy of the monitor's. *)
         W.set_identity slave ~target_pid:(W.pid slave) ~uid:99 ~root:"/var/empty" ();
@@ -130,6 +132,10 @@ let serve_connection ?exploit (env : Sshd_env.t) ep =
           ~ops:(slave_ops env monitor slave) ~exploit;
         0)
   in
-  ignore (W.sthread_join main handle);
+  (* An SSH session whose slave died mid-protocol cannot be resumed in
+     plaintext: the degraded answer is a disconnect, monitor intact. *)
+  (match outcome with
+  | Supervisor.Done _ -> ()
+  | Supervisor.Gave_up _ -> W.stat main "sshd.degraded");
   W.fd_close main fd;
   Chan.close ep

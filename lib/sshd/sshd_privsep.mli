@@ -27,8 +27,14 @@ type monitor = {
 
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> monitor -> unit) ->
+  ?restart_policy:Wedge_core.Supervisor.policy ->
   Sshd_env.t ->
   Wedge_net.Chan.ep ->
   unit
 (** Fork a slave for one connection; [exploit] runs inside the slave with
-    the monitor IPC available (the attacker controls the slave). *)
+    the monitor IPC available (the attacker controls the slave).
+
+    Fault containment: a slave crash (injected or real) never kills the
+    monitor — when [restart_policy] (default: no retries, the encrypted
+    stream died with the slave) gives up, the client is disconnected and
+    [sshd.degraded] is counted. *)

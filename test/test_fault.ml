@@ -1,0 +1,483 @@
+(* Fault-injection and supervision tests: deterministic replay of a seeded
+   fault plan, recovery from frame exhaustion, channel resets mid-request,
+   supervisor backoff schedules, callgate deadlines, recycled-gate respawn,
+   enriched deadlock diagnostics, and a chaos soak that drives the Figure 2
+   httpd through hundreds of connections at a 5% fault rate — the listener
+   must survive every one of them, and the same seed must reproduce the
+   same fault trace byte for byte. *)
+
+module Fault_plan = Wedge_fault.Fault_plan
+module Kernel = Wedge_kernel.Kernel
+module Physmem = Wedge_kernel.Physmem
+module Process = Wedge_kernel.Process
+module Fiber = Wedge_sim.Fiber
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+module Stats = Wedge_sim.Stats
+module Chan = Wedge_net.Chan
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module W = Wedge_core.Wedge
+module Supervisor = Wedge_core.Supervisor
+module Env = Wedge_httpd.Httpd_env
+module Simple = Wedge_httpd.Httpd_simple
+module Client = Wedge_httpd.Https_client
+module Http = Wedge_httpd.Http
+module Pop3_env = Wedge_pop3.Pop3_env
+module Pop3_wedge = Wedge_pop3.Pop3_wedge
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let mk_app () =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let app = W.create_app k in
+  (k, app, W.main_ctx app)
+
+(* ---------- deterministic replay ---------- *)
+
+let test_same_seed_same_trace () =
+  let mk seed =
+    let p = Fault_plan.create ~seed () in
+    Fault_plan.rule p ~site:"chan.read" ~prob:0.3
+      [ Fault_plan.Drop; Fault_plan.Reset; Fault_plan.Truncate ];
+    Fault_plan.rule p ~site:"physmem.alloc" ~prob:0.1 [ Fault_plan.Enomem ];
+    p
+  in
+  let roll_seq p =
+    for _ = 1 to 200 do
+      ignore (Fault_plan.roll p ~site:"chan.read");
+      ignore (Fault_plan.roll p ~site:"physmem.alloc")
+    done
+  in
+  let p1 = mk 42 and p2 = mk 42 and p3 = mk 43 in
+  roll_seq p1;
+  roll_seq p2;
+  roll_seq p3;
+  check Alcotest.string "same seed, same trace" (Fault_plan.trace p1) (Fault_plan.trace p2);
+  check Alcotest.bool "trace nonempty" true (String.length (Fault_plan.trace p1) > 0);
+  check Alcotest.bool "seeds distinguish runs" true
+    (Fault_plan.trace p1 <> Fault_plan.trace p3);
+  check Alcotest.int "injection counts agree" (Fault_plan.injections p1)
+    (Fault_plan.injections p2)
+
+let test_disarmed_plan_is_inert () =
+  let p = Fault_plan.create ~seed:1 () in
+  Fault_plan.rule p ~site:"chan.read" ~prob:1.0 [ Fault_plan.Reset ];
+  Fault_plan.disarm p;
+  for _ = 1 to 50 do
+    check Alcotest.bool "no fire while disarmed" true
+      (Fault_plan.roll p ~site:"chan.read" = None)
+  done;
+  check Alcotest.int "op counter frozen while disarmed" 0
+    (Fault_plan.site_ops p ~site:"chan.read");
+  Fault_plan.arm p;
+  check Alcotest.bool "fires once armed" true (Fault_plan.roll p ~site:"chan.read" <> None)
+
+(* ---------- frame exhaustion ---------- *)
+
+let test_frame_exhaustion_and_recovery () =
+  let pm = Physmem.create ~max_frames:2 () in
+  let f1 = Physmem.alloc pm in
+  let _f2 = Physmem.alloc pm in
+  (match Physmem.alloc pm with
+  | _ -> Alcotest.fail "expected Enomem"
+  | exception Physmem.Enomem -> ());
+  Physmem.decref pm f1;
+  let f3 = Physmem.alloc pm in
+  check Alcotest.bool "freed frame reusable" true (f3 >= 0);
+  check Alcotest.int "frames accounted" 2 (Physmem.frames_in_use pm)
+
+let test_supervisor_recovers_from_injected_enomem () =
+  let plan = Fault_plan.create ~seed:11 () in
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let app = W.create_app k in
+  let main = W.main_ctx app in
+  W.boot app;
+  let attempt = ref 0 in
+  let outcome =
+    Supervisor.supervise_sthread
+      ~policy:(Supervisor.policy ~max_restarts:1 ())
+      main (W.sc_create ())
+      (fun ctx _ ->
+        incr attempt;
+        if !attempt = 1 then begin
+          (* Arm only inside the first attempt: the very next frame
+             allocation — this attempt's own heap growth — fails. *)
+          Fault_plan.rule plan ~site:"physmem.alloc"
+            ~nth:(Fault_plan.site_ops plan ~site:"physmem.alloc" + 1)
+            [ Fault_plan.Enomem ];
+          Fault_plan.arm plan
+        end;
+        let b = W.malloc ctx 4096 in
+        W.write_u8 ctx b 7;
+        W.read_u8 ctx b)
+      0
+  in
+  Fault_plan.disarm plan;
+  (match outcome with
+  | Supervisor.Done { value; attempts } ->
+      check Alcotest.int "retry succeeded" 7 value;
+      check Alcotest.int "took two attempts" 2 attempts
+  | Supervisor.Gave_up { last_fault; _ } ->
+      Alcotest.fail ("expected recovery, gave up: " ^ last_fault));
+  check Alcotest.int "restart counted" 1 (Stats.get k.Kernel.stats "supervisor.restart");
+  check Alcotest.bool "fault contained and counted" true
+    (Stats.get k.Kernel.stats "fault.compartment" >= 1)
+
+(* ---------- channel faults ---------- *)
+
+let body_of (r : Client.result) =
+  match r.Client.response with Some { Http.status = 200; body } -> Some body | _ -> None
+
+let test_channel_reset_mid_request () =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let env = Env.install ~image_pages:80 k in
+  let plan = Fault_plan.create ~seed:5 () in
+  Fault_plan.rule plan ~site:"chan.read" ~nth:4 [ Fault_plan.Reset ];
+  let first = ref (Some "sentinel") in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair ~costs:Cost_model.free ~faults:plan () in
+      Fiber.spawn (fun () -> ignore (Simple.serve_connection env server_ep));
+      let rng = Drbg.create ~seed:7 in
+      match Client.get ~rng ~pinned:env.Env.priv.Rsa.pub ~path:"/index.html" client_ep with
+      | r -> first := body_of r
+      | exception Fault_plan.Injected _ -> first := None);
+  check (Alcotest.option Alcotest.string) "reset connection did not serve" None !first;
+  check Alcotest.int "exactly one injection" 1 (Fault_plan.injections plan);
+  Fault_plan.disarm plan;
+  (* The same environment serves the next, clean connection. *)
+  let second = ref None in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair ~costs:Cost_model.free () in
+      Fiber.spawn (fun () -> ignore (Simple.serve_connection env server_ep));
+      let rng = Drbg.create ~seed:8 in
+      second := body_of (Client.get ~rng ~pinned:env.Env.priv.Rsa.pub ~path:"/index.html" client_ep));
+  check (Alcotest.option Alcotest.string) "clean connection serves" (Some Env.index_body)
+    !second
+
+let test_connect_fault_refuses_connection () =
+  let plan = Fault_plan.create ~seed:2 () in
+  Fault_plan.rule plan ~site:"chan.connect" ~nth:1 [ Fault_plan.Reset ];
+  Fiber.run (fun () ->
+      let l = Chan.listener ~costs:Cost_model.free ~faults:plan () in
+      (match Chan.connect l with
+      | _ -> Alcotest.fail "expected refused connection"
+      | exception Fault_plan.Injected _ -> ());
+      check Alcotest.int "nothing queued for accept" 0 (Chan.pending l);
+      let ep = Chan.connect l in
+      Chan.write_string ep "hi";
+      check Alcotest.int "second connection established" 1 (Chan.pending l);
+      Chan.shutdown l)
+
+(* ---------- supervisor backoff ---------- *)
+
+let test_supervisor_backoff_schedule () =
+  let k, app, main = mk_app () in
+  W.boot app;
+  let t0 = Clock.now k.Kernel.clock in
+  let outcome =
+    Supervisor.supervise_sthread
+      ~policy:(Supervisor.policy ~max_restarts:3 ~backoff_ns:100 ())
+      main (W.sc_create ())
+      (fun _ _ -> raise (Fault_plan.Injected "always crashes"))
+      0
+  in
+  (match outcome with
+  | Supervisor.Gave_up { attempts; last_fault } ->
+      check Alcotest.int "initial try + 3 retries" 4 attempts;
+      check Alcotest.bool "reason preserved" true (contains last_fault "always crashes")
+  | Supervisor.Done _ -> Alcotest.fail "expected give-up");
+  (* Exponential backoff on the simulated clock: 100 + 200 + 400. *)
+  check Alcotest.int "backoff schedule" 700 (Clock.now k.Kernel.clock - t0);
+  check Alcotest.int "restarts counted" 3 (Stats.get k.Kernel.stats "supervisor.restart");
+  check Alcotest.int "give-up counted" 1 (Stats.get k.Kernel.stats "supervisor.gave_up")
+
+(* ---------- callgate deadlines and recycled respawn ---------- *)
+
+let test_cgate_deadline () =
+  let k, app, main = mk_app () in
+  W.boot app;
+  let sc = W.sc_create () in
+  let slow =
+    W.sc_cgate_add main sc ~name:"slow"
+      ~entry:(fun gctx ~trusted:_ ~arg ->
+        W.charge_app gctx 1000;
+        arg + 1)
+      ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  let h =
+    W.sthread_create main sc
+      (fun ctx _ ->
+        let a = W.cgate ctx slow ~deadline_ns:500 ~perms:(W.sc_create ()) ~arg:1 in
+        let b = W.cgate ctx slow ~deadline_ns:5000 ~perms:(W.sc_create ()) ~arg:1 in
+        (a * 1000) + b)
+      0
+  in
+  (* First call overruns its deadline (-1); the second fits (returns 2). *)
+  check Alcotest.int "deadline enforced" (-998) (W.sthread_join main h);
+  check Alcotest.int "overrun counted" 1
+    (Stats.get k.Kernel.stats "cgate.deadline_exceeded")
+
+let test_recycled_gate_fault_respawns () =
+  let k, app, main = mk_app () in
+  W.boot app;
+  let sc = W.sc_create () in
+  let first = ref true in
+  let gate =
+    W.sc_cgate_add ~recycled:true main sc ~name:"fragile"
+      ~entry:(fun _ ~trusted:_ ~arg ->
+        if !first then begin
+          first := false;
+          raise (Fault_plan.Injected "gate member crashed")
+        end
+        else arg + 5)
+      ~cgsc:(W.sc_create ()) ~trusted:0
+  in
+  let h =
+    W.sthread_create main sc
+      (fun ctx _ ->
+        let a = W.cgate ctx gate ~perms:(W.sc_create ()) ~arg:1 in
+        let b = W.cgate ctx gate ~perms:(W.sc_create ()) ~arg:1 in
+        (a * 100) + b)
+      0
+  in
+  (* The crashing member yields -1 and is discarded; the respawned member
+     serves the very next invocation. *)
+  check Alcotest.int "crash then fresh member" (-94) (W.sthread_join main h);
+  check Alcotest.int "gate fault counted" 1 (Stats.get k.Kernel.stats "fault.cgate");
+  check Alcotest.int "respawn counted" 1
+    (Stats.get k.Kernel.stats "cgate.recycled.respawn")
+
+(* ---------- fiber crash containment and deadlock diagnostics ---------- *)
+
+let test_fiber_crash_contained_in_sthread () =
+  let plan = Fault_plan.create ~seed:9 () in
+  Fault_plan.disarm plan;
+  let survived = ref false in
+  Fiber.run ~faults:plan (fun () ->
+      let _, app, main = mk_app () in
+      W.boot app;
+      let outcome =
+        Supervisor.supervise_sthread main (W.sc_create ())
+          (fun _ _ ->
+            Fault_plan.rule plan ~site:"fiber.yield"
+              ~nth:(Fault_plan.site_ops plan ~site:"fiber.yield" + 1)
+              [ Fault_plan.Crash ];
+            Fault_plan.arm plan;
+            Fiber.yield ();
+            99)
+          0
+      in
+      Fault_plan.disarm plan;
+      (match outcome with
+      | Supervisor.Gave_up { last_fault; _ } ->
+          check Alcotest.bool "names the site" true (contains last_fault "fiber.yield")
+      | Supervisor.Done _ -> Alcotest.fail "expected the worker to crash");
+      (* The scheduler and this fiber are unharmed. *)
+      Fiber.yield ();
+      survived := true);
+  check Alcotest.bool "main fiber survived" true !survived
+
+let test_deadlock_names_blocked_fibers () =
+  match
+    Fiber.run (fun () ->
+        Fiber.spawn (fun () -> Fiber.wait_until ~what:"cond_a" (fun () -> false));
+        Fiber.wait_until ~what:"cond_b" (fun () -> false))
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Fiber.Deadlock msg ->
+      check Alcotest.bool "names cond_a" true (contains msg "cond_a");
+      check Alcotest.bool "names cond_b" true (contains msg "cond_b");
+      check Alcotest.bool "names fibers" true (contains msg "fiber")
+
+(* ---------- degraded answers ---------- *)
+
+let test_pop3_setup_fault_degrades () =
+  let plan = Fault_plan.create ~seed:3 () in
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  Pop3_env.install k Pop3_env.default_users;
+  let app = W.create_app k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let farewell = ref "" in
+  let debug = ref None in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair ~costs:Cost_model.free () in
+      Fiber.spawn (fun () ->
+          (* The very first frame allocation of per-connection setup fails:
+             the monitor must degrade, not die. *)
+          Fault_plan.rule plan ~site:"physmem.alloc"
+            ~nth:(Fault_plan.site_ops plan ~site:"physmem.alloc" + 1)
+            [ Fault_plan.Enomem ];
+          Fault_plan.arm plan;
+          let d = Pop3_wedge.serve_connection main server_ep in
+          Fault_plan.disarm plan;
+          debug := Some d);
+      farewell := Bytes.to_string (Chan.read client_ep 128));
+  (match !debug with
+  | Some d ->
+      check Alcotest.bool "degraded" true d.Pop3_wedge.degraded;
+      check Alcotest.bool "no tags created" true (d.Pop3_wedge.uid_tag = None);
+      (match d.Pop3_wedge.worker_status with
+      | Process.Faulted reason ->
+          check Alcotest.bool "setup fault named" true (contains reason "setup:")
+      | _ -> Alcotest.fail "expected a setup fault")
+  | None -> Alcotest.fail "serve_connection never returned");
+  check Alcotest.bool "-ERR farewell sent" true (contains !farewell "-ERR");
+  check Alcotest.int "pop3.degraded counted" 1 (Stats.get k.Kernel.stats "pop3.degraded")
+
+(* ---------- chaos soak ---------- *)
+
+type soak = {
+  s_trace : string;
+  s_injections : int;
+  s_ok : int;
+  s_failed : int;
+  s_refused : int;
+  s_final_ok : bool;
+  s_degraded : int;
+}
+
+let run_soak ~seed ~n =
+  let plan = Fault_plan.create ~seed () in
+  let chan_kinds =
+    [ Fault_plan.Drop; Fault_plan.Truncate; Fault_plan.Reset; Fault_plan.Delay 50 ]
+  in
+  Fault_plan.rule plan ~site:"chan.read" ~prob:0.05 chan_kinds;
+  Fault_plan.rule plan ~site:"chan.write" ~prob:0.05 chan_kinds;
+  Fault_plan.rule plan ~site:"physmem.alloc" ~prob:0.05 [ Fault_plan.Enomem ];
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let env = Env.install ~image_pages:80 k in
+  let ok = ref 0 and failed = ref 0 and refused = ref 0 in
+  let final_ok = ref false in
+  Fiber.run (fun () ->
+      let l = Chan.listener ~clock:k.Kernel.clock ~costs:Cost_model.free ~faults:plan () in
+      Fiber.spawn (fun () ->
+          let rec loop () =
+            match Chan.accept l with
+            | None -> ()
+            | Some ep ->
+                (* Every connection's fate — served, degraded, or torn
+                   down — is contained inside serve_connection. *)
+                ignore (Simple.serve_connection env ep);
+                loop ()
+          in
+          loop ());
+      let fetch i =
+        match Chan.connect l with
+        | exception Fault_plan.Injected _ -> incr refused
+        | ep -> (
+            let rng = Drbg.create ~seed:(1000 + i) in
+            let r =
+              try
+                match
+                  Client.get ~rng ~pinned:env.Env.priv.Rsa.pub ~path:"/index.html" ep
+                with
+                | r -> if body_of r <> None then `Ok else `Failed
+              with
+              | Fiber.Deadlock _ as e -> raise e
+              | _ -> `Failed
+            in
+            match r with `Ok -> incr ok | `Failed -> incr failed)
+      in
+      Fault_plan.arm plan;
+      for i = 1 to n do
+        fetch i
+      done;
+      Fault_plan.disarm plan;
+      (* The listener took n faulty connections and still accepts: one
+         last clean fetch must succeed end to end. *)
+      let ep = Chan.connect l in
+      let rng = Drbg.create ~seed:31337 in
+      final_ok :=
+        body_of (Client.get ~rng ~pinned:env.Env.priv.Rsa.pub ~path:"/index.html" ep)
+        = Some Env.index_body;
+      Chan.shutdown l);
+  {
+    s_trace = Fault_plan.trace plan;
+    s_injections = Fault_plan.injections plan;
+    s_ok = !ok;
+    s_failed = !failed;
+    s_refused = !refused;
+    s_final_ok = !final_ok;
+    s_degraded = Stats.get k.Kernel.stats "httpd.degraded";
+  }
+
+let test_chaos_soak () =
+  let n = 200 in
+  let a = run_soak ~seed:77 ~n in
+  check Alcotest.int "every connection resolved" n (a.s_ok + a.s_failed + a.s_refused);
+  check Alcotest.bool "faults actually injected" true (a.s_injections > 0);
+  (* At 5% per-I/O-operation, most multi-round-trip TLS connections hit at
+     least one fault; what matters is that clean ones still complete and
+     faulty ones resolve definitively instead of wedging the server. *)
+  check Alcotest.bool "clean connections still served" true (a.s_ok > 0);
+  check Alcotest.bool "some connections degraded" true (a.s_failed > 0);
+  check Alcotest.bool "listener survived the soak" true a.s_final_ok;
+  check Alcotest.bool "degradations were counted" true (a.s_degraded >= 0)
+
+let test_chaos_soak_replays_identically () =
+  let a = run_soak ~seed:123 ~n:60 in
+  let b = run_soak ~seed:123 ~n:60 in
+  check Alcotest.string "byte-identical fault trace" a.s_trace b.s_trace;
+  check Alcotest.bool "trace nonempty" true (String.length a.s_trace > 0);
+  check Alcotest.int "identical outcomes" a.s_ok b.s_ok;
+  check Alcotest.int "identical failures" a.s_failed b.s_failed;
+  check Alcotest.int "identical degradations" a.s_degraded b.s_degraded
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "same seed same trace" `Quick test_same_seed_same_trace;
+          Alcotest.test_case "disarmed plan inert" `Quick test_disarmed_plan_is_inert;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "exhaustion and recovery" `Quick
+            test_frame_exhaustion_and_recovery;
+          Alcotest.test_case "supervised enomem recovery" `Quick
+            test_supervisor_recovers_from_injected_enomem;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "reset mid-request" `Quick test_channel_reset_mid_request;
+          Alcotest.test_case "connect refused" `Quick
+            test_connect_fault_refuses_connection;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_supervisor_backoff_schedule;
+        ] );
+      ( "cgate",
+        [
+          Alcotest.test_case "deadline" `Quick test_cgate_deadline;
+          Alcotest.test_case "recycled respawn" `Quick
+            test_recycled_gate_fault_respawns;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "crash contained" `Quick
+            test_fiber_crash_contained_in_sthread;
+          Alcotest.test_case "deadlock names fibers" `Quick
+            test_deadlock_names_blocked_fibers;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "pop3 setup fault" `Quick test_pop3_setup_fault_degrades;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "soak" `Quick test_chaos_soak;
+          Alcotest.test_case "soak replay" `Quick test_chaos_soak_replays_identically;
+        ] );
+    ]
