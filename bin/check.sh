@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate: full build and test suite with warnings as errors (dune's dev
+# profile default), plus formatting when an .ocamlformat file is present.
+# Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @default =="
+dune build @default
+
+echo "== dune build @runtest =="
+dune build @runtest
+
+if [ -f .ocamlformat ]; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+fi
+
+echo "check.sh: all green"

@@ -22,6 +22,7 @@ module Tag = Wedge_mem.Tag
 module Smalloc = Wedge_mem.Smalloc
 module Tag_cache = Wedge_mem.Tag_cache
 module Fault_plan = Wedge_fault.Fault_plan
+module Rlimit = Wedge_kernel.Rlimit
 
 exception Privilege_violation of string
 exception Exit_sthread of int
@@ -34,6 +35,7 @@ let fault_reason = function
   | Kernel.Eperm msg -> Some msg
   | Physmem.Enomem -> Some "out of memory"
   | Fault_plan.Injected msg -> Some msg
+  | Rlimit.Resource_exhausted msg -> Some msg
   | _ -> None
 
 let page_size = Physmem.page_size
@@ -158,7 +160,7 @@ let create_app ?(image_pages = default_image_pages) kernel =
       recycled_pool = Hashtbl.create 8;
     }
   in
-  let proc = Kernel.new_process kernel ~kind:Process.Main ~uid:0 ~root:"/" ~sid:"system_u:system_r:init_t" in
+  let proc = Kernel.new_process kernel ~kind:Process.Main ~uid:0 ~root:"/" ~sid:"system_u:system_r:init_t" () in
   Vm.map_fresh proc.Process.vm ~addr:Layout.data_base ~pages:image_pages
     ~prot:Prot.page_rw ~tag:None;
   let ctx = make_ctx app proc (Sc.create ()) Instr.null in
@@ -267,6 +269,12 @@ let validate_sc parent (sc : Sc.t) =
       if not (holds_gate parent gid) then
         violation "pid %d grants callgate %d it does not hold" (pid parent) gid)
     sc.Sc.gates;
+  (match sc.Sc.limits with
+  | Some child when not (Rlimit.subsumes ~parent:parent.proc.Process.limits ~child) ->
+      violation "pid %d escalates resource limits (parent %s, child %s)" (pid parent)
+        (Rlimit.to_string parent.proc.Process.limits)
+        (Rlimit.to_string child)
+  | _ -> ());
   (match sc.Sc.uid with
   | Some u when u <> parent.proc.Process.uid && parent.proc.Process.uid <> 0 ->
       violation "pid %d (uid %d) cannot set uid %d" (pid parent) parent.proc.Process.uid u
@@ -290,6 +298,13 @@ let resolve_identity parent (sc : Sc.t) =
   ( Option.value sc.Sc.uid ~default:parent.proc.Process.uid,
     Option.value sc.Sc.root ~default:parent.proc.Process.root,
     Option.value sc.Sc.sid ~default:parent.proc.Process.sid )
+
+(* Like identity, limits inherit from the parent when the sc is silent:
+   the child gets the parent's caps with fresh usage, so an unlimited
+   parent mints unlimited children and a quota-bound parent can never be
+   escaped by omitting the field. *)
+let resolve_limits parent (sc : Sc.t) =
+  Rlimit.child_of (Option.value sc.Sc.limits ~default:parent.proc.Process.limits)
 
 (* Map the pristine snapshot copy-on-write into a new sthread. *)
 let map_pristine app (vm : Vm.t) =
@@ -354,7 +369,10 @@ let sthread_create ?instr parent (sc : Sc.t) fn arg =
   stat parent "sthread_create";
   validate_sc parent sc;
   let uid, root, sid = resolve_identity parent sc in
-  let child = Kernel.new_process parent.app.kernel ~kind:Process.Sthread ~uid ~root ~sid in
+  let limits = resolve_limits parent sc in
+  let child =
+    Kernel.new_process parent.app.kernel ~limits ~kind:Process.Sthread ~uid ~root ~sid ()
+  in
   map_pristine parent.app child.Process.vm;
   map_grants parent child sc;
   let cctx = make_ctx parent.app child sc (Option.value instr ~default:parent.instr) in
@@ -385,8 +403,9 @@ let fork parent fn =
   stat parent "fork";
   let p = parent.proc in
   let child =
-    Kernel.new_process parent.app.kernel ~kind:Process.Forked ~uid:p.Process.uid
-      ~root:p.Process.root ~sid:p.Process.sid
+    Kernel.new_process parent.app.kernel
+      ~limits:(Rlimit.child_of p.Process.limits)
+      ~kind:Process.Forked ~uid:p.Process.uid ~root:p.Process.root ~sid:p.Process.sid ()
   in
   let cm = costs parent in
   let entries = Pagetable.fold (fun vpn pte acc -> (vpn, pte) :: acc) (Vm.page_table p.Process.vm) [] in
@@ -608,8 +627,17 @@ let gate_of ctx gid =
    the creator's identity and the permissions fixed at creation time, plus
    the caller-supplied extra permissions for this invocation. *)
 let build_gate_proc caller (g : gate) kind =
+  (* Gate limits come from the gate's own sc (validated against the
+     creator at creation); a silent sc leaves the gate unlimited, since
+     gates run with creator — typically monitor — privileges. *)
+  let limits =
+    match g.g_sc.Sc.limits with
+    | Some l -> Rlimit.child_of l
+    | None -> Rlimit.unlimited ()
+  in
   let child =
-    Kernel.new_process caller.app.kernel ~kind ~uid:g.g_uid ~root:g.g_root ~sid:g.g_sid
+    Kernel.new_process caller.app.kernel ~limits ~kind ~uid:g.g_uid ~root:g.g_root
+      ~sid:g.g_sid ()
   in
   map_pristine caller.app child.Process.vm;
   map_tag_grants caller.app child g.g_sc;

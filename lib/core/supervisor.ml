@@ -29,21 +29,36 @@ let outcome_to_string = function
    application); keeping it a thunk lets one supervisor cover both. *)
 let supervise ?(policy = default_policy) ctx run =
   let rec go attempt =
-    let handle = run () in
-    match Engine.handle_status handle with
-    | Process.Faulted reason ->
-        if attempt <= policy.max_restarts then begin
-          Engine.stat ctx "supervisor.restart";
-          (* Exponential backoff, charged to the simulated clock: 1x, 2x,
-             4x ... of [backoff_ns]. *)
-          Engine.charge_app ctx (policy.backoff_ns * (1 lsl (attempt - 1)));
-          go (attempt + 1)
-        end
-        else begin
-          Engine.stat ctx "supervisor.gave_up";
-          Gave_up { attempts = attempt; last_fault = reason }
-        end
-    | _ -> Done { value = Engine.sthread_join ctx handle; attempts = attempt }
+    (* A contained fault during creation itself (resource quota hit while
+       duplicating granted descriptors, frame exhaustion mapping the
+       image) counts as a faulted attempt, exactly like a crash inside
+       the compartment — it must never propagate past the supervisor. *)
+    let status =
+      match run () with
+      | handle -> `Created handle
+      | exception e when Engine.fault_reason e <> None ->
+          Engine.stat ctx "fault.compartment";
+          `Creation_fault (Option.get (Engine.fault_reason e))
+    in
+    let faulted reason =
+      if attempt <= policy.max_restarts then begin
+        Engine.stat ctx "supervisor.restart";
+        (* Exponential backoff, charged to the simulated clock: 1x, 2x,
+           4x ... of [backoff_ns]. *)
+        Engine.charge_app ctx (policy.backoff_ns * (1 lsl (attempt - 1)));
+        go (attempt + 1)
+      end
+      else begin
+        Engine.stat ctx "supervisor.gave_up";
+        Gave_up { attempts = attempt; last_fault = reason }
+      end
+    in
+    match status with
+    | `Creation_fault reason -> faulted ("create: " ^ reason)
+    | `Created handle -> (
+        match Engine.handle_status handle with
+        | Process.Faulted reason -> faulted reason
+        | _ -> Done { value = Engine.sthread_join ctx handle; attempts = attempt })
   in
   go 1
 

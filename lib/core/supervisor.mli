@@ -32,7 +32,10 @@ val supervise :
   ?policy:policy -> Engine.ctx -> (unit -> Engine.handle) -> outcome
 (** [supervise ctx run] runs attempts produced by [run] until one exits or
     the policy gives up.  Bumps kernel stats [supervisor.restart] and
-    [supervisor.gave_up]. *)
+    [supervisor.gave_up].  A contained fault raised by [run] itself (e.g.
+    a resource quota hit while creating the compartment) counts as a
+    faulted attempt with reason prefix ["create: "] — it never propagates
+    to the caller. *)
 
 val supervise_sthread :
   ?policy:policy ->

@@ -124,6 +124,12 @@ val sc_set_root : Sc.t -> string -> unit
 val sc_gate_grant : Sc.t -> gate_id -> unit
 (** Pass on a capability the grantor already holds. *)
 
+val sc_set_rlimit : Sc.t -> Wedge_kernel.Rlimit.t -> unit
+(** Bound the child's resources (private frames, descriptors, syscall
+    fuel).  Validated at creation like every other grant: the child's
+    caps must be no looser than the parent's.  Omitted, the child
+    inherits the parent's caps with fresh usage. *)
+
 (** {1 Callgate-related calls} *)
 
 val sc_cgate_add :
@@ -196,8 +202,8 @@ val stat : ctx -> string -> unit
 val fault_reason : exn -> string option
 (** [Some reason] iff the exception is in the fault class that terminates
     a compartment (protection fault, SELinux denial, frame exhaustion,
-    injected fault) rather than a programming error.  What monitors use to
-    guard their own per-connection setup work. *)
+    quota exhaustion, injected fault) rather than a programming error.
+    What monitors use to guard their own per-connection setup work. *)
 
 val can_read : ctx -> addr:int -> len:int -> bool
 val can_write : ctx -> addr:int -> len:int -> bool

@@ -20,7 +20,9 @@ let reason = function
   | 200 -> "OK"
   | 403 -> "Forbidden"
   | 404 -> "Not Found"
+  | 413 -> "Request Entity Too Large"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
 let format_response r =
@@ -54,3 +56,5 @@ let ok body = { status = 200; body }
 let not_found = { status = 404; body = "not found" }
 let forbidden = { status = 403; body = "forbidden" }
 let internal_error = { status = 500; body = "internal server error" }
+let too_large = { status = 413; body = "request too large" }
+let service_unavailable = { status = 503; body = "server busy" }

@@ -23,3 +23,10 @@ val forbidden : response
 val internal_error : response
 (** 500 — the plaintext degraded answer a monitor sends when a worker
     compartment crashed and supervision gave up. *)
+
+val too_large : response
+(** 413 — the request exceeded the server's size cap. *)
+
+val service_unavailable : response
+(** 503 — the admission guard rejected the connection (at capacity or
+    draining). *)

@@ -2,6 +2,7 @@ module W = Wedge_core.Wedge
 module Prot = Wedge_kernel.Prot
 module Fd_table = Wedge_kernel.Fd_table
 module Chan = Wedge_net.Chan
+module Guard = Wedge_net.Guard
 module Tag = Wedge_mem.Tag
 module Drbg = Wedge_crypto.Drbg
 module Wire = Wedge_tls.Wire
@@ -166,7 +167,8 @@ let send_degraded main ep =
   try Chan.write_string ep (Http.format_response Http.internal_error) with _ -> ()
 
 let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_policy)
-    ?exploit_handshake ?exploit_request (env : Httpd_env.t) ep =
+    ?exploit_handshake ?exploit_request ?guard ?max_request_bytes ?worker_limits
+    (env : Httpd_env.t) ep =
   let main = env.Httpd_env.main in
   (* Per-connection setup runs in the monitor, so a fault here (injected
      frame exhaustion during tag_new, a reset connection) must be contained
@@ -189,9 +191,16 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
     let conn_block = W.smalloc main Conn_state.size conn_tag in
     Conn_state.init main conn_block;
     let arg_block = W.smalloc main 4096 arg_tag in
-    let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+    (* With a guard attached, the worker reads through the deadline-aware
+       endpoint: a slow-loris client turns into EOF inside the worker
+       instead of a fiber pinned forever. *)
+    let raw_ep =
+      match guard with Some c -> Guard.endpoint c | None -> Chan.to_endpoint ep
+    in
+    let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
     fd_ref := Some fd;
     let worker_sc = W.sc_create () in
+    (match worker_limits with Some l -> W.sc_set_rlimit worker_sc l | None -> ());
     let cgsc = W.sc_create () in
     W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
     W.sc_mem_add cgsc conn_tag Prot.RW;
@@ -235,12 +244,23 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
             match Handshake.server_handshake ~ops ~cert:(Httpd_env.cert env) io with
             | Error _ -> 1
             | Ok _sid -> (
+                (match guard with Some c -> Guard.established c | None -> ());
                 (match exploit_handshake with Some payload -> payload ctx | None -> ());
                 match !keys_ref with
                 | None -> 1
                 | Some keys -> (
                     match Handshake.recv_data io keys with
                     | Error _ -> 1
+                    | Ok req
+                      when match max_request_bytes with
+                           | Some m -> Bytes.length req > m
+                           | None -> false ->
+                        (* Oversized request: answer inside the session (the
+                           keys are established) with 413 and stop. *)
+                        let resp = Http.format_response Http.too_large in
+                        Httpd_env.charge ctx Httpd_env.Mac;
+                        Handshake.send_data io keys (Bytes.of_string resp);
+                        0
                     | Ok req ->
                         Httpd_env.charge ctx (Httpd_env.Cipher (Bytes.length req));
                         let resp =
@@ -271,3 +291,20 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
         degraded;
         attempts;
       }
+
+(* Guarded accept loop: admission control in front of per-connection
+   compartments.  Over-capacity connections get a plaintext 503 (the TLS
+   session never started, so plaintext is all there is) and are closed;
+   admitted ones are served in their own fiber with the slot
+   auto-released.  Returns when the listener shuts down (see
+   [Guard.drain]). *)
+let serve_loop ?restart_policy ?max_request_bytes ?worker_limits (env : Httpd_env.t)
+    guard listener =
+  Guard.accept_loop guard listener
+    ~reject:(fun _decision ep ->
+      W.stat env.Httpd_env.main "httpd.rejected";
+      Chan.write_string ep (Http.format_response Http.service_unavailable))
+    ~serve:(fun c ->
+      ignore
+        (serve_connection ?restart_policy ~guard:c ?max_request_bytes ?worker_limits env
+           (Guard.ep c)))

@@ -25,6 +25,9 @@ val serve_connection :
   ?restart_policy:Wedge_core.Supervisor.policy ->
   ?exploit_handshake:(Wedge_core.Wedge.ctx -> unit) ->
   ?exploit_request:(Wedge_core.Wedge.ctx -> unit) ->
+  ?guard:Wedge_net.Guard.conn ->
+  ?max_request_bytes:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
   Httpd_env.t ->
   Wedge_net.Chan.ep ->
   conn_debug
@@ -39,4 +42,24 @@ val serve_connection :
     [httpd.degraded] / [supervisor.*] bumped) and never propagates to the
     caller, so an accept loop above survives any connection's death.
     [restart_policy] retries faulted workers first (default: none — the
-    TLS stream is consumed by the failed attempt). *)
+    TLS stream is consumed by the failed attempt).
+
+    Resource governance: [guard] makes the worker read through the
+    deadline-aware endpoint (slow-loris becomes EOF) and marks the
+    connection established after the handshake; [max_request_bytes]
+    answers oversized decrypted requests with a sealed 413;
+    [worker_limits] arms per-sthread resource quotas (frames / fds /
+    syscall fuel) on the worker compartment. *)
+
+val serve_loop :
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_request_bytes:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
+  Httpd_env.t ->
+  Wedge_net.Guard.t ->
+  Wedge_net.Chan.listener ->
+  unit
+(** Guarded accept loop: over-capacity or draining connections get a
+    plaintext 503 and close (counter [httpd.rejected]); admitted ones run
+    {!serve_connection} in their own fiber.  Returns once the listener
+    shuts down — compose with {!Wedge_net.Guard.drain}. *)

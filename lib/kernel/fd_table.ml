@@ -37,11 +37,18 @@ type entry = {
 type t = {
   tbl : (int, entry) Hashtbl.t;
   mutable next : int;
+  limits : Rlimit.t option;
+      (* the owning process's quota: one unit per open descriptor,
+         charged when installed, released when closed *)
 }
 
-let create () = { tbl = Hashtbl.create 8; next = 3 }
+let create ?limits () = { tbl = Hashtbl.create 8; next = 3; limits }
+
+let charge t = match t.limits with Some l -> Rlimit.charge_fd l | None -> ()
+let release t = match t.limits with Some l -> Rlimit.release_fd l | None -> ()
 
 let add t target perm =
+  charge t;
   let fd = t.next in
   t.next <- t.next + 1;
   Hashtbl.add t.tbl fd { target; perm; closed = false };
@@ -57,7 +64,9 @@ let find t fd =
    and is shut down by its owner via the channel layer. *)
 let close t fd =
   match Hashtbl.find_opt t.tbl fd with
-  | Some e when not e.closed -> e.closed <- true
+  | Some e when not e.closed ->
+      e.closed <- true;
+      release t
   | _ -> ()
 
 let dup_into ~src ~dst ~fd ~perm =
@@ -76,6 +85,7 @@ let dup_into ~src ~dst ~fd ~perm =
         | File fh -> File { fh_path = fh.fh_path; fh_pos = fh.fh_pos }
         | (Endpoint _ | Null) as x -> x
       in
+      charge dst;
       Hashtbl.add dst.tbl fd { target; perm; closed = false };
       if fd >= dst.next then dst.next <- fd + 1
 
@@ -84,6 +94,7 @@ let install t ~fd target perm =
   | Some e when not e.closed ->
       invalid_arg (Printf.sprintf "Fd_table.install: fd %d already present" fd)
   | _ -> ());
+  charge t;
   Hashtbl.replace t.tbl fd { target; perm; closed = false };
   if fd >= t.next then t.next <- fd + 1
 

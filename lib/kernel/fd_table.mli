@@ -44,7 +44,11 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?limits:Rlimit.t -> unit -> t
+(** [limits] charges one fd-quota unit per open descriptor (released on
+    {!close}); installing past the cap raises
+    {!Rlimit.Resource_exhausted}. *)
+
 val add : t -> target -> perm -> int
 (** Install a target, returning the new descriptor number. *)
 

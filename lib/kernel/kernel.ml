@@ -35,10 +35,12 @@ let trap t name =
   charge t t.costs.Cost_model.syscall_trap;
   Stats.bump t.stats ("trap." ^ name)
 
-let new_process t ~kind ~uid ~root ~sid =
+let new_process t ?limits ~kind ~uid ~root ~sid () =
   let pid = t.next_pid in
   t.next_pid <- t.next_pid + 1;
   charge t t.costs.Cost_model.proc_struct;
+  let limits = match limits with Some l -> l | None -> Rlimit.unlimited () in
+  let vm_limits = if Rlimit.is_unlimited limits then None else Some limits in
   let p =
     {
       Process.pid;
@@ -46,8 +48,9 @@ let new_process t ~kind ~uid ~root ~sid =
       uid;
       root;
       sid;
-      vm = Vm.create ?faults:t.faults ~pid t.pm t.clock t.costs;
-      fds = Fd_table.create ();
+      vm = Vm.create ?faults:t.faults ?limits:vm_limits ~pid t.pm t.clock t.costs;
+      fds = Fd_table.create ?limits:vm_limits ();
+      limits;
       status = Process.Running;
     }
   in
@@ -63,6 +66,9 @@ let reap t (p : Process.t) =
 
 let syscall_check t (p : Process.t) name =
   trap t name;
+  (* One unit of syscall fuel per trap: a compartment in a hostile loop
+     burns out deterministically instead of spinning forever. *)
+  Rlimit.charge_fuel p.Process.limits 1;
   if not (Selinux.check t.selinux ~sid:p.Process.sid ~syscall:name) then
     raise
       (Eperm

@@ -33,8 +33,18 @@ val trap : t -> string -> unit
 (** Charge one system-call trap and bump the named stat. *)
 
 val new_process :
-  t -> kind:Process.kind -> uid:int -> root:string -> sid:string -> Process.t
-(** Allocate a PCB with an empty address space and fd table. *)
+  t ->
+  ?limits:Rlimit.t ->
+  kind:Process.kind ->
+  uid:int ->
+  root:string ->
+  sid:string ->
+  unit ->
+  Process.t
+(** Allocate a PCB with an empty address space and fd table.  [limits]
+    (default unlimited) bounds the process's private frames, open
+    descriptors and syscall fuel; it should be a fresh-usage
+    {!Rlimit.child_of} copy, never shared with another process. *)
 
 val find_process : t -> int -> Process.t option
 

@@ -18,6 +18,7 @@ type t = {
   mutable sid : string;
   vm : Vm.t;
   fds : Fd_table.t;
+  limits : Rlimit.t;
   mutable status : status;
 }
 

@@ -1,0 +1,91 @@
+(* Per-process resource quotas: the resource half of default-deny.
+
+   Wedge's security contexts bound what a compartment may *touch*; an
+   rlimit bounds what it may *consume* — physical frames (private pages
+   allocated by map_fresh and COW breaks), file descriptors, and syscall
+   fuel (one unit per kernel trap).  Limits are caps-plus-usage: the caps
+   are immutable after creation, usage counters are charged and released
+   by the kernel paths that own the resource.
+
+   Like fd grants, limits are inherited and subsettable at sthread
+   creation: a parent may hand a child any limit no looser than its own
+   ([subsumes]).  Exhaustion raises [Resource_exhausted], which the
+   engine treats as a contained compartment fault (the simulated
+   SIGSEGV/SIGKILL family) — the hostile or runaway compartment dies,
+   its supervisor decides what happens next, and the creator's own
+   counters are untouched. *)
+
+exception Resource_exhausted of string
+
+type t = {
+  max_frames : int option;  (* private physical frames (None = unlimited) *)
+  max_fds : int option;     (* open descriptors in the fd table *)
+  max_fuel : int option;    (* lifetime syscall traps *)
+  mutable frames : int;
+  mutable fds : int;
+  mutable fuel : int;
+}
+
+let create ?max_frames ?max_fds ?max_fuel () =
+  { max_frames; max_fds; max_fuel; frames = 0; fds = 0; fuel = 0 }
+
+let unlimited () = create ()
+
+(* A fresh-usage copy for a new process inheriting these caps. *)
+let child_of t = { t with frames = 0; fds = 0; fuel = 0 }
+
+let field_subsumes parent child =
+  match (parent, child) with
+  | None, _ -> true
+  | Some _, None -> false  (* bounded parent cannot mint an unbounded child *)
+  | Some p, Some c -> c <= p
+
+let subsumes ~parent ~child =
+  field_subsumes parent.max_frames child.max_frames
+  && field_subsumes parent.max_fds child.max_fds
+  && field_subsumes parent.max_fuel child.max_fuel
+
+let is_unlimited t = t.max_frames = None && t.max_fds = None && t.max_fuel = None
+
+let exhausted what limit =
+  raise
+    (Resource_exhausted (Printf.sprintf "%s quota exhausted (limit %d)" what limit))
+
+let charge_frames t n =
+  (match t.max_frames with
+  | Some m when t.frames + n > m -> exhausted "frame" m
+  | _ -> ());
+  t.frames <- t.frames + n
+
+let release_frames t n = t.frames <- max 0 (t.frames - n)
+
+let charge_fd t =
+  (match t.max_fds with
+  | Some m when t.fds + 1 > m -> exhausted "fd" m
+  | _ -> ());
+  t.fds <- t.fds + 1
+
+let release_fd t = t.fds <- max 0 (t.fds - 1)
+
+let charge_fuel t n =
+  (match t.max_fuel with
+  | Some m when t.fuel + n > m -> exhausted "syscall fuel" m
+  | _ -> ());
+  t.fuel <- t.fuel + n
+
+let frames_used t = t.frames
+let fds_used t = t.fds
+let fuel_used t = t.fuel
+
+let to_string t =
+  let f name cap used =
+    match cap with
+    | None -> Printf.sprintf "%s=%d/inf" name used
+    | Some m -> Printf.sprintf "%s=%d/%d" name used m
+  in
+  String.concat " "
+    [
+      f "frames" t.max_frames t.frames;
+      f "fds" t.max_fds t.fds;
+      f "fuel" t.max_fuel t.fuel;
+    ]

@@ -1,0 +1,46 @@
+(** Per-process resource quotas — the resource half of default-deny.
+
+    A security context bounds what a compartment may {e touch}; an rlimit
+    bounds what it may {e consume}: private physical frames, open file
+    descriptors, and syscall fuel (one unit per kernel trap).  Limits are
+    inherited and subsettable at sthread creation like fd grants; a child
+    limit must be no looser than its parent's ({!subsumes}).
+
+    Exhaustion raises {!Resource_exhausted}, which the engine contains as
+    a compartment fault (same family as a protection fault or ENOMEM):
+    the offending compartment dies, supervision decides what happens next,
+    and the creator is unaffected. *)
+
+exception Resource_exhausted of string
+
+type t
+
+val create : ?max_frames:int -> ?max_fds:int -> ?max_fuel:int -> unit -> t
+(** Omitted fields are unlimited.  Usage counters start at zero. *)
+
+val unlimited : unit -> t
+
+val child_of : t -> t
+(** Same caps, fresh (zero) usage — what a new process inherits. *)
+
+val subsumes : parent:t -> child:t -> bool
+(** Per-field: an unlimited parent field admits anything; a bounded parent
+    field requires a bounded child field that is no larger. *)
+
+val is_unlimited : t -> bool
+
+(** {2 Charging — kernel paths only}
+
+    Each charge raises {!Resource_exhausted} instead of exceeding a cap;
+    releases never go below zero. *)
+
+val charge_frames : t -> int -> unit
+val release_frames : t -> int -> unit
+val charge_fd : t -> unit
+val release_fd : t -> unit
+val charge_fuel : t -> int -> unit
+
+val frames_used : t -> int
+val fds_used : t -> int
+val fuel_used : t -> int
+val to_string : t -> string

@@ -26,10 +26,24 @@ type t = {
   clock : Clock.t;
   costs : Cost_model.t;
   faults : Wedge_fault.Fault_plan.t option;
+  limits : Rlimit.t option;
+  owned : (int, unit) Hashtbl.t;
+      (* vpns whose frames were charged to [limits]: fresh mappings and
+         private COW copies.  Shared mappings (pristine snapshot, tag
+         grants) are never charged — the quota bounds private frames. *)
 }
 
-let create ?faults ~pid pm clock costs =
-  { pid; pm; pt = Pagetable.create (); clock; costs; faults }
+let create ?faults ?limits ~pid pm clock costs =
+  {
+    pid;
+    pm;
+    pt = Pagetable.create ();
+    clock;
+    costs;
+    faults;
+    limits;
+    owned = Hashtbl.create 64;
+  }
 let pid t = t.pid
 let page_table t = t.pt
 let page_size = Physmem.page_size
@@ -42,10 +56,25 @@ let check_aligned addr =
   if addr land (page_size - 1) <> 0 then
     invalid_arg (Printf.sprintf "Vm: address 0x%x not page aligned" addr)
 
+(* Quota accounting for private frames.  The charge happens before the
+   allocation so exhaustion is deterministic and leaves physical memory
+   untouched; [Rlimit.Resource_exhausted] is contained by the engine the
+   same way Enomem is. *)
+let charge_owned t vpn =
+  (match t.limits with Some l -> Rlimit.charge_frames l 1 | None -> ());
+  Hashtbl.replace t.owned vpn ()
+
+let release_owned t vpn =
+  if Hashtbl.mem t.owned vpn then begin
+    Hashtbl.remove t.owned vpn;
+    match t.limits with Some l -> Rlimit.release_frames l 1 | None -> ()
+  end
+
 let map_fresh t ~addr ~pages ~prot ~tag =
   check_aligned addr;
   for i = 0 to pages - 1 do
     Clock.charge t.clock t.costs.Cost_model.page_alloc;
+    charge_owned t (vpn_of addr + i);
     let frame = Physmem.alloc t.pm in
     Pagetable.map t.pt ~vpn:(vpn_of addr + i) ~frame ~prot ~tag
   done
@@ -73,7 +102,9 @@ let unmap_range t ~addr ~pages =
   check_aligned addr;
   for i = 0 to pages - 1 do
     match Pagetable.unmap t.pt ~vpn:(vpn_of addr + i) with
-    | Some pte -> Physmem.decref t.pm pte.Pagetable.frame
+    | Some pte ->
+        release_owned t (vpn_of addr + i);
+        Physmem.decref t.pm pte.Pagetable.frame
     | None -> ()
   done
 
@@ -90,15 +121,19 @@ let destroy t =
   List.iter
     (fun (vpn, frame) ->
       ignore (Pagetable.unmap t.pt ~vpn);
+      release_owned t vpn;
       Physmem.decref t.pm frame)
     frames
 
 let mapped_pages t = Pagetable.count t.pt
 
-(* Take a private copy of a COW page so it can be written. *)
-let cow_break t (pte : Pagetable.pte) =
+(* Take a private copy of a COW page so it can be written.  The copy is a
+   private frame, so it counts against the frame quota (a compartment
+   ballooning the shared pristine image pays for every page it dirties). *)
+let cow_break t ~vpn (pte : Pagetable.pte) =
   Clock.charge t.clock t.costs.Cost_model.page_copy;
   if Physmem.refcount t.pm pte.frame > 1 then begin
+    charge_owned t vpn;
     let fresh = Physmem.alloc t.pm in
     Bytes.blit (Physmem.get t.pm pte.frame) 0 (Physmem.get t.pm fresh) 0 page_size;
     Physmem.decref t.pm pte.frame;
@@ -121,13 +156,13 @@ let pte_for t addr access check =
       | Read -> if check && not p.Prot.pr then fault t addr Read "no read permission"
       | Write ->
           if p.Prot.pw then ()
-          else if p.Prot.pcow then cow_break t pte
+          else if p.Prot.pcow then cow_break t ~vpn:(vpn_of addr) pte
           else if check then fault t addr Write "no write permission"
           else if not p.Prot.pw then
             (* Kernel writes still must not corrupt shared frames. *)
             if Physmem.refcount t.pm pte.Pagetable.frame > 1 then begin
               let prot = p in
-              cow_break t pte;
+              cow_break t ~vpn:(vpn_of addr) pte;
               pte.Pagetable.prot <- prot
             end);
       pte

@@ -25,13 +25,18 @@ type t
 
 val create :
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?limits:Rlimit.t ->
   pid:int ->
   Physmem.t ->
   Wedge_sim.Clock.t ->
   Wedge_sim.Cost_model.t ->
   t
 (** [faults] makes checked compartment accesses roll site ["vm.access"];
-    a fired fault raises {!Fault} as a spurious protection fault. *)
+    a fired fault raises {!Fault} as a spurious protection fault.
+    [limits] charges a frame-quota unit for every private frame this
+    address space allocates ({!map_fresh} pages and COW copies; shared
+    mappings are free), released again on unmap/destroy.  Exhaustion
+    raises {!Rlimit.Resource_exhausted}. *)
 
 val pid : t -> int
 val page_table : t -> Pagetable.t

@@ -2,7 +2,10 @@ module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
 module Fd_table = Wedge_kernel.Fd_table
+module Rlimit = Wedge_kernel.Rlimit
 module Fault_plan = Wedge_fault.Fault_plan
+
+exception Refused of string
 
 (* One direction of flow: a byte FIFO with a close flag.  [reset] marks a
    close forced by fault injection: readers still see EOF, but writers get
@@ -52,12 +55,20 @@ type ep = {
   clock : Clock.t option;
   costs : Cost_model.t;
   faults : Fault_plan.t option;
+  capacity : int option;
+      (* high watermark on in-flight bytes per direction: a writer blocks
+         on the fiber scheduler above it and resumes at half (the low
+         watermark), so no peer can balloon a channel buffer without
+         bound *)
 }
 
-let pair ?clock ?(costs = Cost_model.default) ?faults () =
+let pair ?clock ?(costs = Cost_model.default) ?faults ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Chan.pair: capacity <= 0"
+  | _ -> ());
   let ab = dir_create () and ba = dir_create () in
-  ( { rx = ba; tx = ab; clock; costs; faults },
-    { rx = ab; tx = ba; clock; costs; faults } )
+  ( { rx = ba; tx = ab; clock; costs; faults; capacity },
+    { rx = ab; tx = ba; clock; costs; faults; capacity } )
 
 let charge_rtt ep half =
   match ep.clock with
@@ -111,27 +122,77 @@ let read ep n =
   Fiber.wait_until ~what:"channel data" (fun () ->
       dir_available ep.rx > 0 || ep.rx.closed);
   if blocked then charge_rtt ep true;
-  dir_pop ep.rx n
+  let b = dir_pop ep.rx n in
+  (* Draining counts as global progress: a writer blocked on the high
+     watermark must see its space appear as forward motion, not a stall. *)
+  if Bytes.length b > 0 then Fiber.progress ();
+  b
 
 let read_exact ep n =
-  let buf = Buffer.create n in
-  let rec go () =
-    if Buffer.length buf >= n then Some (Buffer.to_bytes buf)
-    else
-      let chunk = read ep (n - Buffer.length buf) in
-      if Bytes.length chunk = 0 then None
-      else begin
-        Buffer.add_bytes buf chunk;
-        go ()
-      end
+  if n < 0 then invalid_arg "Chan.read_exact: n < 0";
+  if n = 0 then Some Bytes.empty
+  else begin
+    (* One preallocated buffer filled in place — the per-call Buffer of
+       the old implementation copied every chunk twice.  A faulted
+       direction can deliver empty chunks without EOF; two consecutive
+       zero-progress reads terminate the loop instead of spinning. *)
+    let buf = Bytes.create n in
+    let rec go filled stalls =
+      if filled >= n then Some buf
+      else
+        let chunk = read ep (n - filled) in
+        let len = Bytes.length chunk in
+        if len = 0 then
+          if stalls >= 1 || (dir_available ep.rx = 0 && ep.rx.closed) then None
+          else go filled (stalls + 1)
+        else begin
+          Bytes.blit chunk 0 buf filled len;
+          go (filled + len) 0
+        end
+    in
+    go 0 0
+  end
+
+(* Writer-side backpressure: above the high watermark, spin-yield until
+   the reader drains to the low watermark.  If the whole system stalls
+   while we wait (the peer will never read), tear the direction down and
+   raise a contained [Resource_exhausted] — the in-flight byte budget is
+   a resource like any other, and a stalled bounded write must become a
+   compartment fault, never a scheduler deadlock. *)
+let backpressure_spins = 2_000
+
+let wait_for_space ep cap =
+  let low = max 1 (cap / 2) in
+  let rec loop last spins =
+    if dir_available ep.tx <= low || ep.tx.closed then ()
+    else if Fiber.stamp () = last && spins > backpressure_spins then begin
+      dir_kill ep.tx;
+      Fiber.progress ();
+      raise
+        (Rlimit.Resource_exhausted
+           (Printf.sprintf
+              "chan.write: bounded channel stalled (%d bytes in flight, peer not reading)"
+              (dir_available ep.tx)))
+    end
+    else begin
+      Fiber.yield ();
+      let s = Fiber.stamp () in
+      if s = last then loop last (spins + 1) else loop s 0
+    end
   in
-  go ()
+  loop (Fiber.stamp ()) 0
 
 let write ep b =
   if ep.tx.closed then
     if ep.tx.reset then
       raise (Fault_plan.Injected "chan.write: peer reset (injected)")
     else invalid_arg "Chan.write: endpoint closed";
+  (match ep.capacity with
+  | Some cap when dir_available ep.tx >= cap -> wait_for_space ep cap
+  | _ -> ());
+  (* The block may have ended because the direction died under us. *)
+  if ep.tx.closed then
+    raise (Fault_plan.Injected "chan.write: peer reset while blocked on backpressure");
   (match Fault_plan.roll_opt ep.faults ~site:"chan.write" with
   | Some (Fault_plan.Reset | Fault_plan.Crash as k) ->
       kill ep;
@@ -158,8 +219,14 @@ let close ep =
   ep.tx.closed <- true;
   Fiber.progress ()
 
+(* Forced teardown (RST): both directions die immediately.  Readers see
+   EOF, writers get a contained [Injected] — what the admission layer
+   uses to cut a connection past its deadline or at drain force-close. *)
+let abort ep = kill ep
+
 let is_eof ep = dir_available ep.rx = 0 && ep.rx.closed
 let bytes_in_flight ep = dir_available ep.rx
+let capacity ep = ep.capacity
 
 let to_endpoint ep =
   {
@@ -175,23 +242,49 @@ let to_endpoint ep =
 type listener = {
   queue : ep Queue.t;
   mutable down : bool;
+  backlog : int;
+  mutable refused : int;
   lclock : Clock.t option;
   lcosts : Cost_model.t;
   lfaults : Fault_plan.t option;
+  lcapacity : int option;
 }
 
-let listener ?clock ?(costs = Cost_model.default) ?faults () =
-  { queue = Queue.create (); down = false; lclock = clock; lcosts = costs; lfaults = faults }
+let default_backlog = 128
+
+let listener ?clock ?(costs = Cost_model.default) ?faults ?(backlog = default_backlog)
+    ?capacity () =
+  if backlog <= 0 then invalid_arg "Chan.listener: backlog <= 0";
+  {
+    queue = Queue.create ();
+    down = false;
+    backlog;
+    refused = 0;
+    lclock = clock;
+    lcosts = costs;
+    lfaults = faults;
+    lcapacity = capacity;
+  }
 
 let connect l =
   if l.down then invalid_arg "Chan.connect: listener is down";
   (match Fault_plan.roll_opt l.lfaults ~site:"chan.connect" with
   | Some k -> Fault_plan.fail ~site:"chan.connect" k
   | None -> ());
+  (* A full accept queue refuses the SYN outright — overflow connects
+     must surface to the connecting fiber as a distinct error, never
+     pile up unboundedly behind a server that will not accept them. *)
+  if Queue.length l.queue >= l.backlog then begin
+    l.refused <- l.refused + 1;
+    Fiber.progress ();
+    raise
+      (Refused
+         (Printf.sprintf "Chan.connect: backlog full (%d pending)" (Queue.length l.queue)))
+  end;
   let client, server =
     match l.lclock with
-    | Some c -> pair ~clock:c ~costs:l.lcosts ?faults:l.lfaults ()
-    | None -> pair ~costs:l.lcosts ?faults:l.lfaults ()
+    | Some c -> pair ~clock:c ~costs:l.lcosts ?faults:l.lfaults ?capacity:l.lcapacity ()
+    | None -> pair ~costs:l.lcosts ?faults:l.lfaults ?capacity:l.lcapacity ()
   in
   Queue.push server l.queue;
   Fiber.progress ();
@@ -204,6 +297,11 @@ let accept l =
 
 let shutdown l =
   l.down <- true;
+  (* Connections already queued but never to be accepted are reset, so
+     their clients see EOF instead of waiting forever. *)
+  Queue.iter kill l.queue;
+  Queue.clear l.queue;
   Fiber.progress ()
 
 let pending l = Queue.length l.queue
+let refused l = l.refused

@@ -6,6 +6,11 @@
     {!Wedge_kernel.Fd_table.endpoint}s so compartments reach the network
     only through descriptor permissions. *)
 
+exception Refused of string
+(** A connection attempt was refused: the listener's accept queue is at
+    its backlog.  Distinct from the [Invalid_argument] of connecting to a
+    listener that is down. *)
+
 type ep
 (** One end of a duplex channel. *)
 
@@ -13,6 +18,7 @@ val pair :
   ?clock:Wedge_sim.Clock.t ->
   ?costs:Wedge_sim.Cost_model.t ->
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?capacity:int ->
   unit ->
   ep * ep
 (** A connected pair of endpoints.  With [faults] attached, reads roll site
@@ -21,21 +27,39 @@ val pair :
     {!Wedge_fault.Fault_plan.Injected} — never a blocked peer, so fault
     injection cannot deadlock the cooperative scheduler), [Delay n]
     charges the attached clock, and [Crash] raises [Injected]
-    immediately. *)
+    immediately.
+
+    [capacity] bounds in-flight bytes per direction: a writer at the high
+    watermark blocks on the fiber scheduler and resumes once the reader
+    drains to half.  If the whole system stalls while a writer is blocked
+    (the peer will never read), the direction is torn down and the write
+    raises {!Wedge_kernel.Rlimit.Resource_exhausted} — contained by the
+    engine as a compartment fault, never a scheduler deadlock. *)
 
 val read : ep -> int -> bytes
 (** Up to [n] bytes; blocks until at least one byte or EOF; the empty result
     means the peer closed. *)
 
 val read_exact : ep -> int -> bytes option
-(** Exactly [n] bytes, or [None] if the peer closes first. *)
+(** Exactly [n] bytes into one preallocated buffer, or [None] if the peer
+    closes first or a faulted direction stops making progress (two
+    consecutive empty reads without EOF terminate the loop). *)
 
 val write : ep -> bytes -> unit
 val write_string : ep -> string -> unit
 val close : ep -> unit
+
+val abort : ep -> unit
+(** Forced teardown (RST): both directions die, pending bytes are lost;
+    subsequent reads see EOF, writes raise a contained
+    {!Wedge_fault.Fault_plan.Injected}.  What deadline enforcement and
+    drain force-close use. *)
+
 val is_eof : ep -> bool
 val bytes_in_flight : ep -> int
 (** Bytes buffered toward this endpoint. *)
+
+val capacity : ep -> int option
 
 val to_endpoint : ep -> Wedge_kernel.Fd_table.endpoint
 (** Wrap as a descriptor target. *)
@@ -48,18 +72,30 @@ val listener :
   ?clock:Wedge_sim.Clock.t ->
   ?costs:Wedge_sim.Cost_model.t ->
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?backlog:int ->
+  ?capacity:int ->
   unit ->
   listener
 (** [faults] is inherited by every accepted connection; {!connect} itself
     rolls site ["chan.connect"] (a fired fault refuses the connection by
-    raising {!Wedge_fault.Fault_plan.Injected}). *)
+    raising {!Wedge_fault.Fault_plan.Injected}).  [backlog] (default 128)
+    caps the accept queue: overflow connects raise {!Refused}.
+    [capacity] is inherited by every connection's two directions. *)
 
 val connect : listener -> ep
 (** Client side of a fresh connection; the server side is queued for
-    {!accept}. *)
+    {!accept}.
+    @raise Refused when the accept queue is at its backlog.
+    @raise Invalid_argument when the listener is down. *)
 
 val accept : listener -> ep option
 (** Blocks until a connection arrives or the listener shuts down. *)
 
 val shutdown : listener -> unit
+(** Stop accepting; still-queued (never-to-be-accepted) connections are
+    reset so their clients see EOF rather than blocking forever. *)
+
 val pending : listener -> int
+
+val refused : listener -> int
+(** Connects refused over this listener's lifetime (backlog overflow). *)

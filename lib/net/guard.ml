@@ -1,0 +1,264 @@
+(* Admission control and connection deadlines shared by every server.
+
+   A guard sits between a listener and the per-connection compartments:
+   it caps concurrent connections (overflow gets a protocol-specific
+   rejection and an immediate close), enforces header/idle deadlines on
+   the simulated clock so a slow-loris client is cut instead of pinning a
+   worker forever, and offers [drain] — stop accepting, let in-flight
+   connections finish under a deadline, then force-close stragglers.
+
+   Cutting always goes through [Chan.abort]: the worker compartment sees
+   EOF on read and a contained [Fault_plan.Injected] on write, both of
+   which the engine maps to a compartment fault.  Never [Chan.close],
+   whose [Invalid_argument] on a subsequent worker write would escape
+   containment and kill the listener. *)
+
+module Fiber = Wedge_sim.Fiber
+module Clock = Wedge_sim.Clock
+
+type t = {
+  max_conns : int;
+  header_deadline_ns : int option;
+  idle_deadline_ns : int option;
+  clock : Clock.t option;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable admitted : int;
+  mutable rejected_busy : int;
+  mutable rejected_draining : int;
+  mutable timed_out : int;
+  mutable forced : int;
+}
+
+and conn = {
+  g : t;
+  ep : Chan.ep;
+  opened_ns : int;
+  mutable is_established : bool;
+  mutable last_read_ns : int;
+  mutable is_cut : bool;
+}
+
+type decision = Admitted of conn | Busy | Draining
+
+type stats = {
+  s_active : int;
+  s_admitted : int;
+  s_rejected_busy : int;
+  s_rejected_draining : int;
+  s_timed_out : int;
+  s_forced : int;
+}
+
+(* Spin thresholds, ordered below the fiber scheduler's deadlock detector
+   (10_000): governance must always act first, converting a wedged
+   connection into a contained cut rather than a scheduler crash. *)
+let guard_spins = 2_000
+let drain_spins = 5_000
+
+let create ?clock ?header_deadline_ns ?idle_deadline_ns ~max_conns () =
+  if max_conns <= 0 then invalid_arg "Guard.create: max_conns <= 0";
+  (match (header_deadline_ns, idle_deadline_ns, clock) with
+  | (Some _, _, None | _, Some _, None) ->
+      invalid_arg "Guard.create: deadlines need a clock"
+  | _ -> ());
+  {
+    max_conns;
+    header_deadline_ns;
+    idle_deadline_ns;
+    clock;
+    conns = [];
+    draining = false;
+    admitted = 0;
+    rejected_busy = 0;
+    rejected_draining = 0;
+    timed_out = 0;
+    forced = 0;
+  }
+
+let now t = match t.clock with Some c -> Clock.now c | None -> 0
+
+let admit t ep =
+  if t.draining then begin
+    t.rejected_draining <- t.rejected_draining + 1;
+    Draining
+  end
+  else if List.length t.conns >= t.max_conns then begin
+    t.rejected_busy <- t.rejected_busy + 1;
+    Busy
+  end
+  else begin
+    let n = now t in
+    let c =
+      { g = t; ep; opened_ns = n; is_established = false; last_read_ns = n; is_cut = false }
+    in
+    t.conns <- c :: t.conns;
+    t.admitted <- t.admitted + 1;
+    Admitted c
+  end
+
+let release c =
+  let g = c.g in
+  let before = List.length g.conns in
+  g.conns <- List.filter (fun c' -> c' != c) g.conns;
+  (* Freeing a slot is global progress: an accept loop or drain waiting
+     on the connection count must not read this as a stall. *)
+  if List.length g.conns < before then Fiber.progress ()
+
+let established c =
+  c.is_established <- true;
+  c.last_read_ns <- now c.g
+
+let ep c = c.ep
+
+let overdue c =
+  match c.g.clock with
+  | None -> false
+  | Some clk ->
+      let n = Clock.now clk in
+      let header_overdue =
+        match c.g.header_deadline_ns with
+        | Some d when not c.is_established -> n - c.opened_ns > d
+        | _ -> false
+      in
+      let idle_overdue =
+        match c.g.idle_deadline_ns with Some d -> n - c.last_read_ns > d | None -> false
+      in
+      header_overdue || idle_overdue
+
+let cut c =
+  if not c.is_cut then begin
+    c.is_cut <- true;
+    c.g.timed_out <- c.g.timed_out + 1;
+    Chan.abort c.ep
+  end
+
+(* Deadline-aware endpoint.  Reads poll rather than block: data ready or
+   EOF delegates to the channel (which then cannot block), a passed
+   deadline or a globally stalled system cuts the connection and returns
+   EOF to the worker.  The worker compartment thus never holds a slot
+   past its deadline, and a silent client (never writes, never advances
+   the clock) is detected by the stall check before the scheduler's
+   deadlock detector fires. *)
+let guarded_read c n =
+  if c.is_cut then Bytes.empty
+  else if overdue c then begin
+    cut c;
+    Bytes.empty
+  end
+  else begin
+    let has_deadline =
+      c.g.header_deadline_ns <> None || c.g.idle_deadline_ns <> None
+    in
+    if not has_deadline then Chan.read c.ep n
+    else begin
+      let rec wait last spins =
+        if Chan.bytes_in_flight c.ep > 0 || Chan.is_eof c.ep then `Ready
+        else if c.is_cut then `Cut
+        else if overdue c then `Timeout
+        else if Fiber.stamp () = last && spins > guard_spins then `Timeout
+        else begin
+          Fiber.yield ();
+          let s = Fiber.stamp () in
+          if s = last then wait last (spins + 1) else wait s 0
+        end
+      in
+      match wait (Fiber.stamp ()) 0 with
+      | `Cut -> Bytes.empty
+      | `Timeout ->
+          cut c;
+          Bytes.empty
+      | `Ready ->
+          let b = Chan.read c.ep n in
+          if Bytes.length b > 0 then c.last_read_ns <- now c.g;
+          b
+    end
+  end
+
+let endpoint c =
+  {
+    Wedge_kernel.Fd_table.ep_read = (fun n -> guarded_read c n);
+    ep_write = (fun b -> Chan.write c.ep b);
+    ep_close = (fun () -> Chan.close c.ep);
+    ep_eof = (fun () -> c.is_cut || Chan.is_eof c.ep);
+    ep_desc = "guarded-chan";
+  }
+
+let accept_loop t l ~reject ~serve =
+  let rec loop () =
+    match Chan.accept l with
+    | None -> ()
+    | Some ep ->
+        (match admit t ep with
+        | Admitted c ->
+            Fiber.spawn (fun () ->
+                Fun.protect ~finally:(fun () -> release c) (fun () -> serve c))
+        | (Busy | Draining) as d ->
+            (* Rejection is best-effort: a client that vanished before we
+               answer must not take the accept loop down. *)
+            (try reject d ep with _ -> ());
+            (try Chan.close ep with _ -> ()));
+        loop ()
+  in
+  loop ()
+
+(* Drain state machine: accepting -> draining (listener down, in-flight
+   finishing) -> forced (deadline or global stall: every remaining
+   connection aborted) -> drained.  Termination is guaranteed: once
+   forced, a second full stall window clears the connection list — the
+   workers have already been cut, their slots are forfeit. *)
+let drain ?deadline_ns t l =
+  t.draining <- true;
+  Chan.shutdown l;
+  let deadline =
+    match (deadline_ns, t.clock) with
+    | Some d, Some clk -> Some (Clock.now clk + d)
+    | Some _, None -> invalid_arg "Guard.drain: deadline needs a clock"
+    | None, _ -> None
+  in
+  let forced = ref false in
+  let force () =
+    if not !forced then begin
+      forced := true;
+      List.iter
+        (fun c ->
+          if not c.is_cut then begin
+            c.is_cut <- true;
+            t.forced <- t.forced + 1;
+            Chan.abort c.ep
+          end)
+        t.conns
+    end
+  in
+  let rec loop last spins =
+    if t.conns <> [] then begin
+      (match (deadline, t.clock) with
+      | Some d, Some clk when Clock.now clk >= d -> force ()
+      | _ -> ());
+      if Fiber.stamp () = last && spins > drain_spins then
+        if !forced then t.conns <- []
+        else begin
+          force ();
+          loop last 0
+        end
+      else begin
+        Fiber.yield ();
+        let s = Fiber.stamp () in
+        if s = last then loop last (spins + 1) else loop s 0
+      end
+    end
+  in
+  loop (Fiber.stamp ()) 0
+
+let active t = List.length t.conns
+let draining t = t.draining
+
+let stats t =
+  {
+    s_active = List.length t.conns;
+    s_admitted = t.admitted;
+    s_rejected_busy = t.rejected_busy;
+    s_rejected_draining = t.rejected_draining;
+    s_timed_out = t.timed_out;
+    s_forced = t.forced;
+  }

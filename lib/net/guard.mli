@@ -1,0 +1,82 @@
+(** Admission control, connection deadlines, and graceful drain — the
+    resource-governance front door shared by every partitioned server.
+
+    A guard caps concurrent connections (overflow is rejected with a
+    protocol-specific answer and closed), enforces header and idle
+    deadlines on the simulated clock (slow-loris defense), and drains:
+    stop accepting, finish in-flight connections under a deadline, then
+    force-close stragglers.
+
+    Deadline cuts use {!Chan.abort}, so the worker compartment sees EOF
+    on read and a {e contained} fault on write — the listener survives. *)
+
+type t
+type conn
+
+type decision = Admitted of conn | Busy | Draining
+
+type stats = {
+  s_active : int;
+  s_admitted : int;
+  s_rejected_busy : int;
+  s_rejected_draining : int;
+  s_timed_out : int;  (** connections cut by a deadline or stall *)
+  s_forced : int;  (** connections force-closed by {!drain} *)
+}
+
+val create :
+  ?clock:Wedge_sim.Clock.t ->
+  ?header_deadline_ns:int ->
+  ?idle_deadline_ns:int ->
+  max_conns:int ->
+  unit ->
+  t
+(** [header_deadline_ns] bounds the time from admission to
+    {!established} (e.g. handshake + first request line);
+    [idle_deadline_ns] bounds the gap between reads thereafter.  Both
+    need [clock].  @raise Invalid_argument on a deadline without a clock
+    or [max_conns <= 0]. *)
+
+val admit : t -> Chan.ep -> decision
+(** Claim a slot.  [Busy] when at [max_conns], [Draining] once {!drain}
+    started; both are counted and the caller must reject + close. *)
+
+val release : conn -> unit
+(** Give the slot back; idempotent.  Always call (e.g. [Fun.protect
+    ~finally]) or {!drain} will wait on a ghost. *)
+
+val established : conn -> unit
+(** The connection passed its handshake/greeting: the header deadline no
+    longer applies and the idle clock restarts. *)
+
+val ep : conn -> Chan.ep
+
+val overdue : conn -> bool
+val cut : conn -> unit
+(** Abort the connection (counted in [s_timed_out]); idempotent. *)
+
+val endpoint : conn -> Wedge_kernel.Fd_table.endpoint
+(** Deadline-aware descriptor target for the worker compartment: reads
+    poll instead of block, returning EOF once the connection is overdue
+    or the whole system stalls waiting on a silent client — always
+    before the fiber scheduler's deadlock detector fires. *)
+
+val accept_loop :
+  t ->
+  Chan.listener ->
+  reject:(decision -> Chan.ep -> unit) ->
+  serve:(conn -> unit) ->
+  unit
+(** Accept until the listener shuts down.  Admitted connections are
+    served in their own fiber with the slot auto-released; rejected ones
+    get [reject] (best-effort, exceptions swallowed) then close. *)
+
+val drain : ?deadline_ns:int -> t -> Chan.listener -> unit
+(** Stop accepting (shuts the listener down, resetting queued
+    connections), wait for in-flight connections to release, and
+    force-abort the remainder when [deadline_ns] of simulated time
+    passes or the system stalls.  Guaranteed to terminate. *)
+
+val active : t -> int
+val draining : t -> bool
+val stats : t -> stats

@@ -84,7 +84,7 @@ let backend ctx =
 let serve_connection ?exploit ctx ep =
   let fd = W.add_endpoint ctx (Chan.to_endpoint ep) Fd_table.perm_rw in
   let io =
-    Lineio.create ~recv:(fun n -> W.fd_read ctx fd n) ~send:(fun b -> W.fd_write ctx fd b)
+    Lineio.create ~recv:(fun n -> W.fd_read ctx fd n) ~send:(fun b -> W.fd_write ctx fd b) ()
   in
   let exploit = Option.map (fun payload () -> payload ctx) exploit in
   Pop3_proto.serve io (backend ctx) ~exploit;

@@ -47,7 +47,10 @@ let serve io backend ~exploit =
   let pending_user = ref None in
   let rec loop () =
     match Lineio.read_line io with
-    | None -> ()
+    | None ->
+        (* An overlong command poisoned the stream: tell the client why
+           before the close, instead of silently hanging up. *)
+        if Lineio.overflowed io then err "command line too long"
     | Some line -> (
         match parse line with
         | Quit ->

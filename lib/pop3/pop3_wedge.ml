@@ -4,6 +4,7 @@ module Fd_table = Wedge_kernel.Fd_table
 module Vfs = Wedge_kernel.Vfs
 module Kernel = Wedge_kernel.Kernel
 module Chan = Wedge_net.Chan
+module Guard = Wedge_net.Guard
 module Lineio = Wedge_net.Lineio
 module Tag = Wedge_mem.Tag
 
@@ -179,7 +180,7 @@ let send_degraded main ep =
   try Chan.write_string ep "-ERR internal server error, closing\r\n" with _ -> ()
 
 let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts:1 ())
-    main ep =
+    ?guard ?max_line ?worker_limits main ep =
   (* Guard the master's own per-connection setup: an injected fault during
      tag creation must degrade this connection, not kill the accept loop. *)
   let created = ref [] in
@@ -203,8 +204,14 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
     let arg_block = W.smalloc main 512 arg_tag in
     let mail_block = W.smalloc main 16384 mail_tag in
     W.write_u8 main uid_block 0;
-    (* The connection descriptor, created by the master. *)
-    let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+    (* The connection descriptor, created by the master.  With a guard
+       attached, reads go through the deadline-aware endpoint: a
+       slow-loris client becomes EOF inside the handler, never a pinned
+       fiber. *)
+    let raw_ep =
+      match guard with Some c -> Guard.endpoint c | None -> Chan.to_endpoint ep
+    in
+    let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
     fd_ref := Some fd;
     (* Callgates: login may write the uid block; mailbox may read it and fill
        the mail buffer.  Both inherit the master's root identity. *)
@@ -226,6 +233,7 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
     W.sc_mem_add worker_sc arg_tag Prot.RW;
     W.sc_mem_add worker_sc mail_tag Prot.R;
     W.sc_fd_add worker_sc fd Fd_table.perm_rw;
+    (match worker_limits with Some l -> W.sc_set_rlimit worker_sc l | None -> ());
     W.sc_set_uid worker_sc 99;
     W.sc_set_root worker_sc "/var/empty";
     (uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate)
@@ -247,11 +255,27 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
           (fun ctx _ ->
             let io =
-              Lineio.create ~recv:(fun n -> W.fd_read ctx fd n)
-                ~send:(fun b -> W.fd_write ctx fd b)
+              Lineio.create ?max_line
+                ~recv:(fun n -> W.fd_read ctx fd n)
+                ~send:(fun b -> W.fd_write ctx fd b) ()
             in
             let backend =
               worker_backend ctx ~login_gate ~mbox_gate ~arg_tag ~arg_block ~mail_block
+            in
+            (* A successful login establishes the session: the guard's
+               header deadline stops applying and its idle clock restarts. *)
+            let backend =
+              match guard with
+              | None -> backend
+              | Some c ->
+                  {
+                    backend with
+                    Pop3_proto.login =
+                      (fun ~user ~password ->
+                        let ok = backend.Pop3_proto.login ~user ~password in
+                        if ok then Guard.established c;
+                        ok);
+                  }
             in
             let exploit = Option.map (fun payload () -> payload ctx) exploit in
             Pop3_proto.serve io backend ~exploit;
@@ -275,3 +299,16 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         degraded;
         attempts;
       }
+
+(* Guarded accept loop: the admission front door for the partitioned
+   POP3 server.  Over-capacity or draining connections get "-ERR busy"
+   and close; admitted ones are served in their own fiber. *)
+let serve_loop ?exploit ?restart_policy ?max_line ?worker_limits main guard listener =
+  Guard.accept_loop guard listener
+    ~reject:(fun _decision ep ->
+      W.stat main "pop3.rejected";
+      Chan.write_string ep "-ERR busy, try again later\r\n")
+    ~serve:(fun c ->
+      ignore
+        (serve_connection ?exploit ?restart_policy ~guard:c ?max_line ?worker_limits main
+           (Guard.ep c)))

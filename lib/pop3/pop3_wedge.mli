@@ -30,6 +30,9 @@ type conn_debug = {
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?guard:Wedge_net.Guard.conn ->
+  ?max_line:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
   Wedge_core.Wedge.ctx ->
   Wedge_net.Chan.ep ->
   conn_debug
@@ -40,4 +43,24 @@ val serve_connection :
     Fault containment: a crash anywhere in this connection degrades only
     this connection (best-effort [-ERR] farewell, [pop3.degraded] counter)
     and never reaches the caller.  [restart_policy] defaults to one retry —
-    POP3 is line-oriented, so a fresh handler can greet the client again. *)
+    POP3 is line-oriented, so a fresh handler can greet the client again.
+
+    Resource governance: [guard] makes the handler read through the
+    deadline-aware endpoint and marks the session established on a
+    successful login; [max_line] caps command-line length (overlong
+    commands answer [-ERR command line too long] and close);
+    [worker_limits] arms per-sthread resource quotas on the handler. *)
+
+val serve_loop :
+  ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_line:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
+  Wedge_core.Wedge.ctx ->
+  Wedge_net.Guard.t ->
+  Wedge_net.Chan.listener ->
+  unit
+(** Guarded accept loop: over-capacity or draining connections get
+    ["-ERR busy, try again later"] and close (counter [pop3.rejected]);
+    admitted ones run {!serve_connection} in their own fiber.  Returns
+    once the listener shuts down — compose with {!Wedge_net.Guard.drain}. *)

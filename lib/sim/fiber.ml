@@ -20,6 +20,7 @@ type sched = {
 let current : sched option ref = ref None
 let in_scheduler () = !current <> None
 let progress () = match !current with Some s -> s.stamp <- s.stamp + 1 | None -> ()
+let stamp () = match !current with Some s -> s.stamp | None -> 0
 let fiber_id () = match !current with Some s -> s.cur | None -> 0
 
 let yield () =

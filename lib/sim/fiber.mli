@@ -41,6 +41,13 @@ val progress : unit -> unit
 (** Record that global progress happened (e.g. bytes were delivered);
     resets the deadlock detector. *)
 
+val stamp : unit -> int
+(** The scheduler's progress counter (0 outside {!run}).  Custom wait
+    loops compare stamps across yields to detect a globally stalled
+    system and bail out {e before} the {!Deadlock} detector fires —
+    how bounded channel writes and guarded reads turn a wedged peer
+    into a contained error instead of a scheduler crash. *)
+
 val in_scheduler : unit -> bool
 (** True when called from inside {!run}. *)
 

@@ -101,6 +101,6 @@ let serve_connection ?exploit (env : Sshd_env.t) ep =
   Sshd_session.run ~ctx ~io ~wrng
     ~host_rsa_pub:(Rsa.pub_to_string env.Sshd_env.host_rsa.Rsa.pub)
     ~host_dsa_pub:(Dsa.pub_to_string env.Sshd_env.host_dsa.Dsa.pub)
-    ~ops:(ops env ctx) ~exploit;
+    ~ops:(ops env ctx) ~exploit ();
   W.fd_close ctx fd;
   Chan.close ep

@@ -2,6 +2,7 @@ module W = Wedge_core.Wedge
 module Kernel = Wedge_kernel.Kernel
 module Cost_model = Wedge_sim.Cost_model
 module Chan = Wedge_net.Chan
+module Guard = Wedge_net.Guard
 module Fd_table = Wedge_kernel.Fd_table
 module Drbg = Wedge_crypto.Drbg
 module Rsa = Wedge_crypto.Rsa
@@ -111,11 +112,28 @@ let slave_ops (env : Sshd_env.t) monitor slave_ctx =
         ok);
   }
 
-let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy)
-    (env : Sshd_env.t) ep =
+let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?guard
+    ?max_cmd_bytes ?max_upload_bytes (env : Sshd_env.t) ep =
   let main = env.Sshd_env.main in
   let monitor = make_monitor env in
-  let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+  (* Authentication success always goes through m_setuid — the natural
+     place to tell the guard the session is established. *)
+  let monitor =
+    match guard with
+    | None -> monitor
+    | Some c ->
+        {
+          monitor with
+          m_setuid =
+            (fun ~slave_pid ~uid ->
+              Guard.established c;
+              monitor.m_setuid ~slave_pid ~uid);
+        }
+  in
+  let raw_ep =
+    match guard with Some c -> Guard.endpoint c | None -> Chan.to_endpoint ep
+  in
+  let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
   let wrng = Drbg.create ~seed:(Drbg.next64 env.Sshd_env.rng) in
   let outcome =
     Supervisor.supervise_fork ~policy:restart_policy main (fun slave ->
@@ -126,10 +144,10 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy)
         let exploit =
           Option.map (fun payload ctx -> payload ctx monitor) exploit
         in
-        Sshd_session.run ~ctx:slave ~io ~wrng
+        Sshd_session.run ?max_cmd_bytes ?max_upload_bytes ~ctx:slave ~io ~wrng
           ~host_rsa_pub:(Rsa.pub_to_string env.Sshd_env.host_rsa.Rsa.pub)
           ~host_dsa_pub:(Dsa.pub_to_string env.Sshd_env.host_dsa.Dsa.pub)
-          ~ops:(slave_ops env monitor slave) ~exploit;
+          ~ops:(slave_ops env monitor slave) ~exploit ();
         0)
   in
   (* An SSH session whose slave died mid-protocol cannot be resumed in
@@ -139,3 +157,15 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy)
   | Supervisor.Gave_up _ -> W.stat main "sshd.degraded");
   W.fd_close main fd;
   Chan.close ep
+
+(* Guarded accept loop.  SSH has no pre-handshake plaintext channel to
+   apologise on: over-capacity connections are simply disconnected (the
+   client sees EOF before any version string — the classic sshd
+   MaxStartups behaviour). *)
+let serve_loop ?restart_policy ?max_cmd_bytes ?max_upload_bytes (env : Sshd_env.t)
+    guard listener =
+  Guard.accept_loop guard listener
+    ~reject:(fun _decision _ep -> W.stat env.Sshd_env.main "sshd.rejected")
+    ~serve:(fun c ->
+      serve_connection ?restart_policy ~guard:c ?max_cmd_bytes ?max_upload_bytes env
+        (Guard.ep c))

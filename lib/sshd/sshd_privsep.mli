@@ -28,6 +28,9 @@ type monitor = {
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> monitor -> unit) ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?guard:Wedge_net.Guard.conn ->
+  ?max_cmd_bytes:int ->
+  ?max_upload_bytes:int ->
   Sshd_env.t ->
   Wedge_net.Chan.ep ->
   unit
@@ -37,4 +40,22 @@ val serve_connection :
     Fault containment: a slave crash (injected or real) never kills the
     monitor — when [restart_policy] (default: no retries, the encrypted
     stream died with the slave) gives up, the client is disconnected and
-    [sshd.degraded] is counted. *)
+    [sshd.degraded] is counted.
+
+    Resource governance: [guard] makes the slave read through the
+    deadline-aware endpoint and marks the session established on
+    authentication success (any method — all go through the monitor's
+    setuid); [max_cmd_bytes]/[max_upload_bytes] are forwarded to
+    {!Sshd_session.run}. *)
+
+val serve_loop :
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_cmd_bytes:int ->
+  ?max_upload_bytes:int ->
+  Sshd_env.t ->
+  Wedge_net.Guard.t ->
+  Wedge_net.Chan.listener ->
+  unit
+(** Guarded accept loop.  Rejected connections are disconnected without a
+    banner (counter [sshd.rejected]) — MaxStartups semantics.  Returns
+    once the listener shuts down — compose with {!Wedge_net.Guard.drain}. *)

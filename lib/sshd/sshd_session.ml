@@ -18,7 +18,12 @@ let charge_cipher ctx n =
   let cm = (W.kernel (W.app_of ctx)).Kernel.costs in
   W.charge_app ctx (cm.Cost_model.hmac_fixed + (cm.Cost_model.cipher_per_byte * n))
 
-let run ~ctx ~io ~wrng ~host_rsa_pub ~host_dsa_pub ~ops ~exploit =
+let default_max_cmd_bytes = 4096
+let default_max_upload_bytes = 1 lsl 20
+
+let run ?(max_cmd_bytes = default_max_cmd_bytes)
+    ?(max_upload_bytes = default_max_upload_bytes) ~ctx ~io ~wrng ~host_rsa_pub
+    ~host_dsa_pub ~ops ~exploit () =
   try
     (* Version exchange. *)
     P.send_plain io (P.Version "WSSH-1.0-wedge-sshd");
@@ -89,6 +94,10 @@ let run ~ctx ~io ~wrng ~host_rsa_pub ~host_dsa_pub ~ops ~exploit =
                   if ok then authed := true;
                   send (P.Auth_result ok);
                   loop ()
+              | P.Exec cmd when String.length cmd > max_cmd_bytes ->
+                  (* Oversized command: reject and disconnect — the
+                     session must not buffer an attacker-sized string. *)
+                  send (P.Data (Bytes.of_string "command too long"))
               | P.Exec cmd ->
                   (if cmd = "xploit" then begin
                      (* the modelled parser vulnerability *)
@@ -109,6 +118,14 @@ let run ~ctx ~io ~wrng ~host_rsa_pub ~host_dsa_pub ~ops ~exploit =
                          send (P.Data (Bytes.of_string "ready"))
                      | _ -> send (P.Data (Bytes.of_string "unknown command")));
                   loop ()
+              | P.Data chunk
+                when !authed && !upload_target <> None
+                     && Buffer.length upload + Bytes.length chunk > max_upload_bytes ->
+                  (* Upload quota: drop the transfer and disconnect rather
+                     than grow the staging buffer without bound. *)
+                  Buffer.clear upload;
+                  upload_target := None;
+                  send (P.Data (Bytes.of_string "upload too large"))
               | P.Data chunk ->
                   if !authed && !upload_target <> None then Buffer.add_bytes upload chunk;
                   loop ()

@@ -24,6 +24,8 @@ type priv_ops = {
 }
 
 val run :
+  ?max_cmd_bytes:int ->
+  ?max_upload_bytes:int ->
   ctx:Wedge_core.Wedge.ctx ->
   io:Wedge_tls.Wire.io ->
   wrng:Wedge_crypto.Drbg.t ->
@@ -31,8 +33,14 @@ val run :
   host_dsa_pub:string ->
   ops:priv_ops ->
   exploit:(Wedge_core.Wedge.ctx -> unit) option ->
+  unit ->
   unit
 (** Serve one session: version exchange, key exchange, one authentication
     dialogue, then Exec/Data commands until EOF.  [exploit] fires on an
     [Exec "xploit"] command (pre- or post-auth), modelling a parser
-    vulnerability in this compartment. *)
+    vulnerability in this compartment.
+
+    [max_cmd_bytes] (default 4096) caps Exec command length and
+    [max_upload_bytes] (default 1 MiB) caps the scp staging buffer; a
+    breach answers ["command too long"] / ["upload too large"] and
+    disconnects instead of buffering attacker-sized data. *)

@@ -269,7 +269,7 @@ let serve_connection ?(recycled = false) ?exploit (env : Sshd_env.t) ep =
         Sshd_session.run ~ctx ~io ~wrng:(Drbg.create ~seed:wrng_seed)
           ~host_rsa_pub:(W.read_lv ctx env.Sshd_env.pub_rsa_addr)
           ~host_dsa_pub:(W.read_lv ctx env.Sshd_env.pub_dsa_addr)
-          ~ops ~exploit;
+          ~ops ~exploit ();
         final_uid := W.getuid ctx;
         0)
       0

@@ -10,6 +10,8 @@ module Fault_plan = Wedge_fault.Fault_plan
 module Kernel = Wedge_kernel.Kernel
 module Physmem = Wedge_kernel.Physmem
 module Process = Wedge_kernel.Process
+module Rlimit = Wedge_kernel.Rlimit
+module Fd_table = Wedge_kernel.Fd_table
 module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
@@ -333,6 +335,124 @@ let test_pop3_setup_fault_degrades () =
   check Alcotest.bool "-ERR farewell sent" true (contains !farewell "-ERR");
   check Alcotest.int "pop3.degraded counted" 1 (Stats.get k.Kernel.stats "pop3.degraded")
 
+(* ---------- resource quotas under supervision ---------- *)
+
+let test_frame_quota_contained_and_supervised () =
+  let k, app, main = mk_app () in
+  W.boot app;
+  let frames_before = Physmem.frames_in_use k.Kernel.pm in
+  let t0 = Clock.now k.Kernel.clock in
+  let sc = W.sc_create () in
+  (* The worker's lazy heap mapping alone needs 256 frames: the first
+     malloc must hit the quota inside the contained region. *)
+  W.sc_set_rlimit sc (Rlimit.create ~max_frames:64 ());
+  let outcome =
+    Supervisor.supervise_sthread
+      ~policy:(Supervisor.policy ~max_restarts:2 ~backoff_ns:100 ())
+      main sc
+      (fun ctx _ ->
+        let b = W.malloc ctx 4096 in
+        W.write_u8 ctx b 1;
+        W.read_u8 ctx b)
+      0
+  in
+  (match outcome with
+  | Supervisor.Gave_up { attempts; last_fault } ->
+      check Alcotest.int "initial try + 2 restarts" 3 attempts;
+      check Alcotest.bool "names the frame quota" true (contains last_fault "frame quota")
+  | Supervisor.Done _ -> Alcotest.fail "64-frame quota allowed a 256-frame heap");
+  (* Backoff charged between attempts: 100 + 200. *)
+  check Alcotest.int "backoff schedule" 300 (Clock.now k.Kernel.clock - t0);
+  check Alcotest.int "restarts counted" 2 (Stats.get k.Kernel.stats "supervisor.restart");
+  check Alcotest.int "parent frames unaffected" frames_before
+    (Physmem.frames_in_use k.Kernel.pm)
+
+let test_generous_quota_runs_clean () =
+  let _k, app, main = mk_app () in
+  W.boot app;
+  let sc = W.sc_create () in
+  W.sc_set_rlimit sc (Rlimit.create ~max_frames:400 ~max_fds:16 ~max_fuel:10_000 ());
+  let outcome =
+    Supervisor.supervise_sthread main sc
+      (fun ctx _ ->
+        let b = W.malloc ctx 4096 in
+        W.write_u8 ctx b 7;
+        W.read_u8 ctx b)
+      0
+  in
+  match outcome with
+  | Supervisor.Done { value; attempts } ->
+      check Alcotest.int "worker ran to completion" 7 value;
+      check Alcotest.int "first attempt" 1 attempts
+  | Supervisor.Gave_up { last_fault; _ } ->
+      Alcotest.fail ("generous quota still faulted: " ^ last_fault)
+
+let test_fuel_quota_burns_out_hostile_loop () =
+  let _k, app, main = mk_app () in
+  W.boot app;
+  let sc = W.sc_create () in
+  W.sc_set_rlimit sc (Rlimit.create ~max_fuel:3 ());
+  let outcome =
+    Supervisor.supervise_sthread main sc
+      (fun ctx _ ->
+        (* A hostile syscall loop: every trap burns fuel whether or not
+           SELinux lets it through, so the loop terminates by quota. *)
+        for _ = 1 to 1_000 do
+          try ignore (W.vfs_read ctx "/index.html") with Kernel.Eperm _ -> ()
+        done;
+        0)
+      0
+  in
+  match outcome with
+  | Supervisor.Gave_up { last_fault; _ } ->
+      check Alcotest.bool "names the fuel quota" true (contains last_fault "fuel quota")
+  | Supervisor.Done _ -> Alcotest.fail "3 units of fuel survived 1000 syscalls"
+
+let test_fd_quota_fault_during_creation_is_supervised () =
+  let _k, app, main = mk_app () in
+  W.boot app;
+  Fiber.run (fun () ->
+      let ep, peer = Chan.pair ~costs:Cost_model.free () in
+      let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
+      let sc = W.sc_create () in
+      W.sc_fd_add sc fd Fd_table.perm_r;
+      (* Zero descriptors allowed, one granted: the quota fires while the
+         monitor duplicates grants, before the worker body ever runs —
+         the supervisor must treat it like any other compartment fault. *)
+      W.sc_set_rlimit sc (Rlimit.create ~max_fds:0 ());
+      let outcome = Supervisor.supervise_sthread main sc (fun _ _ -> 0) 0 in
+      (match outcome with
+      | Supervisor.Gave_up { attempts; last_fault } ->
+          check Alcotest.int "one attempt" 1 attempts;
+          check Alcotest.bool "creation fault marked" true (contains last_fault "create:");
+          check Alcotest.bool "names the fd quota" true (contains last_fault "fd quota")
+      | Supervisor.Done _ -> Alcotest.fail "fd quota 0 accepted a descriptor grant");
+      W.fd_close main fd;
+      Chan.close ep;
+      Chan.close peer)
+
+let test_quota_escalation_refused () =
+  let _k, app, main = mk_app () in
+  W.boot app;
+  let sc = W.sc_create () in
+  W.sc_set_rlimit sc (Rlimit.create ~max_frames:500 ~max_fuel:10_000 ());
+  match
+    Supervisor.supervise_sthread main sc
+      (fun ctx _ ->
+        (* A child sc that doesn't mention limits inherits a subset of the
+           parent's — allowed.  Asking for more than the parent holds is a
+           privilege escalation, refused before anything is created. *)
+        let looser = W.sc_create () in
+        W.sc_set_rlimit looser (Rlimit.create ~max_frames:1_000_000 ());
+        let h = W.sthread_create ctx looser (fun _ _ -> 0) 0 in
+        W.sthread_join ctx h)
+      0
+  with
+  | _ -> Alcotest.fail "quota escalation was not refused"
+  | exception W.Privilege_violation msg ->
+      check Alcotest.bool "names the escalation" true
+        (contains msg "escalates resource limits")
+
 (* ---------- chaos soak ---------- *)
 
 type soak = {
@@ -345,7 +465,13 @@ type soak = {
   s_degraded : int;
 }
 
-let run_soak ~seed ~n =
+let run_soak ?(quotas = false) ~seed ~n () =
+  (* Generous per-worker quotas: arming the accounting must not change
+     behaviour — or the fault trace — of a healthy (if unlucky) worker. *)
+  let worker_limits =
+    if quotas then Some (Rlimit.create ~max_frames:2048 ~max_fds:64 ~max_fuel:1_000_000 ())
+    else None
+  in
   let plan = Fault_plan.create ~seed () in
   let chan_kinds =
     [ Fault_plan.Drop; Fault_plan.Truncate; Fault_plan.Reset; Fault_plan.Delay 50 ]
@@ -367,7 +493,7 @@ let run_soak ~seed ~n =
             | Some ep ->
                 (* Every connection's fate — served, degraded, or torn
                    down — is contained inside serve_connection. *)
-                ignore (Simple.serve_connection env ep);
+                ignore (Simple.serve_connection ?worker_limits env ep);
                 loop ()
           in
           loop ());
@@ -413,7 +539,7 @@ let run_soak ~seed ~n =
 
 let test_chaos_soak () =
   let n = 200 in
-  let a = run_soak ~seed:77 ~n in
+  let a = run_soak ~seed:77 ~n () in
   check Alcotest.int "every connection resolved" n (a.s_ok + a.s_failed + a.s_refused);
   check Alcotest.bool "faults actually injected" true (a.s_injections > 0);
   (* At 5% per-I/O-operation, most multi-round-trip TLS connections hit at
@@ -425,13 +551,34 @@ let test_chaos_soak () =
   check Alcotest.bool "degradations were counted" true (a.s_degraded >= 0)
 
 let test_chaos_soak_replays_identically () =
-  let a = run_soak ~seed:123 ~n:60 in
-  let b = run_soak ~seed:123 ~n:60 in
+  let a = run_soak ~seed:123 ~n:60 () in
+  let b = run_soak ~seed:123 ~n:60 () in
   check Alcotest.string "byte-identical fault trace" a.s_trace b.s_trace;
   check Alcotest.bool "trace nonempty" true (String.length a.s_trace > 0);
   check Alcotest.int "identical outcomes" a.s_ok b.s_ok;
   check Alcotest.int "identical failures" a.s_failed b.s_failed;
   check Alcotest.int "identical degradations" a.s_degraded b.s_degraded
+
+let test_quota_armed_soak_replays_identically () =
+  let n = 200 in
+  let a = run_soak ~quotas:true ~seed:321 ~n () in
+  let b = run_soak ~quotas:true ~seed:321 ~n () in
+  check Alcotest.string "byte-identical fault trace" a.s_trace b.s_trace;
+  check Alcotest.bool "trace nonempty" true (String.length a.s_trace > 0);
+  check Alcotest.int "every connection resolved" n (a.s_ok + a.s_failed + a.s_refused);
+  check Alcotest.int "identical outcomes" a.s_ok b.s_ok;
+  check Alcotest.int "identical failures" a.s_failed b.s_failed;
+  check Alcotest.bool "listener survived with quotas armed" true
+    (a.s_final_ok && b.s_final_ok)
+
+let test_quotas_do_not_perturb_the_trace () =
+  (* Same seed, quotas on vs off: the accounting layer adds no fault-site
+     rolls, so even the injected-fault trace is unchanged. *)
+  let a = run_soak ~quotas:true ~seed:123 ~n:60 () in
+  let b = run_soak ~quotas:false ~seed:123 ~n:60 () in
+  check Alcotest.string "same trace with and without quotas" a.s_trace b.s_trace;
+  check Alcotest.int "same outcomes" a.s_ok b.s_ok;
+  check Alcotest.int "same failures" a.s_failed b.s_failed
 
 let () =
   Alcotest.run "fault"
@@ -475,9 +622,24 @@ let () =
         [
           Alcotest.test_case "pop3 setup fault" `Quick test_pop3_setup_fault_degrades;
         ] );
+      ( "quotas",
+        [
+          Alcotest.test_case "frame quota supervised" `Quick
+            test_frame_quota_contained_and_supervised;
+          Alcotest.test_case "generous quota clean" `Quick test_generous_quota_runs_clean;
+          Alcotest.test_case "fuel burns out" `Quick
+            test_fuel_quota_burns_out_hostile_loop;
+          Alcotest.test_case "fd quota at creation" `Quick
+            test_fd_quota_fault_during_creation_is_supervised;
+          Alcotest.test_case "escalation refused" `Quick test_quota_escalation_refused;
+        ] );
       ( "chaos",
         [
           Alcotest.test_case "soak" `Quick test_chaos_soak;
           Alcotest.test_case "soak replay" `Quick test_chaos_soak_replays_identically;
+          Alcotest.test_case "quota-armed soak replay" `Quick
+            test_quota_armed_soak_replays_identically;
+          Alcotest.test_case "quotas trace-neutral" `Quick
+            test_quotas_do_not_perturb_the_trace;
         ] );
     ]

@@ -1,0 +1,370 @@
+(* Resource-governance tests: bounded channels with backpressure, listener
+   backlog refusal, line-length caps, admission control under a hostile
+   500-client flood, slow-loris deadlines on the simulated clock, oversized
+   request rejection in the parsers, and graceful drain — in-flight
+   connections finish, stragglers are force-cut, and the same seed replays
+   the whole melee byte for byte. *)
+
+module Kernel = Wedge_kernel.Kernel
+module Rlimit = Wedge_kernel.Rlimit
+module Fiber = Wedge_sim.Fiber
+module Clock = Wedge_sim.Clock
+module Cost_model = Wedge_sim.Cost_model
+module Stats = Wedge_sim.Stats
+module Fault_plan = Wedge_fault.Fault_plan
+module Chan = Wedge_net.Chan
+module Lineio = Wedge_net.Lineio
+module Guard = Wedge_net.Guard
+module Byzantine = Wedge_net.Byzantine
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module W = Wedge_core.Wedge
+module Env = Wedge_httpd.Httpd_env
+module Simple = Wedge_httpd.Httpd_simple
+module Http = Wedge_httpd.Http
+module Client = Wedge_httpd.Https_client
+module Pop3_env = Wedge_pop3.Pop3_env
+module Pop3_wedge = Wedge_pop3.Pop3_wedge
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let mk_pop3 ?faults () =
+  let k = Kernel.create ~costs:Cost_model.free ?faults () in
+  Pop3_env.install k Pop3_env.default_users;
+  let app = W.create_app k in
+  W.boot app;
+  (k, W.main_ctx app)
+
+(* ---------- bounded channels ---------- *)
+
+let test_backpressure_delivers_everything () =
+  let got = Buffer.create 64 in
+  Fiber.run (fun () ->
+      let a, b = Chan.pair ~capacity:8 () in
+      check (Alcotest.option Alcotest.int) "capacity visible" (Some 8) (Chan.capacity a);
+      Fiber.spawn (fun () ->
+          for i = 0 to 9 do
+            (* 40 bytes through an 8-byte pipe: the writer must block on
+               the watermark and resume as the reader drains. *)
+            Chan.write_string b (String.make 4 (Char.chr (Char.code 'a' + i)))
+          done;
+          Chan.close b);
+      let rec rd () =
+        let chunk = Chan.read a 4 in
+        if Bytes.length chunk > 0 then begin
+          Buffer.add_bytes got chunk;
+          rd ()
+        end
+      in
+      rd ());
+  check Alcotest.int "all 40 bytes delivered" 40 (Buffer.length got);
+  check Alcotest.string "in order" "aaaabbbbcccc"
+    (String.sub (Buffer.contents got) 0 12)
+
+let test_backpressure_stall_is_contained () =
+  (* A writer whose peer never reads must not wedge the scheduler: the
+     write raises a contained Resource_exhausted once the system stalls. *)
+  let outcome = ref `Silent in
+  Fiber.run (fun () ->
+      let a, _b = Chan.pair ~capacity:4 () in
+      match
+        for _ = 1 to 10 do
+          Chan.write_string a "xxxx"
+        done
+      with
+      | () -> outcome := `Unbounded
+      | exception Rlimit.Resource_exhausted msg -> outcome := `Stalled msg);
+  match !outcome with
+  | `Stalled msg -> check Alcotest.bool "names the channel" true (contains msg "chan.write")
+  | `Unbounded -> Alcotest.fail "capacity 4 accepted 40 bytes with no reader"
+  | `Silent -> Alcotest.fail "writer never resolved"
+
+let test_backlog_refuses_then_recovers () =
+  Fiber.run (fun () ->
+      let l = Chan.listener ~backlog:2 () in
+      let c1 = Chan.connect l in
+      let c2 = Chan.connect l in
+      (match Chan.connect l with
+      | _ -> Alcotest.fail "third connect exceeded backlog 2"
+      | exception Chan.Refused _ -> ());
+      check Alcotest.int "refusal counted" 1 (Chan.refused l);
+      (* Accepting frees a slot: the next connect succeeds. *)
+      (match Chan.accept l with
+      | Some ep -> Chan.close ep
+      | None -> Alcotest.fail "accept failed");
+      let c3 = Chan.connect l in
+      List.iter Chan.close [ c1; c2; c3 ];
+      Chan.shutdown l)
+
+let test_read_exact () =
+  Fiber.run (fun () ->
+      let a, b = Chan.pair () in
+      Chan.write_string b "wxyz";
+      Chan.close b;
+      check (Alcotest.option Alcotest.bytes) "exact read"
+        (Some (Bytes.of_string "wxyz"))
+        (Chan.read_exact a 4);
+      check Alcotest.bool "eof after drain" true (Chan.read_exact a 1 = None);
+      check (Alcotest.option Alcotest.bytes) "zero-length read"
+        (Some Bytes.empty) (Chan.read_exact a 0);
+      let c, d = Chan.pair () in
+      Chan.write_string d "ab";
+      Chan.close d;
+      (* Peer closed two bytes short: terminate with None, don't spin. *)
+      check Alcotest.bool "short stream" true (Chan.read_exact c 4 = None))
+
+(* ---------- line buffering ---------- *)
+
+let test_lineio_many_lines () =
+  Fiber.run (fun () ->
+      let a, b = Chan.pair () in
+      for i = 1 to 200 do
+        Chan.write_string b (Printf.sprintf "line-%d\r\n" i)
+      done;
+      Chan.close b;
+      let io = Lineio.of_chan a in
+      for i = 1 to 200 do
+        match Lineio.read_line io with
+        | Some l -> check Alcotest.string "line content" (Printf.sprintf "line-%d" i) l
+        | None -> Alcotest.failf "stream ended at line %d" i
+      done;
+      check Alcotest.bool "clean eof" true (Lineio.read_line io = None);
+      check Alcotest.bool "no overflow" false (Lineio.overflowed io))
+
+let test_lineio_overlong_line_poisons () =
+  Fiber.run (fun () ->
+      let a, b = Chan.pair () in
+      Chan.write_string b "ok\r\n";
+      Chan.write_string b (String.make 300 'x' ^ "\r\nafter\r\n");
+      Chan.close b;
+      let io = Lineio.of_chan ~max_line:256 a in
+      check (Alcotest.option Alcotest.string) "line before the bomb" (Some "ok")
+        (Lineio.read_line io);
+      check Alcotest.bool "overlong line refused" true (Lineio.read_line io = None);
+      check Alcotest.bool "buffer poisoned" true (Lineio.overflowed io);
+      (* Poisoned is terminal: no resynchronising on attacker framing. *)
+      check Alcotest.bool "stays closed" true (Lineio.read_line io = None))
+
+(* ---------- flood: admission control under 500 hostile clients ---------- *)
+
+type flood = {
+  f_trace : string;
+  f_tally : int * int * int * int * int;  (* completed, refused, rejected, cut, errors *)
+  f_stats : Guard.stats;
+  f_rejected_stat : int;
+}
+
+let run_flood ~seed =
+  let plan = Fault_plan.create ~seed () in
+  Fault_plan.rule plan ~site:"chan.read" ~prob:0.03 [ Fault_plan.Drop; Fault_plan.Reset ];
+  Fault_plan.rule plan ~site:"chan.write" ~prob:0.03 [ Fault_plan.Reset ];
+  Fault_plan.disarm plan;
+  let k, main = mk_pop3 ~faults:plan () in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:16 () in
+  let guard = Guard.create ~max_conns:8 () in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "-ERR busy" in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Pop3_wedge.serve_loop main guard l);
+      Fault_plan.arm plan;
+      for i = 1 to 500 do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              Byzantine.half_close t l ~request:"USER alice\r\nQUIT\r\n" ~is_rejection
+            else Byzantine.oneshot t l ~request:"QUIT\r\n" ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"flood resolved" (fun () -> Byzantine.total t = 500);
+      Fault_plan.disarm plan;
+      Guard.drain guard l);
+  {
+    f_trace = Fault_plan.trace plan;
+    f_tally = (t.Byzantine.completed, t.refused, t.rejected, t.cut, t.errors);
+    f_stats = Guard.stats guard;
+    f_rejected_stat = Stats.get k.Kernel.stats "pop3.rejected";
+  }
+
+let test_flood_every_connection_resolves () =
+  let f = run_flood ~seed:4242 in
+  let completed, refused, rejected, cut, errors = f.f_tally in
+  check Alcotest.int "all 500 clients resolved" 500
+    (completed + refused + rejected + cut + errors);
+  check Alcotest.int "no client errored" 0 errors;
+  check Alcotest.bool "some clients served" true (completed > 0);
+  check Alcotest.bool "backlog refused the burst" true (refused > 0);
+  check Alcotest.bool "admission rejected overflow" true (rejected > 0);
+  (* Every busy rejection was answered (the -ERR busy counter) and every
+     rejection the clients saw came from the guard. *)
+  check Alcotest.int "rejections counted server-side"
+    (f.f_stats.Guard.s_rejected_busy + f.f_stats.Guard.s_rejected_draining)
+    f.f_rejected_stat;
+  check Alcotest.bool "client and server rejection counts agree" true
+    (rejected <= f.f_stats.Guard.s_rejected_busy + f.f_stats.Guard.s_rejected_draining);
+  check Alcotest.bool "admissions happened" true (f.f_stats.Guard.s_admitted > 0);
+  check Alcotest.int "drained to zero" 0 f.f_stats.Guard.s_active
+
+let test_flood_replays_identically () =
+  let a = run_flood ~seed:99 in
+  let b = run_flood ~seed:99 in
+  check Alcotest.string "byte-identical fault trace" a.f_trace b.f_trace;
+  check Alcotest.bool "trace nonempty" true (String.length a.f_trace > 0);
+  check
+    Alcotest.(pair (pair int int) (pair int (pair int int)))
+    "identical tallies"
+    (let c, r, j, u, e = a.f_tally in
+     ((c, r), (j, (u, e))))
+    (let c, r, j, u, e = b.f_tally in
+     ((c, r), (j, (u, e))));
+  check Alcotest.int "identical admissions" a.f_stats.Guard.s_admitted
+    b.f_stats.Guard.s_admitted;
+  check Alcotest.int "identical busy rejections" a.f_stats.Guard.s_rejected_busy
+    b.f_stats.Guard.s_rejected_busy
+
+(* ---------- slow-loris ---------- *)
+
+let test_slow_loris_cut_without_collateral () =
+  let k, main = mk_pop3 () in
+  let l = Chan.listener ~costs:Cost_model.free () in
+  let guard =
+    Guard.create ~clock:k.Kernel.clock ~header_deadline_ns:1_000 ~max_conns:4 ()
+  in
+  let slow = Byzantine.tally () and good = Byzantine.tally () in
+  let is_rejection s = contains s "-ERR busy" in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Pop3_wedge.serve_loop main guard l);
+      Fiber.spawn (fun () ->
+          Byzantine.slow_loris slow l ~clock:k.Kernel.clock ~step_ns:500
+            ~request:"USER alice\r\nPASS wonderland\r\nQUIT\r\n" ~is_rejection);
+      (* A well-behaved client sharing the guard completes undisturbed. *)
+      Byzantine.oneshot good l ~request:"QUIT\r\n" ~is_rejection;
+      Fiber.wait_until ~what:"loris resolved" (fun () -> Byzantine.total slow = 1);
+      Guard.drain guard l);
+  check Alcotest.int "loris cut" 1 slow.Byzantine.cut;
+  check Alcotest.int "good client completed" 1 good.Byzantine.completed;
+  check Alcotest.bool "deadline cut counted" true
+    ((Guard.stats guard).Guard.s_timed_out >= 1)
+
+(* ---------- oversized requests ---------- *)
+
+let test_pop3_oversized_command_rejected () =
+  let _k, main = mk_pop3 () in
+  let l = Chan.listener ~costs:Cost_model.free () in
+  let guard = Guard.create ~max_conns:4 () in
+  let t = Byzantine.tally () in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Pop3_wedge.serve_loop ~max_line:256 main guard l);
+      Byzantine.oversized t l ~size:10_000
+        ~is_rejection:(fun s -> contains s "command line too long");
+      Guard.drain guard l);
+  check Alcotest.int "oversized command answered -ERR and closed" 1 t.Byzantine.rejected
+
+let test_http_oversized_request_gets_413 () =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let env = Env.install ~image_pages:80 k in
+  let status = ref None in
+  Fiber.run (fun () ->
+      let client_ep, server_ep = Chan.pair ~costs:Cost_model.free () in
+      Fiber.spawn (fun () ->
+          ignore (Simple.serve_connection ~max_request_bytes:64 env server_ep));
+      let rng = Drbg.create ~seed:5 in
+      let r =
+        Client.get ~rng ~pinned:env.Env.priv.Rsa.pub
+          ~path:("/" ^ String.make 100 'a')
+          client_ep
+      in
+      status := Option.map (fun resp -> resp.Http.status) r.Client.response);
+  check (Alcotest.option Alcotest.int) "sealed 413" (Some 413) !status
+
+(* ---------- drain ---------- *)
+
+let test_drain_completes_in_flight () =
+  let k, main = mk_pop3 () in
+  let l = Chan.listener ~costs:Cost_model.free () in
+  let guard = Guard.create ~clock:k.Kernel.clock ~max_conns:4 () in
+  let finished = ref false in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Pop3_wedge.serve_loop main guard l);
+      Fiber.spawn (fun () ->
+          let ep = Chan.connect l in
+          Chan.write_string ep "USER alice\r\n";
+          (* Dawdle mid-session while the guard drains around us. *)
+          for _ = 1 to 10 do
+            Fiber.yield ()
+          done;
+          Chan.write_string ep "QUIT\r\n";
+          let rec rd () = if Bytes.length (Chan.read ep 256) > 0 then rd () in
+          rd ();
+          Chan.close ep;
+          finished := true);
+      Fiber.wait_until ~what:"client admitted" (fun () -> Guard.active guard = 1);
+      Guard.drain ~deadline_ns:1_000_000 guard l);
+  check Alcotest.bool "in-flight client finished its session" true !finished;
+  check Alcotest.int "nothing force-closed" 0 (Guard.stats guard).Guard.s_forced;
+  check Alcotest.int "drained" 0 (Guard.active guard);
+  check Alcotest.bool "draining flag set" true (Guard.draining guard)
+
+let test_drain_forces_stragglers () =
+  let _k, main = mk_pop3 () in
+  let l = Chan.listener ~costs:Cost_model.free () in
+  let guard = Guard.create ~max_conns:4 () in
+  let t = Byzantine.tally () in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Pop3_wedge.serve_loop main guard l);
+      (* Connect and never speak: holds a slot forever. *)
+      Fiber.spawn (fun () -> Byzantine.silent t l);
+      Fiber.wait_until ~what:"holder admitted" (fun () -> Guard.active guard = 1);
+      Guard.drain guard l;
+      (* The straggler was force-cut, its client unblocked to EOF. *)
+      Fiber.wait_until ~what:"holder unblocked" (fun () -> Byzantine.total t = 1));
+  check Alcotest.int "straggler force-closed" 1 (Guard.stats guard).Guard.s_forced;
+  check Alcotest.int "holder saw the cut" 1 t.Byzantine.cut;
+  check Alcotest.int "no ghosts left" 0 (Guard.active guard);
+  (* The listener is down for good. *)
+  match Chan.connect l with
+  | _ -> Alcotest.fail "connect succeeded after drain"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "channels",
+        [
+          Alcotest.test_case "backpressure delivers" `Quick
+            test_backpressure_delivers_everything;
+          Alcotest.test_case "backpressure stall contained" `Quick
+            test_backpressure_stall_is_contained;
+          Alcotest.test_case "backlog refusal" `Quick test_backlog_refuses_then_recovers;
+          Alcotest.test_case "read_exact" `Quick test_read_exact;
+        ] );
+      ( "lineio",
+        [
+          Alcotest.test_case "many lines" `Quick test_lineio_many_lines;
+          Alcotest.test_case "overlong line poisons" `Quick
+            test_lineio_overlong_line_poisons;
+        ] );
+      ( "flood",
+        [
+          Alcotest.test_case "500 clients resolve" `Quick
+            test_flood_every_connection_resolves;
+          Alcotest.test_case "replays identically" `Quick test_flood_replays_identically;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "slow-loris cut" `Quick test_slow_loris_cut_without_collateral;
+        ] );
+      ( "oversized",
+        [
+          Alcotest.test_case "pop3 command cap" `Quick
+            test_pop3_oversized_command_rejected;
+          Alcotest.test_case "http 413" `Quick test_http_oversized_request_gets_413;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "completes in-flight" `Quick test_drain_completes_in_flight;
+          Alcotest.test_case "forces stragglers" `Quick test_drain_forces_stragglers;
+        ] );
+    ]

@@ -377,7 +377,7 @@ let test_selinux_transitions () =
 
 let test_kernel_process_lifecycle () =
   let k = Kernel.create () in
-  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:t" in
+  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:t" () in
   check Alcotest.bool "found" true (Kernel.find_process k p.Wedge_kernel.Process.pid <> None);
   check Alcotest.int "live" 1 (Kernel.live_processes k);
   p.Wedge_kernel.Process.status <- Wedge_kernel.Process.Exited 0;
@@ -388,7 +388,7 @@ let test_kernel_syscall_denial () =
   let k = Kernel.create () in
   let se = k.Kernel.selinux in
   Selinux.allow se ~domain:"locked_t" ~syscall:"read";
-  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:locked_t" in
+  let p = Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/" ~sid:"u:r:locked_t" () in
   Kernel.syscall_check k p "read";
   (match Kernel.syscall_check k p "open" with
   | _ -> Alcotest.fail "expected Eperm"

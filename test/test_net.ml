@@ -109,7 +109,7 @@ let mk_lineio input =
     b
   in
   let out = Buffer.create 32 in
-  (Lineio.create ~recv ~send:(Buffer.add_bytes out), out)
+  (Lineio.create ~recv ~send:(Buffer.add_bytes out) (), out)
 
 let test_lineio_lines () =
   let io, _ = mk_lineio "one\r\ntwo\nthree" in
