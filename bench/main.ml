@@ -5,7 +5,7 @@
      dune exec bench/main.exe               # everything
      dune exec bench/main.exe -- fig7       # Figure 7 only
      dune exec bench/main.exe -- fig8 table2 ...
-   Experiments: fig7 fig8 fig9 table2 metrics ablation bechamel *)
+   Experiments: fig7 fig8 fig9 table2 metrics ablation bechamel faults tlb *)
 
 let experiments =
   [
@@ -17,12 +17,15 @@ let experiments =
     ("ablation", Bench_ablation.run);
     ("bechamel", Bench_bechamel.run);
     ("faults", Bench_faults.run);
+    ("tlb", Bench_tlb.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
-    if args = [] then [ "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults" ] else args
+    if args = [] then
+      [ "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults"; "tlb" ]
+    else args
   in
   print_endline "Wedge reproduction benchmarks (NSDI 2008)";
   print_endline "Simulated times are deterministic under the cost model; wall-clock";

@@ -17,4 +17,10 @@ if [ -f .ocamlformat ]; then
   dune build @fmt
 fi
 
+# Perf-regression gate: the software-TLB fast path must stay measurably
+# cheaper than the legacy per-byte translation path, measured in the same
+# run (bench_tlb exits nonzero otherwise in smoke mode).
+echo "== bench tlb (smoke) =="
+WEDGE_TLB_SMOKE=1 dune exec bench/main.exe -- tlb
+
 echo "check.sh: all green"

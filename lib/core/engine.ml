@@ -215,7 +215,10 @@ let boot app =
       | Some pte ->
           Physmem.incref pm pte.Pagetable.frame;
           snapshot := (vpn, pte.Pagetable.frame) :: !snapshot;
-          pte.Pagetable.prot <- Prot.page_cow
+          (* Through Vm so the owner's cached translations are shot down:
+             a warm write entry surviving this downgrade would let post-boot
+             writes land on the snapshot's shared frames. *)
+          Vm.set_page_prot vm ~addr:(vpn * page_size) ~prot:Prot.page_cow
       | None -> ()
   done;
   app.pristine <- List.rev !snapshot;
@@ -417,8 +420,10 @@ let fork parent fn =
         if prot.Prot.pw then Prot.page_cow
         else prot
       in
-      (* Both sides go copy-on-write, as with a real fork. *)
-      if prot.Prot.pw then pte.Pagetable.prot <- Prot.page_cow;
+      (* Both sides go copy-on-write, as with a real fork; the parent's
+         downgrade goes through Vm so its TLB entries are shot down. *)
+      if prot.Prot.pw then
+        Vm.set_page_prot p.Process.vm ~addr:(vpn * page_size) ~prot:Prot.page_cow;
       Vm.map_frame child.Process.vm ~addr:(vpn * page_size) ~frame:pte.Pagetable.frame
         ~prot:shared_prot ~tag:pte.Pagetable.tag)
     entries;
@@ -508,7 +513,20 @@ let tag_delete ctx (tag : Tag.t) =
   (* Cache the range and frames for reuse before releasing our references. *)
   Tag_cache.put ctx.app.tag_cache
     { Tag_cache.base = tag.Tag.base; pages = tag.Tag.pages; frames = Array.to_list tag.Tag.frames };
-  Vm.unmap_range ctx.proc.Process.vm ~addr:tag.Tag.base ~pages:tag.Tag.pages;
+  (* Deleting a tag is a *global* revocation: the range must vanish from
+     every address space that maps it — sthreads holding a grant, not
+     just the deleter — and each of those spaces' cached translations
+     must be shot down, or a compartment could keep reading a tag that
+     no longer exists (and whose frames the cache will scrub and hand to
+     someone else).  Each remote unmap releases the reference that
+     address space took when the grant was shared in. *)
+  let caller_pid = pid ctx in
+  Kernel.iter_processes ctx.app.kernel (fun p ->
+      let vm = p.Process.vm in
+      if Pagetable.mem (Vm.page_table vm) ~vpn:(tag.Tag.base / page_size) then begin
+        Vm.unmap_range vm ~addr:tag.Tag.base ~pages:tag.Tag.pages;
+        if p.Process.pid <> caller_pid then stat ctx "tlb.remote_shootdown"
+      end);
   Array.iter (fun f -> Physmem.decref ctx.app.kernel.Kernel.pm f) tag.Tag.frames;
   Tag.delete ctx.app.tags tag
 
@@ -570,9 +588,13 @@ let boundary_tag ctx ~id =
       let vm = (main_ctx ctx.app).proc.Process.vm in
       let frames =
         Array.init b.b_pages (fun i ->
-            match Pagetable.find (Vm.page_table vm) ~vpn:((b.b_base / page_size) + i) with
+            let addr = b.b_base + (i * page_size) in
+            match Pagetable.find (Vm.page_table vm) ~vpn:(addr / page_size) with
             | Some pte ->
-                pte.Pagetable.tag <- Some tag.Tag.id;
+                (* Retag through Vm: a cached translation carrying the old
+                   (untagged) identity must not survive the boundary's
+                   promotion to tagged memory. *)
+                Vm.set_page_tag vm ~addr ~tag:(Some tag.Tag.id);
                 pte.Pagetable.frame
             | None -> assert false)
       in
@@ -858,6 +880,23 @@ let write_string ctx addr s = write_bytes ctx addr (Bytes.of_string s)
 let can_read ctx ~addr ~len = Vm.can_read ctx.proc.Process.vm ~addr ~len
 let can_write ctx ~addr ~len = Vm.can_write ctx.proc.Process.vm ~addr ~len
 
+(* Live TLB counters for the calling compartment's address space.
+   (Kernel.reap folds these into the global stats when the process dies;
+   this accessor reads them while it is still running.) *)
+type tlb_stats = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_shootdowns : int;
+}
+
+let tlb_stats ctx =
+  let vm = ctx.proc.Process.vm in
+  {
+    tlb_hits = Vm.tlb_hits vm;
+    tlb_misses = Vm.tlb_misses vm;
+    tlb_shootdowns = Vm.tlb_shootdowns vm;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Function and stack-frame tracking (Crowbar's "frame pointers")      *)
 
@@ -979,6 +1018,25 @@ let fd_write ctx fd b =
       match Vfs.write_file vfs ~root:"/" ~uid:0 fh.Fd_table.fh_path data with
       | Ok () -> ()
       | Error err -> raise (Fd_error (Vfs.error_to_string err)))
+
+(* Zero-intermediate-step I/O: the kernel moves bytes between the
+   descriptor and the caller's pages directly.  The memory side goes
+   through the checked Vm bulk path — one fault roll, one translation per
+   page (warm pages hit the TLB), atomic multi-page writes — so a
+   mid-transfer protection fault never leaves a torn buffer. *)
+let fd_read_into ctx fd ~addr n =
+  let b = fd_read ctx fd n in
+  let len = Bytes.length b in
+  if len > 0 then begin
+    on_access ctx addr len Instr.Write;
+    Vm.write_bytes ctx.proc.Process.vm addr b
+  end;
+  len
+
+let fd_write_from ctx fd ~addr ~len =
+  on_access ctx addr len Instr.Read;
+  let b = Vm.read_bytes ctx.proc.Process.vm addr len in
+  fd_write ctx fd b
 
 let fd_close ctx fd = Fd_table.close ctx.proc.Process.fds fd
 

@@ -69,6 +69,14 @@ let stat = Engine.stat
 let fault_reason = Engine.fault_reason
 let can_read = Engine.can_read
 let can_write = Engine.can_write
+
+type tlb_stats = Engine.tlb_stats = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_shootdowns : int;
+}
+
+let tlb_stats = Engine.tlb_stats
 let set_instr = Engine.set_instr
 let instr_of = Engine.instr_of
 let in_function = Engine.in_function
@@ -77,6 +85,8 @@ let open_file = Engine.open_file
 let add_endpoint = Engine.add_endpoint
 let fd_read = Engine.fd_read
 let fd_write = Engine.fd_write
+let fd_read_into = Engine.fd_read_into
+let fd_write_from = Engine.fd_write_from
 let fd_close = Engine.fd_close
 let vfs_read = Engine.vfs_read
 let vfs_write = Engine.vfs_write

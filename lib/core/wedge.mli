@@ -208,6 +208,17 @@ val fault_reason : exn -> string option
 val can_read : ctx -> addr:int -> len:int -> bool
 val can_write : ctx -> addr:int -> len:int -> bool
 
+type tlb_stats = Engine.tlb_stats = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_shootdowns : int;
+}
+
+val tlb_stats : ctx -> tlb_stats
+(** Live software-TLB counters for the calling compartment's address
+    space.  Totals across dead processes are folded into the kernel stats
+    (keys ["tlb.hit"], ["tlb.miss"], ["tlb.shootdown"]) at reap time. *)
+
 (** {1 Instrumentation (Crowbar attachment points)} *)
 
 val set_instr : ctx -> Wedge_sim.Instr.t -> unit
@@ -223,6 +234,16 @@ val open_file : ctx -> ?write:bool -> string -> (int, Wedge_kernel.Vfs.error) re
 val add_endpoint : ctx -> Wedge_kernel.Fd_table.endpoint -> Wedge_kernel.Fd_table.perm -> int
 val fd_read : ctx -> int -> int -> bytes
 val fd_write : ctx -> int -> bytes -> unit
+
+val fd_read_into : ctx -> int -> addr:int -> int -> int
+(** [fd_read_into ctx fd ~addr n] reads up to [n] bytes from [fd] straight
+    into the caller's memory at [addr] (checked bulk write: one
+    translation per page, atomic across pages).  Returns the byte count. *)
+
+val fd_write_from : ctx -> int -> addr:int -> len:int -> unit
+(** [fd_write_from ctx fd ~addr ~len] writes [len] bytes read straight
+    from the caller's memory at [addr] to [fd]. *)
+
 val fd_close : ctx -> int -> unit
 val vfs_read : ctx -> string -> (string, Wedge_kernel.Vfs.error) result
 val vfs_write : ctx -> string -> string -> (unit, Wedge_kernel.Vfs.error) result

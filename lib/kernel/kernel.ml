@@ -58,8 +58,19 @@ let new_process t ?limits ~kind ~uid ~root ~sid () =
   p
 
 let find_process t pid = Hashtbl.find_opt t.procs pid
+let iter_processes t f = Hashtbl.iter (fun _ p -> f p) t.procs
+
+(* Fold the address space's TLB counters into the kernel stats before the
+   Vm goes away, so short-lived sthreads still show up in the totals. *)
+let fold_tlb_stats t (p : Process.t) =
+  let vm = p.Process.vm in
+  let bump key n = if n > 0 then Stats.add t.stats key n in
+  bump "tlb.hit" (Vm.tlb_hits vm);
+  bump "tlb.miss" (Vm.tlb_misses vm);
+  bump "tlb.shootdown" (Vm.tlb_shootdowns vm)
 
 let reap t (p : Process.t) =
+  fold_tlb_stats t p;
   Vm.destroy p.Process.vm;
   List.iter (fun fd -> Fd_table.close p.Process.fds fd) (Fd_table.fds p.Process.fds);
   Hashtbl.remove t.procs p.Process.pid

@@ -48,8 +48,17 @@ val new_process :
 
 val find_process : t -> int -> Process.t option
 
+val iter_processes : t -> (Process.t -> unit) -> unit
+(** Visit every process in the table (any status).  Used by global
+    revocations — e.g. tag deletion — that must unmap a range from, and
+    shoot down cached translations in, {e every} address space that maps
+    it, not just the caller's. *)
+
 val reap : t -> Process.t -> unit
-(** Tear down a terminated process's address space and descriptors. *)
+(** Tear down a terminated process's address space and descriptors.
+    Folds the address space's TLB hit/miss/shootdown counters into
+    {!field-stats} (keys ["tlb.hit"], ["tlb.miss"], ["tlb.shootdown"])
+    before destroying it. *)
 
 val syscall_check : t -> Process.t -> string -> unit
 (** Enforce the caller's SELinux policy for a named system call.

@@ -4,24 +4,36 @@ type pte = {
   mutable tag : int option;
 }
 
-type t = (int, pte) Hashtbl.t
+(* The epoch advances on every structural change (map/unmap), so a cached
+   translation can be validated with one integer compare.  In-place pte
+   mutations (a protection downgrade, a COW frame swap) deliberately do
+   NOT advance it: those are the revocation paths that must perform an
+   explicit TLB shootdown, and the tests assert they do. *)
+type t = {
+  tbl : (int, pte) Hashtbl.t;
+  mutable epoch : int;
+}
 
-let create () : t = Hashtbl.create 512
+let create () : t = { tbl = Hashtbl.create 512; epoch = 0 }
+
+let epoch t = t.epoch
 
 let map t ~vpn ~frame ~prot ~tag =
-  if Hashtbl.mem t vpn then
+  if Hashtbl.mem t.tbl vpn then
     invalid_arg (Printf.sprintf "Pagetable.map: vpn 0x%x already mapped" vpn);
-  Hashtbl.add t vpn { frame; prot; tag }
+  t.epoch <- t.epoch + 1;
+  Hashtbl.add t.tbl vpn { frame; prot; tag }
 
 let unmap t ~vpn =
-  match Hashtbl.find_opt t vpn with
+  match Hashtbl.find_opt t.tbl vpn with
   | Some pte ->
-      Hashtbl.remove t vpn;
+      t.epoch <- t.epoch + 1;
+      Hashtbl.remove t.tbl vpn;
       Some pte
   | None -> None
 
-let find t ~vpn = Hashtbl.find_opt t vpn
-let mem t ~vpn = Hashtbl.mem t vpn
-let count t = Hashtbl.length t
-let iter f t = Hashtbl.iter f t
-let fold f t init = Hashtbl.fold f t init
+let find t ~vpn = Hashtbl.find_opt t.tbl vpn
+let mem t ~vpn = Hashtbl.mem t.tbl vpn
+let count t = Hashtbl.length t.tbl
+let iter f t = Hashtbl.iter f t.tbl
+let fold f t init = Hashtbl.fold f t.tbl init

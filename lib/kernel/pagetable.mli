@@ -12,6 +12,15 @@ type pte = {
 type t
 
 val create : unit -> t
+
+val epoch : t -> int
+(** Generation counter, advanced by every {!map} and {!unmap}.  A software
+    TLB stamps each cached translation with the epoch at fill time, so any
+    structural change to the address space invalidates every cached entry
+    with one compare.  In-place pte mutations (protection changes, COW
+    frame swaps) do {e not} advance the epoch — those paths must shoot the
+    affected entries down explicitly (see {!Vm.protect_range}). *)
+
 val map : t -> vpn:int -> frame:int -> prot:Prot.page -> tag:int option -> unit
 val unmap : t -> vpn:int -> pte option
 (** Removes and returns the entry, if mapped. *)

@@ -19,6 +19,32 @@ let fault_to_string f =
     (match f.access with Read -> "read" | Write -> "write")
     f.addr f.reason
 
+(* ------------------------------------------------------------------ *)
+(* Software TLB                                                        *)
+
+(* Direct-mapped, per-address-space translation cache: vpn -> frame bytes
+   + effective protection + tag.  The fast path costs one array index,
+   three compares and a byte access — no hashtable walk, no fault roll
+   per byte.  Safety comes from two mechanisms:
+     - every entry is stamped with the page table's epoch at fill time,
+       so any map/unmap invalidates the whole cache with one compare;
+     - in-place pte mutations (protect_range, COW breaks, tag retags) do
+       not move the epoch and MUST call [tlb_invalidate] — a stale entry
+       surviving a revocation would be a default-deny bypass, so those
+       call sites are load-bearing and covered by the shootdown tests. *)
+
+let tlb_slots = 64
+let tlb_mask = tlb_slots - 1
+
+type tlb_entry = {
+  mutable e_vpn : int;  (* -1 = invalid *)
+  mutable e_epoch : int;  (* Pagetable.epoch at fill time *)
+  mutable e_bytes : Bytes.t;  (* the frame's backing store *)
+  mutable e_prot : Prot.page;  (* effective protection at fill time *)
+  mutable e_tag : int option;
+  mutable e_frame : int;
+}
+
 type t = {
   pid : int;
   pm : Physmem.t;
@@ -31,6 +57,10 @@ type t = {
       (* vpns whose frames were charged to [limits]: fresh mappings and
          private COW copies.  Shared mappings (pristine snapshot, tag
          grants) are never charged — the quota bounds private frames. *)
+  tlb : tlb_entry array;
+  mutable tlb_hit_n : int;
+  mutable tlb_miss_n : int;
+  mutable tlb_shootdown_n : int;
 }
 
 let create ?faults ?limits ~pid pm clock costs =
@@ -43,6 +73,19 @@ let create ?faults ?limits ~pid pm clock costs =
     faults;
     limits;
     owned = Hashtbl.create 64;
+    tlb =
+      Array.init tlb_slots (fun _ ->
+          {
+            e_vpn = -1;
+            e_epoch = 0;
+            e_bytes = Bytes.empty;
+            e_prot = Prot.page_none;
+            e_tag = None;
+            e_frame = -1;
+          });
+    tlb_hit_n = 0;
+    tlb_miss_n = 0;
+    tlb_shootdown_n = 0;
   }
 let pid t = t.pid
 let page_table t = t.pt
@@ -55,6 +98,41 @@ let fault t addr access reason = raise (Fault { pid = t.pid; addr; access; reaso
 let check_aligned addr =
   if addr land (page_size - 1) <> 0 then
     invalid_arg (Printf.sprintf "Vm: address 0x%x not page aligned" addr)
+
+(* Shoot down one cached translation.  The cost (and the counter) are paid
+   only when an entry actually dies: an invalidation of nothing models a
+   filtered IPI that never needed sending. *)
+let tlb_invalidate t ~vpn =
+  let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+  if e.e_vpn = vpn then begin
+    e.e_vpn <- -1;
+    t.tlb_shootdown_n <- t.tlb_shootdown_n + 1;
+    Clock.charge t.clock t.costs.Cost_model.tlb_shootdown
+  end
+
+let tlb_flush t =
+  let any = ref false in
+  Array.iter
+    (fun e ->
+      if e.e_vpn >= 0 then begin
+        e.e_vpn <- -1;
+        any := true
+      end)
+    t.tlb;
+  if !any then t.tlb_shootdown_n <- t.tlb_shootdown_n + 1
+
+let tlb_hits t = t.tlb_hit_n
+let tlb_misses t = t.tlb_miss_n
+let tlb_shootdowns t = t.tlb_shootdown_n
+
+let tlb_fill t vpn (pte : Pagetable.pte) =
+  let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+  e.e_vpn <- vpn;
+  e.e_epoch <- Pagetable.epoch t.pt;
+  e.e_bytes <- Physmem.get t.pm pte.Pagetable.frame;
+  e.e_prot <- pte.Pagetable.prot;
+  e.e_tag <- pte.Pagetable.tag;
+  e.e_frame <- pte.Pagetable.frame
 
 (* Quota accounting for private frames.  The charge happens before the
    allocation so exhaustion is deterministic and leaves physical memory
@@ -101,6 +179,10 @@ let share_range ~src ~dst ~addr ~pages ~prot =
 let unmap_range t ~addr ~pages =
   check_aligned addr;
   for i = 0 to pages - 1 do
+    (* The epoch bump from Pagetable.unmap already invalidates every
+       cached entry; the explicit shootdown keeps the counter and the
+       cost model honest about what a revocation did. *)
+    tlb_invalidate t ~vpn:(vpn_of addr + i);
     match Pagetable.unmap t.pt ~vpn:(vpn_of addr + i) with
     | Some pte ->
         release_owned t (vpn_of addr + i);
@@ -108,15 +190,44 @@ let unmap_range t ~addr ~pages =
     | None -> ()
   done
 
+(* Permission changes mutate ptes in place — no epoch movement — so the
+   explicit per-page shootdown here is what keeps revocation sound: a TLB
+   entry surviving this loop would let a compartment keep writing through
+   a mapping that was just downgraded.  Each mapped page charges a
+   pte_copy-class cost (the kernel rewrites the entry), plus the shootdown
+   cost for any translation that was actually cached. *)
 let protect_range t ~addr ~pages ~prot =
   check_aligned addr;
   for i = 0 to pages - 1 do
     match Pagetable.find t.pt ~vpn:(vpn_of addr + i) with
-    | Some pte -> pte.Pagetable.prot <- prot
+    | Some pte ->
+        Clock.charge t.clock t.costs.Cost_model.pte_copy;
+        pte.Pagetable.prot <- prot;
+        tlb_invalidate t ~vpn:(vpn_of addr + i)
     | None -> ()
   done
 
+(* In-place pte rewrites for kernel bookkeeping (boot's COW snapshot,
+   fork's COW downgrade, boundary retags).  No cost is charged — callers
+   account for their own PTE work — but the shootdown is mandatory:
+   these are exactly the "behind the VM's back" mutations that used to
+   touch the page table directly. *)
+let set_page_prot t ~addr ~prot =
+  match Pagetable.find t.pt ~vpn:(vpn_of addr) with
+  | Some pte ->
+      pte.Pagetable.prot <- prot;
+      tlb_invalidate t ~vpn:(vpn_of addr)
+  | None -> invalid_arg (Printf.sprintf "Vm.set_page_prot: 0x%x unmapped" addr)
+
+let set_page_tag t ~addr ~tag =
+  match Pagetable.find t.pt ~vpn:(vpn_of addr) with
+  | Some pte ->
+      pte.Pagetable.tag <- tag;
+      tlb_invalidate t ~vpn:(vpn_of addr)
+  | None -> invalid_arg (Printf.sprintf "Vm.set_page_tag: 0x%x unmapped" addr)
+
 let destroy t =
+  tlb_flush t;
   let frames = Pagetable.fold (fun vpn pte acc -> (vpn, pte.Pagetable.frame) :: acc) t.pt [] in
   List.iter
     (fun (vpn, frame) ->
@@ -129,7 +240,10 @@ let mapped_pages t = Pagetable.count t.pt
 
 (* Take a private copy of a COW page so it can be written.  The copy is a
    private frame, so it counts against the frame quota (a compartment
-   ballooning the shared pristine image pays for every page it dirties). *)
+   ballooning the shared pristine image pays for every page it dirties).
+   The frame swap happens in place — no epoch movement — so the explicit
+   shootdown below is what stops a cached read entry from serving the old
+   shared frame's bytes after the break. *)
 let cow_break t ~vpn (pte : Pagetable.pte) =
   Clock.charge t.clock t.costs.Cost_model.page_copy;
   if Physmem.refcount t.pm pte.frame > 1 then begin
@@ -139,15 +253,13 @@ let cow_break t ~vpn (pte : Pagetable.pte) =
     Physmem.decref t.pm pte.frame;
     pte.frame <- fresh
   end;
-  pte.prot <- { pr = true; pw = true; pcow = false }
+  pte.prot <- { pr = true; pw = true; pcow = false };
+  tlb_invalidate t ~vpn
 
+(* The slow path: one page-table walk.  Injected faults are rolled by the
+   callers, once per access (see [roll_access]), not here — a bulk read
+   is one access however many pages it crosses. *)
 let pte_for t addr access check =
-  (* Checked (compartment) accesses only: kernel paths never take injected
-     faults, mirroring how a real MMU cannot fault the kernel's copies. *)
-  if check then (
-    match Wedge_fault.Fault_plan.roll_opt t.faults ~site:"vm.access" with
-    | Some _ -> fault t addr access "injected protection fault"
-    | None -> ());
   match Pagetable.find t.pt ~vpn:(vpn_of addr) with
   | None -> fault t addr access "unmapped page"
   | Some pte ->
@@ -167,31 +279,90 @@ let pte_for t addr access check =
             end);
       pte
 
-let read_u8 t addr =
-  let pte = pte_for t addr Read true in
-  Char.code (Bytes.get (Physmem.get t.pm pte.Pagetable.frame) (off_of addr))
+(* Can a cached entry serve this access?  Reads need pr (kernel reads are
+   exempt, as in the slow path); writes need pw exactly — a COW page must
+   fall through to the slow path so the break happens. *)
+let perm_hit access check (p : Prot.page) =
+  match access with
+  | Read -> p.Prot.pr || not check
+  | Write -> p.Prot.pw
 
-let write_u8 t addr v =
-  let pte = pte_for t addr Write true in
-  Bytes.set (Physmem.get t.pm pte.Pagetable.frame) (off_of addr) (Char.chr (v land 0xff))
-
-(* Page-by-page bulk transfer shared by checked and kernel paths. *)
-let rec blit_read t addr buf pos len check =
-  if len > 0 then begin
-    let off = off_of addr in
-    let chunk = min len (page_size - off) in
-    let pte = pte_for t addr Read check in
-    Bytes.blit (Physmem.get t.pm pte.Pagetable.frame) off buf pos chunk;
-    blit_read t (addr + chunk) buf (pos + chunk) (len - chunk) check
+(* One translation: TLB fast path, page walk + fill on miss.  Returns the
+   frame's backing bytes; offsets within the page are the caller's. *)
+let page_for t addr access check =
+  let vpn = addr lsr 12 in
+  let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+  if e.e_vpn = vpn && e.e_epoch = Pagetable.epoch t.pt && perm_hit access check e.e_prot
+  then begin
+    t.tlb_hit_n <- t.tlb_hit_n + 1;
+    Clock.charge t.clock t.costs.Cost_model.tlb_hit;
+    e.e_bytes
+  end
+  else begin
+    t.tlb_miss_n <- t.tlb_miss_n + 1;
+    Clock.charge t.clock t.costs.Cost_model.tlb_miss;
+    let pte = pte_for t addr access check in
+    tlb_fill t vpn pte;
+    Physmem.get t.pm pte.Pagetable.frame
   end
 
-let rec blit_write t addr src pos len check =
+(* Checked (compartment) accesses roll the injected-fault plan once per
+   access — a u64 or a 4 KiB blit is one roll, not eight or a thousand.
+   (Fault-trace format v2: plans recorded against the per-byte rolls of
+   the v1 accessors replay with different op counts.)  Kernel paths never
+   roll, mirroring how a real MMU cannot fault the kernel's copies. *)
+let roll_access t addr access =
+  match Wedge_fault.Fault_plan.roll_opt t.faults ~site:"vm.access" with
+  | Some _ -> fault t addr access "injected protection fault"
+  | None -> ()
+
+let read_u8 t addr =
+  roll_access t addr Read;
+  let b = page_for t addr Read true in
+  Char.code (Bytes.unsafe_get b (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  roll_access t addr Write;
+  let b = page_for t addr Write true in
+  Bytes.unsafe_set b (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xff))
+
+(* Page-cursor bulk transfer: one translation per page touched, shared by
+   checked and kernel paths.  The fault roll (if any) happened at the
+   access entry point. *)
+let rec blit_read_pages t addr buf pos len check =
   if len > 0 then begin
     let off = off_of addr in
     let chunk = min len (page_size - off) in
-    let pte = pte_for t addr Write check in
-    Bytes.blit src pos (Physmem.get t.pm pte.Pagetable.frame) off chunk;
-    blit_write t (addr + chunk) src (pos + chunk) (len - chunk) check
+    let b = page_for t addr Read check in
+    Bytes.blit b off buf pos chunk;
+    blit_read_pages t (addr + chunk) buf (pos + chunk) (len - chunk) check
+  end
+
+let rec blit_write_pages t addr src pos len check =
+  if len > 0 then begin
+    let off = off_of addr in
+    let chunk = min len (page_size - off) in
+    let b = page_for t addr Write check in
+    Bytes.blit src pos b off chunk;
+    blit_write_pages t (addr + chunk) src (pos + chunk) (len - chunk) check
+  end
+
+(* Multi-page writes are atomic: every page is translated (and any COW
+   break taken) before the first byte lands, so a fault on page N+1 never
+   leaves a partial write on page N.  The probe pass warms the TLB, so
+   the copy pass runs entirely on hits. *)
+let rec probe_write_pages t addr len check =
+  if len > 0 then begin
+    let off = off_of addr in
+    let chunk = min len (page_size - off) in
+    ignore (page_for t addr Write check);
+    probe_write_pages t (addr + chunk) (len - chunk) check
+  end
+
+let blit_write_atomic t addr src pos len check =
+  if len > 0 then begin
+    if off_of addr + len > page_size then probe_write_pages t addr len check;
+    blit_write_pages t addr src pos len check
   end
 
 (* Bound checked bulk reads before allocating the destination: a
@@ -205,38 +376,108 @@ let read_bytes t addr len =
   if len < 0 || len > max_read then
     fault t addr Read (Printf.sprintf "oversized read of %d bytes" len);
   let buf = Bytes.create len in
-  blit_read t addr buf 0 len true;
+  if len > 0 then begin
+    roll_access t addr Read;
+    blit_read_pages t addr buf 0 len true
+  end;
   buf
 
-let write_bytes t addr src = blit_write t addr src 0 (Bytes.length src) true
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  if len > 0 then begin
+    roll_access t addr Write;
+    blit_write_atomic t addr src 0 len true
+  end
 
 let read_bytes_kernel t addr len =
   let buf = Bytes.create len in
-  blit_read t addr buf 0 len false;
+  blit_read_pages t addr buf 0 len false;
   buf
 
-let write_bytes_kernel t addr src = blit_write t addr src 0 (Bytes.length src) false
+let write_bytes_kernel t addr src = blit_write_atomic t addr src 0 (Bytes.length src) false
 
-let read_u16 t addr = read_u8 t addr lor (read_u8 t (addr + 1) lsl 8)
+(* Multi-byte accessors: translate once when the value sits inside a page
+   (the overwhelmingly common case), fall back to the page cursor across
+   a boundary.  Either way: one fault roll, not one per byte. *)
+
+let read_u16 t addr =
+  roll_access t addr Read;
+  let off = off_of addr in
+  if off <= page_size - 2 then Bytes.get_uint16_le (page_for t addr Read true) off
+  else begin
+    let buf = Bytes.create 2 in
+    blit_read_pages t addr buf 0 2 true;
+    Bytes.get_uint16_le buf 0
+  end
 
 let write_u16 t addr v =
-  write_u8 t addr (v land 0xff);
-  write_u8 t (addr + 1) ((v lsr 8) land 0xff)
+  roll_access t addr Write;
+  let off = off_of addr in
+  if off <= page_size - 2 then Bytes.set_uint16_le (page_for t addr Write true) off (v land 0xffff)
+  else begin
+    let buf = Bytes.create 2 in
+    Bytes.set_uint16_le buf 0 (v land 0xffff);
+    blit_write_atomic t addr buf 0 2 true
+  end
 
-let read_u32 t addr = read_u16 t addr lor (read_u16 t (addr + 2) lsl 16)
+let read_u32 t addr =
+  roll_access t addr Read;
+  let off = off_of addr in
+  if off <= page_size - 4 then
+    Int32.to_int (Bytes.get_int32_le (page_for t addr Read true) off) land 0xffffffff
+  else begin
+    let buf = Bytes.create 4 in
+    blit_read_pages t addr buf 0 4 true;
+    Int32.to_int (Bytes.get_int32_le buf 0) land 0xffffffff
+  end
 
 let write_u32 t addr v =
-  write_u16 t addr (v land 0xffff);
-  write_u16 t (addr + 2) ((v lsr 16) land 0xffff)
+  roll_access t addr Write;
+  let off = off_of addr in
+  if off <= page_size - 4 then
+    Bytes.set_int32_le (page_for t addr Write true) off (Int32.of_int v)
+  else begin
+    let buf = Bytes.create 4 in
+    Bytes.set_int32_le buf 0 (Int32.of_int v);
+    blit_write_atomic t addr buf 0 4 true
+  end
+
+(* The u64 accessors live in OCaml's 63-bit int domain: read_u64 returns
+   the LOW 63 BITS of the stored little-endian word, two's complement
+   (bit 62 of the word is the sign bit of the result; bit 63 is dropped).
+   write_u64 stores the 63-bit pattern zero-extended to 64 bits, so
+   write/read round-trips exactly for every OCaml int, including
+   negatives and max_int/min_int.  This is the same value the historical
+   [lo lor (hi lsl 32)] computed — the mask makes it explicit instead of
+   relying on lsl overflow. *)
+let u64_store_mask = 0x7FFF_FFFF_FFFF_FFFFL
 
 let read_u64 t addr =
-  let lo = read_u32 t addr and hi = read_u32 t (addr + 4) in
-  lo lor (hi lsl 32)
+  roll_access t addr Read;
+  let off = off_of addr in
+  if off <= page_size - 8 then Int64.to_int (Bytes.get_int64_le (page_for t addr Read true) off)
+  else begin
+    let buf = Bytes.create 8 in
+    blit_read_pages t addr buf 0 8 true;
+    Int64.to_int (Bytes.get_int64_le buf 0)
+  end
 
 let write_u64 t addr v =
-  write_u32 t addr (v land 0xffffffff);
-  write_u32 t (addr + 4) ((v lsr 32) land 0xffffffff)
+  roll_access t addr Write;
+  let w = Int64.logand (Int64.of_int v) u64_store_mask in
+  let off = off_of addr in
+  if off <= page_size - 8 then Bytes.set_int64_le (page_for t addr Write true) off w
+  else begin
+    let buf = Bytes.create 8 in
+    Bytes.set_int64_le buf 0 w;
+    blit_write_atomic t addr buf 0 8 true
+  end
 
+(* [probe] is advisory, not an access: it answers "would this access be
+   allowed right now" for policy decisions (e.g. priv_for_tag).  It walks
+   the page table directly — never the TLB, which it must not pollute —
+   charges nothing, and rolls no injected faults: a spurious fault on a
+   probe would turn a question into a crash, which no real MMU does. *)
 let probe t ~addr ~len access =
   let rec loop a remaining =
     remaining <= 0

@@ -4,7 +4,18 @@
     a protection violation raises {!Fault}, which the sthread machinery
     turns into compartment termination (the paper's SIGSEGV).  Writes to
     copy-on-write pages transparently take a private copy of the frame,
-    charging the cost model. *)
+    charging the cost model.
+
+    Translations are served through a per-address-space direct-mapped
+    software TLB: the first access to a page walks the page table
+    ([tlb_miss] cost) and caches frame bytes + effective protection;
+    subsequent accesses hit the cache ([tlb_hit] cost).  Every path that
+    revokes or downgrades a translation — {!unmap_range},
+    {!protect_range}, COW breaks, {!set_page_prot}, {!set_page_tag},
+    {!destroy} — shoots the affected entries down, so a revocation is
+    visible to the very next access.  A stale entry surviving revocation
+    would be a default-deny bypass; the shootdown test suite asserts there
+    is none. *)
 
 type access =
   | Read
@@ -31,7 +42,8 @@ val create :
   Wedge_sim.Clock.t ->
   Wedge_sim.Cost_model.t ->
   t
-(** [faults] makes checked compartment accesses roll site ["vm.access"];
+(** [faults] makes checked compartment accesses roll site ["vm.access"]
+    once per access (a u64 or a bulk blit is one roll, not one per byte);
     a fired fault raises {!Fault} as a spurious protection fault.
     [limits] charges a frame-quota unit for every private frame this
     address space allocates ({!map_fresh} pages and COW copies; shared
@@ -57,11 +69,41 @@ val share_range :
     (sharing, not copying; used to grant tagged memory to sthreads). *)
 
 val unmap_range : t -> addr:int -> pages:int -> unit
+(** Unmaps and shoots down any cached translations for the range. *)
+
 val protect_range : t -> addr:int -> pages:int -> prot:Prot.page -> unit
+(** Rewrites the protection of every mapped page in the range, charging a
+    [pte_copy]-class cost per page, and shoots down any cached
+    translations so the downgrade takes effect on the very next access. *)
+
+val set_page_prot : t -> addr:int -> prot:Prot.page -> unit
+(** Kernel bookkeeping: rewrite one page's protection in place (no cost
+    charged — callers account for their own PTE work) with the mandatory
+    shootdown.  Raises [Invalid_argument] if unmapped. *)
+
+val set_page_tag : t -> addr:int -> tag:int option -> unit
+(** Kernel bookkeeping: retag one page in place, with shootdown.
+    Raises [Invalid_argument] if unmapped. *)
+
 val destroy : t -> unit
-(** Unmap everything, releasing frame references. *)
+(** Unmap everything, releasing frame references (flushes the TLB first). *)
 
 val mapped_pages : t -> int
+
+(** {2 Software TLB} *)
+
+val tlb_invalidate : t -> vpn:int -> unit
+(** Shoot down the cached translation for [vpn], if present.  Charges
+    [tlb_shootdown] only when an entry actually dies. *)
+
+val tlb_flush : t -> unit
+(** Drop every cached translation (address-space teardown / switch). *)
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val tlb_shootdowns : t -> int
+(** Monotonic per-address-space counters, surfaced through kernel stats
+    and [bench -- metrics]. *)
 
 (** {2 Checked access (compartment code)} *)
 
@@ -71,21 +113,37 @@ val write_u8 : t -> int -> int -> unit
 val read_bytes : t -> int -> int -> bytes
 (** Bulk read.  Negative or absurd lengths (> 64 MiB, beyond any simulated
     region) fault immediately — so attacker-fabricated length fields hit
-    the MMU, not the host allocator. *)
+    the MMU, not the host allocator.  Translates once per page crossed,
+    not once per byte. *)
 
 val write_bytes : t -> int -> bytes -> unit
+(** Bulk write; atomic across pages: every page is translated (and any
+    COW break taken) before the first byte lands, so a fault on a later
+    page never leaves a partial write on an earlier one. *)
+
 val read_u16 : t -> int -> int
 val write_u16 : t -> int -> int -> unit
 val read_u32 : t -> int -> int
 val write_u32 : t -> int -> int -> unit
+
 val read_u64 : t -> int -> int
-(** Little-endian; the top bit is lost (63-bit OCaml ints), which is fine
-    for simulated pointers and lengths. *)
+(** Little-endian, 63-bit domain: returns the low 63 bits of the stored
+    64-bit word as a two's-complement OCaml int (bit 62 of the word is
+    the result's sign bit; bit 63 is dropped).  Round-trips exactly with
+    {!write_u64} for every OCaml int, including negatives.  Fine for
+    simulated pointers and lengths, which never need bit 63. *)
 
 val write_u64 : t -> int -> int -> unit
+(** Stores the int's 63-bit pattern zero-extended to a 64-bit LE word
+    (bit 63 of the stored word is always 0). *)
 
 val can_read : t -> addr:int -> len:int -> bool
 val can_write : t -> addr:int -> len:int -> bool
+(** Advisory probes for policy decisions ("would this access be allowed
+    right now").  They walk the page table directly — never the TLB,
+    which they must not pollute — charge nothing, and are exempt from
+    injected-fault rolls: a probe is a question, not an access, and no
+    real MMU faults on a question. *)
 
 (** {2 Unchecked access (kernel use only)} *)
 
@@ -94,4 +152,5 @@ val read_bytes_kernel : t -> int -> int -> bytes
 
 val write_bytes_kernel : t -> int -> bytes -> unit
 (** Bypasses protection checks but still performs COW breaks, so kernel
-    writes never corrupt shared pristine frames. *)
+    writes never corrupt shared pristine frames.  Atomic across pages,
+    like {!write_bytes}. *)

@@ -14,10 +14,20 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable count : int;
+  mutable scrubbed : int;
 }
 
 let create ?(enabled = true) ?(scrub = true) pm =
-  { pm; by_pages = Hashtbl.create 8; enabled; scrub; hits = 0; misses = 0; count = 0 }
+  {
+    pm;
+    by_pages = Hashtbl.create 8;
+    enabled;
+    scrub;
+    hits = 0;
+    misses = 0;
+    count = 0;
+    scrubbed = 0;
+  }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
@@ -44,7 +54,9 @@ let take t ~pages =
         t.hits <- t.hits + 1;
         if t.scrub then
           List.iter
-            (fun f -> Bytes.fill (Physmem.get t.pm f) 0 Physmem.page_size '\000')
+            (fun f ->
+              Bytes.fill (Physmem.get t.pm f) 0 Physmem.page_size '\000';
+              t.scrubbed <- t.scrubbed + 1)
             entry.frames;
         Some entry
     | _ ->
@@ -54,3 +66,4 @@ let take t ~pages =
 let hits t = t.hits
 let misses t = t.misses
 let size t = t.count
+let scrubbed_pages t = t.scrubbed

@@ -32,3 +32,9 @@ val take : t -> pages:int -> entry option
 val hits : t -> int
 val misses : t -> int
 val size : t -> int
+
+val scrubbed_pages : t -> int
+(** Total pages scrubbed on reuse.  A counter, deliberately not a clock
+    charge: billing [page_scrub] per reused page would erase the cheap
+    tag-reuse effect the cache exists to reproduce (Figure 8); the
+    counter keeps the secrecy work observable without distorting it. *)

@@ -215,6 +215,20 @@ let write ep b =
 
 let write_string ep s = write ep (Bytes.of_string s)
 
+(* Kernel-copy endpoints: move bytes between the channel and a process's
+   pages in one step.  The memory side uses the Vm bulk path — checked,
+   one translation per page, atomic multi-page writes — so a connection's
+   payload landing on a revoked or read-only page faults cleanly without
+   leaving a torn buffer behind. *)
+let read_into ep vm ~addr n =
+  let b = read ep n in
+  let len = Bytes.length b in
+  if len > 0 then Wedge_kernel.Vm.write_bytes vm addr b;
+  len
+
+let write_from ep vm ~addr ~len =
+  write ep (Wedge_kernel.Vm.read_bytes vm addr len)
+
 let close ep =
   ep.tx.closed <- true;
   Fiber.progress ()

@@ -47,6 +47,18 @@ val read_exact : ep -> int -> bytes option
 
 val write : ep -> bytes -> unit
 val write_string : ep -> string -> unit
+
+val read_into : ep -> Wedge_kernel.Vm.t -> addr:int -> int -> int
+(** [read_into ep vm ~addr n] reads up to [n] bytes from the channel and
+    lands them directly at [addr] in [vm] through the checked bulk-write
+    path (one translation per page, atomic across pages).  Returns the
+    byte count; 0 means the peer closed.  A protection fault on the
+    destination raises {!Wedge_kernel.Vm.Fault} with no partial write. *)
+
+val write_from : ep -> Wedge_kernel.Vm.t -> addr:int -> len:int -> unit
+(** [write_from ep vm ~addr ~len] sends [len] bytes read directly from
+    [addr] in [vm] (checked, one translation per page). *)
+
 val close : ep -> unit
 
 val abort : ep -> unit

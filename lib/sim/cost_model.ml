@@ -2,6 +2,9 @@ type t = {
   syscall_trap : int;
   context_switch : int;
   tlb_flush : int;
+  tlb_hit : int;
+  tlb_miss : int;
+  tlb_shootdown : int;
   pte_copy : int;
   fd_dup : int;
   page_alloc : int;
@@ -34,12 +37,19 @@ type t = {
    - tag_new with free-list reuse = bookkeeping prefill only ~ 4x malloc;
      a cold tag pays the full mmap ~ 22x malloc (Figure 8).
    - rsa_private_op matches the ~3.2 ms gap between cached and non-cached
-     vanilla Apache rows of Table 2 on the 2.2 GHz Opteron. *)
+     vanilla Apache rows of Table 2 on the 2.2 GHz Opteron.
+   - tlb_hit ~ one cycle of address translation on the fast path; tlb_miss
+     ~ a hardware page-table walk; tlb_shootdown ~ the cost of killing one
+     cached translation on a permissions change or unmap (the IPI-and-wait
+     a real multiprocessor pays, scaled to one entry). *)
 let default =
   {
     syscall_trap = 500;
     context_switch = 1_500;
     tlb_flush = 1_000;
+    tlb_hit = 1;
+    tlb_miss = 40;
+    tlb_shootdown = 400;
     pte_copy = 190;
     fd_dup = 250;
     page_alloc = 25;
@@ -69,6 +79,9 @@ let free =
     syscall_trap = 0;
     context_switch = 0;
     tlb_flush = 0;
+    tlb_hit = 0;
+    tlb_miss = 0;
+    tlb_shootdown = 0;
     pte_copy = 0;
     fd_dup = 0;
     page_alloc = 0;

@@ -13,6 +13,9 @@ type t = {
   syscall_trap : int;  (** kernel entry/exit for one system call *)
   context_switch : int;  (** scheduler switch between two processes *)
   tlb_flush : int;  (** address-space switch penalty *)
+  tlb_hit : int;  (** one translation served from the software TLB *)
+  tlb_miss : int;  (** a page-table walk filling a TLB entry *)
+  tlb_shootdown : int;  (** invalidating one cached translation on revoke *)
   pte_copy : int;  (** copying one page-table entry into a child *)
   fd_dup : int;  (** duplicating one file descriptor *)
   page_alloc : int;  (** allocating a zeroed physical frame *)

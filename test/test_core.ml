@@ -550,6 +550,37 @@ let test_recycled_callgate_cheaper () =
   in
   check Alcotest.int "recycled much cheaper than fresh" 1 (W.sthread_join main h)
 
+let test_tag_delete_revokes_from_pooled_sthreads () =
+  (* tag_delete is a global revocation: the pooled sthread behind a
+     recycled callgate keeps its address space across invocations, so if
+     deletion only unmapped the deleter's pages the pool would retain a
+     live window onto frames the tag cache is about to scrub and hand to
+     the next connection. *)
+  let k, app, main = mk_app () in
+  W.boot app;
+  let tag = W.tag_new ~name:"conn" ~pages:1 main in
+  let addr = W.smalloc main 16 tag in
+  W.write_string main addr "per-conn secret!";
+  let sc = W.sc_create () in
+  let cgsc = W.sc_create () in
+  W.sc_mem_add cgsc tag Prot.R;
+  let gate =
+    W.sc_cgate_add ~recycled:true main sc ~name:"peek"
+      ~entry:(fun gctx ~trusted:_ ~arg:_ -> W.read_u8 gctx addr)
+      ~cgsc ~trusted:0
+  in
+  let invoke () =
+    W.sthread_join main
+      (W.sthread_create main sc (fun ctx _ -> W.cgate ctx gate ~perms:(W.sc_create ()) ~arg:0) 0)
+  in
+  check Alcotest.int "pooled gate reads the tag" (Char.code 'p') (invoke ());
+  W.tag_delete main tag;
+  check Alcotest.bool "remote revocation recorded" true
+    (Stats.get k.Kernel.stats "tlb.remote_shootdown" >= 1);
+  (* The pooled sthread survived the delete but its mapping did not: the
+     next invocation faults instead of reading stale memory. *)
+  check Alcotest.int "pooled gate lost access" (-1) (invoke ())
+
 (* ---------- fork baseline ---------- *)
 
 let test_fork_inherits_secrets () =
@@ -745,6 +776,8 @@ let () =
           Alcotest.test_case "fresh state does not persist" `Quick
             test_fresh_callgate_state_does_not_persist;
           Alcotest.test_case "recycled cheaper" `Quick test_recycled_callgate_cheaper;
+          Alcotest.test_case "tag delete revokes from pool" `Quick
+            test_tag_delete_revokes_from_pooled_sthreads;
         ] );
       ( "fork-baseline",
         [

@@ -402,6 +402,180 @@ let test_kernel_trap_charges () =
   check Alcotest.bool "charged" true
     (Clock.now k.Kernel.clock - t0 = Cost_model.default.Cost_model.syscall_trap)
 
+(* ---------- Software TLB: fast path correctness and shootdown ---------- *)
+
+module Rlimit = Wedge_kernel.Rlimit
+
+let mk_vm_costed ?limits () =
+  let pm = Physmem.create () in
+  let clock = Clock.create () in
+  (pm, clock, Vm.create ?limits ~pid:1 pm clock Cost_model.default)
+
+let test_tlb_counters () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  ignore (Vm.read_u8 vm 0x1000);
+  check Alcotest.int "first access misses" 1 (Vm.tlb_misses vm);
+  ignore (Vm.read_u8 vm 0x1004);
+  ignore (Vm.read_u8 vm 0x1008);
+  check Alcotest.int "subsequent accesses hit" 2 (Vm.tlb_hits vm);
+  check Alcotest.int "no further misses" 1 (Vm.tlb_misses vm)
+
+let test_tlb_protect_revokes_immediately () =
+  (* The security invariant of the whole cache: a permissions downgrade
+     must be visible to the very next access, warm entry or not. *)
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_u8 vm 0x1000 42;
+  Vm.write_u8 vm 0x1001 43;
+  (* warm, write-capable *)
+  Vm.protect_range vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_r;
+  expect_fault (fun () -> Vm.write_u8 vm 0x1002 44);
+  check Alcotest.int "reads still allowed" 42 (Vm.read_u8 vm 0x1000);
+  check Alcotest.bool "shootdown counted" true (Vm.tlb_shootdowns vm >= 1)
+
+let test_tlb_unmap_revokes_immediately () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  ignore (Vm.read_u8 vm 0x1000);
+  (* warm *)
+  Vm.unmap_range vm ~addr:0x1000 ~pages:1;
+  expect_fault (fun () -> Vm.read_u8 vm 0x1000)
+
+let test_tlb_destroy_flushes () =
+  let pm, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:2 ~prot:Prot.page_rw ~tag:None;
+  ignore (Vm.read_u8 vm 0x1000);
+  ignore (Vm.read_u8 vm 0x2000);
+  Vm.destroy vm;
+  check Alcotest.int "frames released" 0 (Physmem.frames_in_use pm);
+  expect_fault (fun () -> Vm.read_u8 vm 0x1000)
+
+let test_tlb_stale_entry_cannot_corrupt_snapshot () =
+  (* The boot/fork pattern: a page is downgraded to COW in place (no
+     map/unmap, so no epoch movement) while another address space shares
+     the frame.  A stale write-capable TLB entry would let the writer
+     scribble on the shared snapshot frame; the shootdown in
+     set_page_prot forces the write through the slow path, which breaks
+     COW into a private copy. *)
+  let pm, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_u8 vm 0x1000 65;
+  (* warms a write-capable entry *)
+  let vm2 = Vm.create ~pid:2 pm (Clock.create ()) Cost_model.free in
+  Vm.share_range ~src:vm ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_r;
+  Vm.set_page_prot vm ~addr:0x1000 ~prot:Prot.page_cow;
+  Vm.write_u8 vm 0x1000 66;
+  check Alcotest.int "writer sees its write" 66 (Vm.read_u8 vm 0x1000);
+  check Alcotest.int "shared snapshot untouched" 65 (Vm.read_u8 vm2 0x1000)
+
+let test_tlb_cow_breaks_exactly_once () =
+  (* Write through a cached read entry: the first write must break COW
+     (one page_copy, one quota frame, old frame's refcount drops); the
+     second write must ride the refilled entry and charge nothing close
+     to a copy. *)
+  let pm, _, vm1 = mk_vm_costed () in
+  Vm.map_fresh vm1 ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.write_u8 vm1 0x1000 1;
+  let limits = Rlimit.create ~max_frames:4 () in
+  let clock2 = Clock.create () in
+  let vm2 = Vm.create ~limits ~pid:2 pm clock2 Cost_model.default in
+  Vm.share_range ~src:vm1 ~dst:vm2 ~addr:0x1000 ~pages:1 ~prot:Prot.page_cow;
+  let frame =
+    match Pagetable.find (Vm.page_table vm1) ~vpn:1 with
+    | Some pte -> pte.Pagetable.frame
+    | None -> Alcotest.fail "unmapped"
+  in
+  check Alcotest.int "frame shared" 2 (Physmem.refcount pm frame);
+  ignore (Vm.read_u8 vm2 0x1000);
+  (* caches a read-capable entry *)
+  check Alcotest.int "no quota before write" 0 (Rlimit.frames_used limits);
+  Vm.write_u8 vm2 0x1000 2;
+  check Alcotest.int "one quota frame after break" 1 (Rlimit.frames_used limits);
+  check Alcotest.int "old frame refcount dropped" 1 (Physmem.refcount pm frame);
+  let t0 = Clock.now clock2 in
+  Vm.write_u8 vm2 0x1001 3;
+  check Alcotest.bool "second write does not copy again" true
+    (Clock.now clock2 - t0 < Cost_model.default.Cost_model.page_copy);
+  check Alcotest.int "still one quota frame" 1 (Rlimit.frames_used limits);
+  check Alcotest.int "parent unaffected" 1 (Vm.read_u8 vm1 0x1000)
+
+let test_protect_range_charges_per_page () =
+  let _, clock, vm = mk_vm_costed () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:3 ~prot:Prot.page_rw ~tag:None;
+  let t0 = Clock.now clock in
+  (* TLB cold: no cached entries, so the charge is purely per-pte. *)
+  Vm.protect_range vm ~addr:0x1000 ~pages:3 ~prot:Prot.page_r;
+  check Alcotest.int "pte_copy per mapped page" (3 * Cost_model.default.Cost_model.pte_copy)
+    (Clock.now clock - t0)
+
+let test_probe_is_advisory () =
+  (* probes answer a question: no cost, no fault roll, no TLB traffic. *)
+  let _, clock, vm = mk_vm_costed () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_r ~tag:None;
+  let t0 = Clock.now clock in
+  check Alcotest.bool "can read" true (Vm.can_read vm ~addr:0x1000 ~len:16);
+  check Alcotest.bool "cannot write" false (Vm.can_write vm ~addr:0x1000 ~len:16);
+  check Alcotest.int "no cost charged" t0 (Clock.now clock);
+  check Alcotest.int "no TLB traffic" 0 (Vm.tlb_misses vm + Vm.tlb_hits vm)
+
+(* ---------- 63-bit u64 semantics and page-boundary atomicity ---------- *)
+
+let test_u64_63bit_roundtrip () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:2 ~prot:Prot.page_rw ~tag:None;
+  List.iter
+    (fun v ->
+      Vm.write_u64 vm 0x1000 v;
+      check Alcotest.int "within-page roundtrip" v (Vm.read_u64 vm 0x1000);
+      Vm.write_u64 vm 0x1ffc v;
+      check Alcotest.int "page-crossing roundtrip" v (Vm.read_u64 vm 0x1ffc))
+    [ 0; 1; -1; max_int; min_int; 0xdeadbeef; 0x1122334455667788 ];
+  (* The stored word zero-extends the 63-bit pattern: bit 63 clear even
+     for negative values, so byte layouts are canonical. *)
+  Vm.write_u64 vm 0x1000 (-1);
+  check Alcotest.int "top stored byte is 0x7f" 0x7f (Vm.read_u8 vm 0x1007)
+
+let test_boundary_second_page_unmapped () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  (* Reads crossing into the void fault... *)
+  expect_fault (fun () -> ignore (Vm.read_u16 vm 0x1fff));
+  expect_fault (fun () -> ignore (Vm.read_u32 vm 0x1ffe));
+  expect_fault (fun () -> ignore (Vm.read_u64 vm 0x1ffc));
+  (* ...and writes crossing fault WITHOUT touching the mapped page. *)
+  Vm.write_u8 vm 0x1ffe 0xab;
+  Vm.write_u8 vm 0x1fff 0xcd;
+  expect_fault (fun () -> Vm.write_u32 vm 0x1ffe 0xffffffff);
+  expect_fault (fun () -> Vm.write_u64 vm 0x1ffc 42);
+  check Alcotest.int "first page intact (byte 1)" 0xab (Vm.read_u8 vm 0x1ffe);
+  check Alcotest.int "first page intact (byte 2)" 0xcd (Vm.read_u8 vm 0x1fff)
+
+let test_blit_across_readonly_page_is_atomic () =
+  let _, vm = mk_vm () in
+  Vm.map_fresh vm ~addr:0x1000 ~pages:1 ~prot:Prot.page_rw ~tag:None;
+  Vm.map_fresh vm ~addr:0x2000 ~pages:1 ~prot:Prot.page_r ~tag:None;
+  Vm.write_bytes vm 0x1ff0 (Bytes.of_string "SENTINEL00000000");
+  (* 32-byte write straddling into the read-only page must fault and must
+     not have dirtied the writable half first. *)
+  expect_fault (fun () -> Vm.write_bytes vm 0x1ff0 (Bytes.make 32 'X'));
+  check Alcotest.string "writable half untouched" "SENTINEL00000000"
+    (Bytes.to_string (Vm.read_bytes vm 0x1ff0 16))
+
+let test_pagetable_epoch_moves_on_structural_change () =
+  let pt = Pagetable.create () in
+  let e0 = Pagetable.epoch pt in
+  Pagetable.map pt ~vpn:1 ~frame:0 ~prot:Prot.page_rw ~tag:None;
+  check Alcotest.bool "map advances epoch" true (Pagetable.epoch pt > e0);
+  let e1 = Pagetable.epoch pt in
+  ignore (Pagetable.find pt ~vpn:1);
+  (match Pagetable.find pt ~vpn:1 with
+  | Some pte -> pte.Pagetable.prot <- Prot.page_r
+  | None -> Alcotest.fail "unmapped");
+  check Alcotest.int "find / in-place mutation do not" e1 (Pagetable.epoch pt);
+  ignore (Pagetable.unmap pt ~vpn:1);
+  check Alcotest.bool "unmap advances epoch" true (Pagetable.epoch pt > e1)
+
 let () =
   Alcotest.run "wedge_kernel"
     [
@@ -435,6 +609,27 @@ let () =
         [
           Alcotest.test_case "double map rejected" `Quick test_pagetable_double_map_rejected;
           Alcotest.test_case "unmap" `Quick test_pagetable_unmap;
+          Alcotest.test_case "epoch on structural change" `Quick
+            test_pagetable_epoch_moves_on_structural_change;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_tlb_counters;
+          Alcotest.test_case "protect revokes immediately" `Quick
+            test_tlb_protect_revokes_immediately;
+          Alcotest.test_case "unmap revokes immediately" `Quick
+            test_tlb_unmap_revokes_immediately;
+          Alcotest.test_case "destroy flushes" `Quick test_tlb_destroy_flushes;
+          Alcotest.test_case "stale entry cannot corrupt snapshot" `Quick
+            test_tlb_stale_entry_cannot_corrupt_snapshot;
+          Alcotest.test_case "COW breaks exactly once" `Quick test_tlb_cow_breaks_exactly_once;
+          Alcotest.test_case "protect_range charges per page" `Quick
+            test_protect_range_charges_per_page;
+          Alcotest.test_case "probe is advisory" `Quick test_probe_is_advisory;
+          Alcotest.test_case "u64 63-bit roundtrip" `Quick test_u64_63bit_roundtrip;
+          Alcotest.test_case "boundary into unmapped" `Quick test_boundary_second_page_unmapped;
+          Alcotest.test_case "blit atomic across read-only" `Quick
+            test_blit_across_readonly_page_is_atomic;
         ] );
       ("prot", [ Alcotest.test_case "grant subsumption" `Quick test_prot_subsumption ]);
       ( "vfs",

@@ -248,6 +248,19 @@ let test_tag_cache_size_class_exact () =
   check Alcotest.bool "wrong size misses" true (Tag_cache.take cache ~pages:1 = None);
   check Alcotest.bool "right size hits" true (Tag_cache.take cache ~pages:2 <> None)
 
+let test_tag_cache_scrub_counter () =
+  (* Scrubbing is counted, not clock-charged: billing page_scrub per
+     reused page would erase the cheap-reuse effect the cache reproduces
+     (Figure 8), but the secrecy work must still be observable. *)
+  let pm = Physmem.create () in
+  let cache = Tag_cache.create pm in
+  let fs = [ Physmem.alloc pm; Physmem.alloc pm; Physmem.alloc pm ] in
+  Tag_cache.put cache { Tag_cache.base = 0x5000; pages = 3; frames = fs };
+  List.iter (fun f -> Physmem.decref pm f) fs;
+  check Alcotest.int "nothing scrubbed yet" 0 (Tag_cache.scrubbed_pages cache);
+  ignore (Tag_cache.take cache ~pages:3);
+  check Alcotest.int "every reused page scrubbed" 3 (Tag_cache.scrubbed_pages cache)
+
 let test_tag_cache_disabled () =
   let pm = Physmem.create () in
   let cache = Tag_cache.create ~enabled:false pm in
@@ -282,6 +295,7 @@ let () =
           Alcotest.test_case "hit and scrub" `Quick test_tag_cache_hit_and_scrub;
           Alcotest.test_case "no scrub leaks" `Quick test_tag_cache_no_scrub_leaks;
           Alcotest.test_case "exact size class" `Quick test_tag_cache_size_class_exact;
+          Alcotest.test_case "scrub counter" `Quick test_tag_cache_scrub_counter;
           Alcotest.test_case "disabled" `Quick test_tag_cache_disabled;
         ] );
     ]
