@@ -23,4 +23,15 @@ fi
 echo "== bench tlb (smoke) =="
 WEDGE_TLB_SMOKE=1 dune exec bench/main.exe -- tlb
 
+# Observability gate: export a demo trace through the CLI and
+# schema-validate it (the trace subcommand exits nonzero when the export
+# fails Chrome-trace validation).  Byte-identical determinism across two
+# seeded runs is asserted separately by examples/trace_demo.exe in
+# @runtest above.
+echo "== trace export (smoke) =="
+trace_out="$(mktemp /tmp/wedge-smoke-XXXXXX.trace.json)"
+WEDGE_TRACE_SMOKE=1 dune exec bin/wedge_cli.exe -- trace httpd -n 25 -o "$trace_out"
+test -s "$trace_out"
+rm -f "$trace_out"
+
 echo "check.sh: all green"

@@ -176,9 +176,102 @@ let run_stats partition =
   Format.printf "%a@." Stats.pp k.Kernel.stats;
   0
 
-(* ---------------- trace: cb-log + cb-analyze over a saved file -------- *)
+(* ---------------- trace: Chrome-JSON export of a demo run ------------- *)
 
-let run_trace out query fn =
+let run_chrome_trace demo out connections =
+  let module Trace = Wedge_sim.Trace in
+  let module Metrics = Wedge_sim.Metrics in
+  let module Guard = Wedge_net.Guard in
+  let module Cost_model = Wedge_sim.Cost_model in
+  let k = Kernel.create ~costs:Cost_model.default () in
+  Trace.arm ~capacity:(1 lsl 18) k.Kernel.trace;
+  let m = Metrics.create () in
+  let serve_httpd () =
+    let env = Wedge_httpd.Httpd_env.install ~image_pages:80 k in
+    W.register_metrics m env.Wedge_httpd.Httpd_env.app;
+    let guard = Guard.create ~clock:k.Kernel.clock ~max_conns:16 ~trace:k.Kernel.trace () in
+    Guard.register_metrics m guard;
+    Fiber.run (fun () ->
+        let l =
+          Chan.listener ~clock:k.Kernel.clock ~costs:Cost_model.default
+            ~trace:k.Kernel.trace ()
+        in
+        Chan.register_metrics m l;
+        Fiber.spawn (fun () ->
+            Guard.accept_loop guard l
+              ~reject:(fun _ ep -> Chan.close ep)
+              ~serve:(fun conn ->
+                ignore (Wedge_httpd.Httpd_simple.serve_connection env (Guard.ep conn))));
+        let resolved = ref 0 in
+        for i = 1 to connections do
+          Fiber.spawn (fun () ->
+              Fiber.wait_until ~what:"window" (fun () -> !resolved >= i - 12);
+              (match Chan.connect l with
+              | exception Chan.Refused _ -> ()
+              | ep ->
+                  ignore
+                    (Wedge_httpd.Https_client.get ~rng:(Drbg.create ~seed:(1000 + i))
+                       ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html"
+                       ep));
+              incr resolved)
+        done;
+        Fiber.wait_until ~what:"clients resolved" (fun () -> !resolved = connections);
+        Guard.drain guard l)
+  in
+  let serve_pop3 () =
+    Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+    let app = W.create_app k in
+    W.boot app;
+    let main = W.main_ctx app in
+    W.register_metrics m app;
+    let guard = Guard.create ~clock:k.Kernel.clock ~max_conns:8 ~trace:k.Kernel.trace () in
+    Guard.register_metrics m guard;
+    Fiber.run (fun () ->
+        let l =
+          Chan.listener ~clock:k.Kernel.clock ~costs:Cost_model.default
+            ~trace:k.Kernel.trace ()
+        in
+        Chan.register_metrics m l;
+        Fiber.spawn (fun () -> Wedge_pop3.Pop3_wedge.serve_loop main guard l);
+        let resolved = ref 0 in
+        for i = 1 to connections do
+          Fiber.spawn (fun () ->
+              Fiber.wait_until ~what:"window" (fun () -> !resolved >= i - 6);
+              (match Chan.connect l with
+              | exception Chan.Refused _ -> ()
+              | ep ->
+                  let c = Wedge_pop3.Pop3_client.connect ep in
+                  ignore
+                    (Wedge_pop3.Pop3_client.login c ~user:"alice" ~password:"wonderland");
+                  ignore (Wedge_pop3.Pop3_client.stat c);
+                  Wedge_pop3.Pop3_client.quit c;
+                  Chan.close ep);
+              incr resolved)
+        done;
+        Fiber.wait_until ~what:"clients resolved" (fun () -> !resolved = connections);
+        Guard.drain guard l)
+  in
+  (match demo with "pop3" -> serve_pop3 () | _ -> serve_httpd ());
+  let json = Trace.to_chrome_json k.Kernel.trace in
+  match Trace.validate_chrome_json json with
+  | Error e ->
+      Printf.eprintf "trace: export failed schema validation: %s\n" e;
+      1
+  | Ok () ->
+      let oc = open_out out in
+      output_string oc json;
+      close_out oc;
+      Printf.printf
+        "trace: %d %s connections -> %s (%d events, %d dropped, %d bytes)\n"
+        connections demo out (Trace.recorded k.Kernel.trace)
+        (Trace.dropped k.Kernel.trace) (String.length json);
+      print_endline "load it in chrome://tracing or https://ui.perfetto.dev";
+      Printf.printf "metrics: %s\n" (Metrics.to_json m);
+      0
+
+(* ---------------- cblog: cb-log + cb-analyze over a saved file -------- *)
+
+let run_cblog out query fn =
   let module Cb_log = Wedge_crowbar.Cb_log in
   let module Cb_analyze = Wedge_crowbar.Cb_analyze in
   let module Trace = Wedge_crowbar.Trace in
@@ -266,6 +359,26 @@ let stats_cmd =
     Term.(const run_stats $ partition_arg [ "mitm"; "simple"; "mono" ])
 
 let trace_cmd =
+  let demo =
+    Arg.(value & pos 0 (enum [ ("httpd", "httpd"); ("pop3", "pop3") ]) "httpd"
+         & info [] ~docv:"DEMO" ~doc:"Workload to trace: httpd | pop3")
+  in
+  let out =
+    Arg.(value & opt string "" & info [ "out"; "o" ] ~doc:"Output path (default DEMO.trace.json)")
+  in
+  let connections =
+    Arg.(value & opt int 100 & info [ "connections"; "n" ] ~doc:"Client connections to drive")
+  in
+  let run demo out connections =
+    let out = if out = "" then demo ^ ".trace.json" else out in
+    run_chrome_trace demo out connections
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a demo workload with tracing armed and export Chrome trace JSON")
+    Term.(const run $ demo $ out $ connections)
+
+let cblog_cmd =
   let out =
     Arg.(value & opt string "/tmp/wedge.cblog" & info [ "out"; "o" ] ~doc:"Trace file path")
   in
@@ -277,12 +390,12 @@ let trace_cmd =
     Arg.(value & opt string "handle_request" & info [ "fn" ] ~doc:"Procedure to query")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"cb-log one HTTPS request to a file and run a cb-analyze query on it")
-    Term.(const run_trace $ out $ query $ fn)
+    (Cmd.info "cblog" ~doc:"cb-log one HTTPS request to a file and run a cb-analyze query on it")
+    Term.(const run_cblog $ out $ query $ fn)
 
 let () =
   let doc = "Wedge (NSDI 2008) reproduction - partitioned-application demos" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "wedge_cli" ~doc)
-          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd ]))
+          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd; cblog_cmd ]))

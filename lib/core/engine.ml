@@ -7,6 +7,8 @@
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
 module Stats = Wedge_sim.Stats
+module Trace = Wedge_sim.Trace
+module Metrics = Wedge_sim.Metrics
 module Instr = Wedge_sim.Instr
 module Kernel = Wedge_kernel.Kernel
 module Vm = Wedge_kernel.Vm
@@ -27,16 +29,32 @@ module Rlimit = Wedge_kernel.Rlimit
 exception Privilege_violation of string
 exception Exit_sthread of int
 
+exception Heap_corruption of string
+(* What [sfree] raises when the allocator's pointer validation rejects a
+   wild or corrupted chunk: the glibc-abort analogue.  A hostile peer
+   compartment can scribble over shared tagged memory, so the victim
+   detecting the damage at free time must die contained (SIGABRT), not
+   crash the application as a programming error. *)
+
 (* The exception classes that kill a compartment without propagating —
    the simulated SIGSEGV/SIGKILL family.  Everything else (including
-   [Privilege_violation], a policy bug in the caller) propagates. *)
-let fault_reason = function
+   [Privilege_violation], a policy bug in the caller) propagates.
+   Layers above this one (wedge_net, invisible from here) register their
+   own contained classes at module initialisation: a refused connection,
+   for instance, is an environmental condition a supervised compartment
+   must die from cleanly, not a programming error. *)
+let extra_fault_classes : (exn -> string option) list ref = ref []
+let register_fault_class f = extra_fault_classes := f :: !extra_fault_classes
+
+let fault_reason e =
+  match e with
   | Vm.Fault f -> Some (Vm.fault_to_string f)
   | Kernel.Eperm msg -> Some msg
   | Physmem.Enomem -> Some "out of memory"
   | Fault_plan.Injected msg -> Some msg
   | Rlimit.Resource_exhausted msg -> Some msg
-  | _ -> None
+  | Heap_corruption msg -> Some msg
+  | _ -> List.find_map (fun f -> f e) !extra_fault_classes
 
 let page_size = Physmem.page_size
 
@@ -120,6 +138,14 @@ let kernel app = app.kernel
 let app_of ctx = ctx.app
 let proc ctx = ctx.proc
 let pid ctx = ctx.proc.Process.pid
+let ktrace ctx = ctx.app.kernel.Kernel.trace
+
+(* Record an instant against the caller's pid; the single [enabled]
+   branch is the entire disabled-path cost, so callers pass only
+   pre-built names here (dynamic names must guard themselves). *)
+let trace_instant ctx name =
+  let tr = ktrace ctx in
+  if Trace.enabled tr then Trace.instant tr ~name ~pid:ctx.proc.Process.pid
 let getuid ctx = ctx.proc.Process.uid
 let booted app = app.booted
 let violation fmt = Printf.ksprintf (fun s -> raise (Privilege_violation s)) fmt
@@ -347,6 +373,13 @@ let map_grants parent (child : Process.t) (sc : Sc.t) =
 let run_compartment ctx fn arg =
   let cm = costs ctx in
   charge ctx (cm.Cost_model.context_switch + cm.Cost_model.tlb_flush);
+  let tr = ktrace ctx in
+  (* Span named by the compartment kind ("sthread", "cgate", ...), pid =
+     the compartment's own process — what attributes trace time to the
+     right box in the Chrome view. *)
+  let span = Process.kind_to_string ctx.proc.Process.kind in
+  if Trace.enabled tr then
+    Trace.span_begin tr ~name:span ~pid:ctx.proc.Process.pid;
   let result =
     match fn ctx arg with
     | v ->
@@ -360,9 +393,12 @@ let run_compartment ctx fn arg =
         | Some reason ->
             ctx.proc.Process.status <- Process.Faulted reason;
             stat ctx "fault.compartment";
+            trace_instant ctx "compartment.fault";
             None
         | None -> raise e)
   in
+  if Trace.enabled tr then
+    Trace.span_end tr ~name:span ~pid:ctx.proc.Process.pid;
   charge ctx cm.Cost_model.context_switch;
   result
 
@@ -379,6 +415,7 @@ let sthread_create ?instr parent (sc : Sc.t) fn arg =
   map_pristine parent.app child.Process.vm;
   map_grants parent child sc;
   let cctx = make_ctx parent.app child sc (Option.value instr ~default:parent.instr) in
+  trace_instant cctx "sthread.create";
   let handle = { h_proc = child; h_result = None } in
   handle.h_result <- run_compartment cctx fn arg;
   Kernel.reap parent.app.kernel child;
@@ -386,6 +423,7 @@ let sthread_create ?instr parent (sc : Sc.t) fn arg =
 
 let sthread_join parent handle =
   Kernel.syscall_check parent.app.kernel parent.proc "sthread_join";
+  trace_instant parent "sthread.join";
   match (handle.h_result, handle.h_proc.Process.status) with
   | Some v, _ -> v
   | None, Process.Faulted _ -> -1
@@ -559,14 +597,24 @@ let malloc ctx size =
       ctx.instr.Instr.on_alloc ptr size Instr.Heap;
       ptr
 
+(* The allocator rejects wild/corrupted pointers with [Invalid_argument];
+   inside a compartment that must become a contained abort — a hostile
+   peer with write access to the same tag can manufacture the corruption,
+   and the victim detecting it must not take the whole application down. *)
+let checked_free ctx ~base ptr =
+  try Smalloc.free ctx.proc.Process.vm ~base ptr
+  with Invalid_argument msg ->
+    stat ctx "fault.heap_corruption";
+    raise (Heap_corruption msg)
+
 let sfree ctx ptr =
   charge ctx (costs ctx).Cost_model.malloc_op;
   ctx.instr.Instr.on_free ptr;
   match Tag.find_by_addr ctx.app.tags ptr with
-  | Some tag -> Smalloc.free ctx.proc.Process.vm ~base:tag.Tag.base ptr
+  | Some tag -> checked_free ctx ~base:tag.Tag.base ptr
   | None ->
       if ptr >= Layout.heap_base && ptr < Layout.heap_base + (Layout.heap_pages * page_size)
-      then Smalloc.free ctx.proc.Process.vm ~base:Layout.heap_base ptr
+      then checked_free ctx ~base:Layout.heap_base ptr
       else invalid_arg (Printf.sprintf "sfree: 0x%x is not in a tag or the heap" ptr)
 
 let free = sfree
@@ -706,6 +754,17 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
   charge caller cm.Cost_model.cgate_validate;
   (* The extra permissions must be a subset of the caller's own (§4.1). *)
   validate_sc caller perms;
+  (* Callgate span, attributed to the invoking pid; the gate body itself
+     shows up nested (the non-recycled path runs through
+     [run_compartment], which opens a "cgate" span on the gate's pid).
+     The name is dynamic, so build it only when armed. *)
+  let tr = ktrace caller in
+  let span = if Trace.enabled tr then "cgate:" ^ g.g_name else "" in
+  if Trace.enabled tr then Trace.span_begin tr ~name:span ~pid:(pid caller);
+  let finish result =
+    if Trace.enabled tr then Trace.span_end tr ~name:span ~pid:(pid caller);
+    result
+  in
   let started_ns = Clock.now (clock caller) in
   (* A gate that overruns its deadline is treated as hung: the caller gets
      -1 after the gate's work has been charged to the clock (the timeout
@@ -797,7 +856,7 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
     if final = -1 && result <> -1 then
       (* Deadline overrun with the member still alive: treat it as hung. *)
       discard_and_respawn "callgate deadline exceeded";
-    final
+    finish final
   end
   else begin
     let gctx = build_gate_proc caller g Process.Cgate in
@@ -811,7 +870,7 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
           -1
     in
     Kernel.reap caller.app.kernel gctx.proc;
-    apply_deadline result
+    finish (apply_deadline result)
   end
 
 let gate_name ctx gid = (gate_of ctx gid).g_name
@@ -1080,3 +1139,17 @@ let set_tag_cache app enabled = Tag_cache.set_enabled app.tag_cache enabled
 let tag_cache_hits app = Tag_cache.hits app.tag_cache
 let tag_cache_misses app = Tag_cache.misses app.tag_cache
 let find_tag_by_addr app addr = Tag.find_by_addr app.tags addr
+
+(* The application's whole counter surface in one registry: everything
+   the kernel sees (stats, TLB, fault plan) plus the tag-cache counters
+   only the engine can reach. *)
+let register_metrics m app =
+  Kernel.register_metrics m app.kernel;
+  Metrics.register m ~name:"tag_cache" ~kind:Metrics.Counter (fun () ->
+      [
+        ("tag_cache.hits", Tag_cache.hits app.tag_cache);
+        ("tag_cache.misses", Tag_cache.misses app.tag_cache);
+        ("tag_cache.scrubbed_pages", Tag_cache.scrubbed_pages app.tag_cache);
+      ]);
+  Metrics.register m ~name:"engine" (fun () ->
+      [ ("tags.live", List.length (Tag.live_tags app.tags)) ])

@@ -43,6 +43,7 @@ let supervise ?(policy = default_policy) ctx run =
     let faulted reason =
       if attempt <= policy.max_restarts then begin
         Engine.stat ctx "supervisor.restart";
+        Engine.trace_instant ctx "supervisor.restart";
         (* Exponential backoff, charged to the simulated clock: 1x, 2x,
            4x ... of [backoff_ns]. *)
         Engine.charge_app ctx (policy.backoff_ns * (1 lsl (attempt - 1)));
@@ -50,6 +51,7 @@ let supervise ?(policy = default_policy) ctx run =
       end
       else begin
         Engine.stat ctx "supervisor.gave_up";
+        Engine.trace_instant ctx "supervisor.gave_up";
         Gave_up { attempts = attempt; last_fault = reason }
       end
     in

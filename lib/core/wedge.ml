@@ -6,6 +6,7 @@ type gate_id = Engine.gate_id
 exception Privilege_violation = Engine.Privilege_violation
 exception Exit_sthread = Engine.Exit_sthread
 exception Fd_error = Engine.Fd_error
+exception Heap_corruption = Engine.Heap_corruption
 
 let create_app ?image_pages kernel = Engine.create_app ?image_pages kernel
 let main_ctx = Engine.main_ctx
@@ -66,7 +67,10 @@ let write_lv = Engine.write_lv
 let read_lv = Engine.read_lv
 let charge_app = Engine.charge_app
 let stat = Engine.stat
+let trace_instant = Engine.trace_instant
+let register_metrics = Engine.register_metrics
 let fault_reason = Engine.fault_reason
+let register_fault_class = Engine.register_fault_class
 let can_read = Engine.can_read
 let can_write = Engine.can_write
 

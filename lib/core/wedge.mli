@@ -42,6 +42,13 @@ exception Privilege_violation of string
 
 exception Exit_sthread of int
 
+exception Heap_corruption of string
+(** {!sfree}/{!free} detected a wild or corrupted chunk (the allocator's
+    pointer validation failed).  Contained like SIGABRT: the compartment
+    dies, the application survives — a hostile peer with write access to
+    the same tag must not be able to crash the whole program by
+    corrupting chunk headers. *)
+
 (** {1 Application lifecycle} *)
 
 val create_app : ?image_pages:int -> Wedge_kernel.Kernel.t -> app
@@ -199,11 +206,27 @@ val stat : ctx -> string -> unit
 (** Bump a named counter in the kernel's stats table (how servers surface
     fault/recovery counts). *)
 
+val trace_instant : ctx -> string -> unit
+(** Record an instant event attributed to the calling compartment's pid
+    in the kernel's trace (one branch when tracing is disarmed). *)
+
+val register_metrics : Wedge_sim.Metrics.t -> app -> unit
+(** Register every counter surface of this application with a metrics
+    registry: kernel stats (traps, faults, supervisor, reaped TLB),
+    live per-process TLB counters, the fault plan when one is attached,
+    and the engine's tag-cache counters.  One
+    {!Wedge_sim.Metrics.snapshot} then reads the whole system. *)
+
 val fault_reason : exn -> string option
 (** [Some reason] iff the exception is in the fault class that terminates
     a compartment (protection fault, SELinux denial, frame exhaustion,
     quota exhaustion, injected fault) rather than a programming error.
     What monitors use to guard their own per-connection setup work. *)
+
+val register_fault_class : (exn -> string option) -> unit
+(** Extend the contained-fault class with a layer-specific exception
+    (e.g. a refused connection): the callback returns [Some reason] for
+    exceptions that should terminate a compartment cleanly. *)
 
 val can_read : ctx -> addr:int -> len:int -> bool
 val can_write : ctx -> addr:int -> len:int -> bool

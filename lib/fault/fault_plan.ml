@@ -89,6 +89,10 @@ let armed t = t.armed
 let site_ops t ~site =
   match Hashtbl.find_opt t.rules site with Some r -> r.count | None -> 0
 
+let site_op_counts t =
+  Hashtbl.fold (fun site r acc -> (site, r.count) :: acc) t.rules []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let injections t = t.injected
 let trace t = Buffer.contents t.trace_buf
 

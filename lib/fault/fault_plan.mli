@@ -62,6 +62,10 @@ val fail : site:string -> kind -> 'a
 val site_ops : t -> site:string -> int
 (** Armed operations seen at a site so far. *)
 
+val site_op_counts : t -> (string * int) list
+(** All sites with a rule and their op counts, sorted by site name — what
+    a metrics registry exports. *)
+
 val injections : t -> int
 (** Total faults fired. *)
 

@@ -1,6 +1,8 @@
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
 module Stats = Wedge_sim.Stats
+module Trace = Wedge_sim.Trace
+module Metrics = Wedge_sim.Metrics
 
 exception Eperm of string
 
@@ -11,19 +13,22 @@ type t = {
   vfs : Vfs.t;
   selinux : Selinux.t;
   stats : Stats.t;
+  trace : Trace.t;
   faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
 }
 
 let create ?(costs = Cost_model.default) ?faults ?max_frames () =
+  let clock = Clock.create () in
   {
     pm = Physmem.create ?faults ?max_frames ();
-    clock = Clock.create ();
+    clock;
     costs;
     vfs = Vfs.create ();
     selinux = Selinux.create ();
     stats = Stats.create ();
+    trace = Trace.create ~clock ();
     faults;
     next_pid = 1;
     procs = Hashtbl.create 32;
@@ -48,7 +53,9 @@ let new_process t ?limits ~kind ~uid ~root ~sid () =
       uid;
       root;
       sid;
-      vm = Vm.create ?faults:t.faults ?limits:vm_limits ~pid t.pm t.clock t.costs;
+      vm =
+        Vm.create ?faults:t.faults ?limits:vm_limits ~trace:t.trace ~pid t.pm
+          t.clock t.costs;
       fds = Fd_table.create ?limits:vm_limits ();
       limits;
       status = Process.Running;
@@ -77,6 +84,10 @@ let reap t (p : Process.t) =
 
 let syscall_check t (p : Process.t) name =
   trap t name;
+  (* The [enabled] guard keeps the disabled path free of the string
+     concatenation below. *)
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~name:("sys." ^ name) ~pid:p.Process.pid;
   (* One unit of syscall fuel per trap: a compartment in a hostile loop
      burns out deterministically instead of spinning forever. *)
   Rlimit.charge_fuel p.Process.limits 1;
@@ -88,3 +99,25 @@ let syscall_check t (p : Process.t) name =
 
 let live_processes t =
   Hashtbl.fold (fun _ p n -> if Process.is_alive p then n + 1 else n) t.procs 0
+
+(* Registry sources covering everything the kernel can see: its own stats
+   table (traps, compartment faults, supervisor counters, reaped TLB
+   totals) plus the live per-process TLB counters not yet folded in by
+   [reap].  [Metrics.snapshot] sums duplicate keys, so live + reaped
+   under "tlb.hit"/"tlb.miss"/"tlb.shootdown" reads as the true total.
+   The attached fault plan, when present, registers its own source. *)
+let register_metrics m t =
+  Metrics.register_stats m ~name:"kernel.stats" t.stats;
+  Metrics.register m ~name:"kernel.tlb" ~kind:Metrics.Counter (fun () ->
+      let hit = ref 0 and miss = ref 0 and shoot = ref 0 in
+      iter_processes t (fun p ->
+          let vm = p.Process.vm in
+          hit := !hit + Vm.tlb_hits vm;
+          miss := !miss + Vm.tlb_misses vm;
+          shoot := !shoot + Vm.tlb_shootdowns vm);
+      [ ("tlb.hit", !hit); ("tlb.miss", !miss); ("tlb.shootdown", !shoot) ]);
+  Metrics.register m ~name:"kernel.procs" (fun () ->
+      [ ("kernel.live_processes", live_processes t) ]);
+  match t.faults with
+  | Some plan -> Metrics.register_fault_plan m plan
+  | None -> ()

@@ -13,6 +13,7 @@ type t = {
   vfs : Vfs.t;
   selinux : Selinux.t;
   stats : Wedge_sim.Stats.t;
+  trace : Wedge_sim.Trace.t;
   faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
@@ -61,7 +62,15 @@ val reap : t -> Process.t -> unit
     before destroying it. *)
 
 val syscall_check : t -> Process.t -> string -> unit
-(** Enforce the caller's SELinux policy for a named system call.
+(** Enforce the caller's SELinux policy for a named system call.  With
+    {!field-trace} armed, records a ["sys.<name>"] instant attributed to
+    the calling pid.
     @raise Eperm when denied. *)
 
 val live_processes : t -> int
+
+val register_metrics : Wedge_sim.Metrics.t -> t -> unit
+(** Register this kernel's counters with a metrics registry: the stats
+    table, live per-process TLB counters (summed with the reaped totals
+    under the same keys), a live-process gauge, and — when a fault plan
+    is attached — its injection and per-site op counts. *)

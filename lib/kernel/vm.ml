@@ -53,6 +53,9 @@ type t = {
   costs : Cost_model.t;
   faults : Wedge_fault.Fault_plan.t option;
   limits : Rlimit.t option;
+  trace : Wedge_sim.Trace.t;
+      (* instrumented off the fast path only: misses and shootdowns, not
+         hits — an armed trace never slows the hit path *)
   owned : (int, unit) Hashtbl.t;
       (* vpns whose frames were charged to [limits]: fresh mappings and
          private COW copies.  Shared mappings (pristine snapshot, tag
@@ -63,7 +66,7 @@ type t = {
   mutable tlb_shootdown_n : int;
 }
 
-let create ?faults ?limits ~pid pm clock costs =
+let create ?faults ?limits ?(trace = Wedge_sim.Trace.null) ~pid pm clock costs =
   {
     pid;
     pm;
@@ -72,6 +75,7 @@ let create ?faults ?limits ~pid pm clock costs =
     costs;
     faults;
     limits;
+    trace;
     owned = Hashtbl.create 64;
     tlb =
       Array.init tlb_slots (fun _ ->
@@ -107,7 +111,8 @@ let tlb_invalidate t ~vpn =
   if e.e_vpn = vpn then begin
     e.e_vpn <- -1;
     t.tlb_shootdown_n <- t.tlb_shootdown_n + 1;
-    Clock.charge t.clock t.costs.Cost_model.tlb_shootdown
+    Clock.charge t.clock t.costs.Cost_model.tlb_shootdown;
+    Wedge_sim.Trace.instant t.trace ~name:"tlb.shootdown" ~pid:t.pid
   end
 
 let tlb_flush t =
@@ -301,6 +306,7 @@ let page_for t addr access check =
   else begin
     t.tlb_miss_n <- t.tlb_miss_n + 1;
     Clock.charge t.clock t.costs.Cost_model.tlb_miss;
+    Wedge_sim.Trace.instant t.trace ~name:"tlb.miss" ~pid:t.pid;
     let pte = pte_for t addr access check in
     tlb_fill t vpn pte;
     Physmem.get t.pm pte.Pagetable.frame

@@ -37,6 +37,7 @@ type t
 val create :
   ?faults:Wedge_fault.Fault_plan.t ->
   ?limits:Rlimit.t ->
+  ?trace:Wedge_sim.Trace.t ->
   pid:int ->
   Physmem.t ->
   Wedge_sim.Clock.t ->
@@ -48,7 +49,10 @@ val create :
     [limits] charges a frame-quota unit for every private frame this
     address space allocates ({!map_fresh} pages and COW copies; shared
     mappings are free), released again on unmap/destroy.  Exhaustion
-    raises {!Rlimit.Resource_exhausted}. *)
+    raises {!Rlimit.Resource_exhausted}.  [trace] (default
+    {!Wedge_sim.Trace.null}) records ["tlb.miss"]/["tlb.shootdown"]
+    instants attributed to [pid] — off the TLB-hit fast path, which is
+    never instrumented. *)
 
 val pid : t -> int
 val page_table : t -> Pagetable.t

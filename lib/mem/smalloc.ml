@@ -105,11 +105,38 @@ let alloc vm ~base n =
   else set_chunk vm c ~size:csize ~inuse:true;
   c + 8
 
-let free vm ~base ptr =
+(* Validate a caller-supplied user pointer before trusting the boundary
+   tags around it.  A wild in-segment pointer whose word happens to carry
+   the in-use bit would otherwise be accepted by [free] and silently
+   corrupt the free list — the allocator must reject it as a programming
+   error, not propagate the corruption.  Checks: alignment, range within
+   [first_chunk, seg_end), a sane header (size >= min_chunk, chunk fits
+   in the segment), and header/footer agreement. *)
+let checked_chunk vm ~base ~op ptr =
   assert_magic vm base;
   let seg_end = Vm.read_u64 vm (hd_end base) in
+  if ptr land 7 <> 0 then
+    invalid_arg (Printf.sprintf "Smalloc.%s: misaligned pointer 0x%x" op ptr);
   let c = ptr - 8 in
+  if c < first_chunk base || c >= seg_end then
+    invalid_arg
+      (Printf.sprintf "Smalloc.%s: pointer 0x%x outside segment [0x%x, 0x%x)"
+         op ptr (first_chunk base + 8) seg_end);
   let w = chunk_size_word vm c in
+  let size = size_of w in
+  if size < min_chunk || c + size > seg_end then
+    invalid_arg
+      (Printf.sprintf "Smalloc.%s: corrupt or wild pointer 0x%x (chunk size %d)"
+         op ptr size);
+  let fw = Vm.read_u64 vm (c + size - 8) in
+  if fw <> w then
+    invalid_arg
+      (Printf.sprintf "Smalloc.%s: header/footer mismatch at 0x%x (not a chunk?)"
+         op ptr);
+  (c, w, seg_end)
+
+let free vm ~base ptr =
+  let c, w, seg_end = checked_chunk vm ~base ~op:"free" ptr in
   if not (is_inuse w) then invalid_arg (Printf.sprintf "Smalloc.free: double free at 0x%x" ptr);
   let csize = size_of w in
   (* Coalesce with successor. *)
@@ -137,8 +164,8 @@ let free vm ~base ptr =
   set_chunk vm c ~size:csize ~inuse:false;
   fl_push vm ~base c
 
-let usable_size vm ~ptr =
-  let w = chunk_size_word vm (ptr - 8) in
+let usable_size vm ~base ~ptr =
+  let _, w, _ = checked_chunk vm ~base ~op:"usable_size" ptr in
   if not (is_inuse w) then invalid_arg "Smalloc.usable_size: free chunk";
   size_of w - 16
 

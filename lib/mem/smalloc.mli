@@ -33,10 +33,14 @@ val alloc : Wedge_kernel.Vm.t -> base:int -> int -> int
 
 val free : Wedge_kernel.Vm.t -> base:int -> int -> unit
 (** [free vm ~base ptr] releases an allocation, coalescing with free
-    neighbours. *)
+    neighbours.  [ptr] is validated before the allocator trusts its
+    boundary tags — alignment, range within the segment, sane header,
+    header/footer agreement.
+    @raise Invalid_argument on a wild/corrupt pointer or double free. *)
 
-val usable_size : Wedge_kernel.Vm.t -> ptr:int -> int
-(** Usable bytes of a live allocation. *)
+val usable_size : Wedge_kernel.Vm.t -> base:int -> ptr:int -> int
+(** Usable bytes of a live allocation; validates [ptr] like {!free}.
+    @raise Invalid_argument on a wild/corrupt/free pointer. *)
 
 val free_bytes : Wedge_kernel.Vm.t -> base:int -> int
 (** Total bytes on the free list (for tests). *)

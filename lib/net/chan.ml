@@ -1,11 +1,22 @@
 module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
+module Trace = Wedge_sim.Trace
+module Metrics = Wedge_sim.Metrics
 module Fd_table = Wedge_kernel.Fd_table
 module Rlimit = Wedge_kernel.Rlimit
 module Fault_plan = Wedge_fault.Fault_plan
 
 exception Refused of string
+
+(* A refused connection is an environmental condition, not a programming
+   error: a supervised compartment that reconnects during/after a drain
+   must die contained (and restartable), exactly like a reset.  Register
+   [Refused] with the engine's contained-fault class at link time. *)
+let () =
+  Wedge_core.Engine.register_fault_class (function
+    | Refused msg -> Some msg
+    | _ -> None)
 
 (* One direction of flow: a byte FIFO with a close flag.  [reset] marks a
    close forced by fault injection: readers still see EOF, but writers get
@@ -55,6 +66,7 @@ type ep = {
   clock : Clock.t option;
   costs : Cost_model.t;
   faults : Fault_plan.t option;
+  trace : Trace.t;
   capacity : int option;
       (* high watermark on in-flight bytes per direction: a writer blocks
          on the fiber scheduler above it and resumes at half (the low
@@ -62,13 +74,18 @@ type ep = {
          bound *)
 }
 
-let pair ?clock ?(costs = Cost_model.default) ?faults ?capacity () =
+(* Channel events are attributed to pid 0 — the wire itself, not any
+   compartment; the tid (scheduler fiber) tells connections apart. *)
+let net_pid = 0
+
+let pair ?clock ?(costs = Cost_model.default) ?faults ?(trace = Trace.null)
+    ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Chan.pair: capacity <= 0"
   | _ -> ());
   let ab = dir_create () and ba = dir_create () in
-  ( { rx = ba; tx = ab; clock; costs; faults; capacity },
-    { rx = ab; tx = ba; clock; costs; faults; capacity } )
+  ( { rx = ba; tx = ab; clock; costs; faults; trace; capacity },
+    { rx = ab; tx = ba; clock; costs; faults; trace; capacity } )
 
 let charge_rtt ep half =
   match ep.clock with
@@ -123,6 +140,7 @@ let read ep n =
       dir_available ep.rx > 0 || ep.rx.closed);
   if blocked then charge_rtt ep true;
   let b = dir_pop ep.rx n in
+  Trace.count ep.trace ~name:"chan.read" ~pid:net_pid ~value:(Bytes.length b);
   (* Draining counts as global progress: a writer blocked on the high
      watermark must see its space appear as forward motion, not a stall. *)
   if Bytes.length b > 0 then Fiber.progress ();
@@ -210,6 +228,7 @@ let write ep b =
       charge_delay ep ns;
       dir_push ep.tx b
   | None -> dir_push ep.tx b);
+  Trace.count ep.trace ~name:"chan.write" ~pid:net_pid ~value:(Bytes.length b);
   Fiber.progress ();
   Fiber.yield ()
 
@@ -236,7 +255,9 @@ let close ep =
 (* Forced teardown (RST): both directions die immediately.  Readers see
    EOF, writers get a contained [Injected] — what the admission layer
    uses to cut a connection past its deadline or at drain force-close. *)
-let abort ep = kill ep
+let abort ep =
+  Trace.instant ep.trace ~name:"chan.abort" ~pid:net_pid;
+  kill ep
 
 let is_eof ep = dir_available ep.rx = 0 && ep.rx.closed
 let bytes_in_flight ep = dir_available ep.rx
@@ -261,13 +282,14 @@ type listener = {
   lclock : Clock.t option;
   lcosts : Cost_model.t;
   lfaults : Fault_plan.t option;
+  ltrace : Trace.t;
   lcapacity : int option;
 }
 
 let default_backlog = 128
 
-let listener ?clock ?(costs = Cost_model.default) ?faults ?(backlog = default_backlog)
-    ?capacity () =
+let listener ?clock ?(costs = Cost_model.default) ?faults
+    ?(trace = Trace.null) ?(backlog = default_backlog) ?capacity () =
   if backlog <= 0 then invalid_arg "Chan.listener: backlog <= 0";
   {
     queue = Queue.create ();
@@ -277,37 +299,53 @@ let listener ?clock ?(costs = Cost_model.default) ?faults ?(backlog = default_ba
     lclock = clock;
     lcosts = costs;
     lfaults = faults;
+    ltrace = trace;
     lcapacity = capacity;
   }
 
+let refuse l msg =
+  l.refused <- l.refused + 1;
+  Trace.instant l.ltrace ~name:"chan.refused" ~pid:net_pid;
+  Fiber.progress ();
+  raise (Refused msg)
+
 let connect l =
-  if l.down then invalid_arg "Chan.connect: listener is down";
+  (* A down listener refuses like a full backlog: connecting to a server
+     that went away is an environmental condition the engine contains
+     (see the fault-class registration above), never [Invalid_argument]
+     — which would escape containment and kill the reconnecting
+     compartment's whole supervisor chain as a programming error. *)
+  if l.down then refuse l "Chan.connect: listener is down";
   (match Fault_plan.roll_opt l.lfaults ~site:"chan.connect" with
   | Some k -> Fault_plan.fail ~site:"chan.connect" k
   | None -> ());
   (* A full accept queue refuses the SYN outright — overflow connects
      must surface to the connecting fiber as a distinct error, never
      pile up unboundedly behind a server that will not accept them. *)
-  if Queue.length l.queue >= l.backlog then begin
-    l.refused <- l.refused + 1;
-    Fiber.progress ();
-    raise
-      (Refused
-         (Printf.sprintf "Chan.connect: backlog full (%d pending)" (Queue.length l.queue)))
-  end;
+  if Queue.length l.queue >= l.backlog then
+    refuse l
+      (Printf.sprintf "Chan.connect: backlog full (%d pending)"
+         (Queue.length l.queue));
   let client, server =
     match l.lclock with
-    | Some c -> pair ~clock:c ~costs:l.lcosts ?faults:l.lfaults ?capacity:l.lcapacity ()
-    | None -> pair ~costs:l.lcosts ?faults:l.lfaults ?capacity:l.lcapacity ()
+    | Some c ->
+        pair ~clock:c ~costs:l.lcosts ?faults:l.lfaults ~trace:l.ltrace
+          ?capacity:l.lcapacity ()
+    | None ->
+        pair ~costs:l.lcosts ?faults:l.lfaults ~trace:l.ltrace
+          ?capacity:l.lcapacity ()
   in
   Queue.push server l.queue;
+  Trace.instant l.ltrace ~name:"chan.connect" ~pid:net_pid;
   Fiber.progress ();
   client
 
 let accept l =
   Fiber.wait_until ~what:"incoming connection" (fun () ->
       not (Queue.is_empty l.queue) || l.down);
-  Queue.take_opt l.queue
+  let r = Queue.take_opt l.queue in
+  if Option.is_some r then Trace.instant l.ltrace ~name:"chan.accept" ~pid:net_pid;
+  r
 
 let shutdown l =
   l.down <- true;
@@ -319,3 +357,9 @@ let shutdown l =
 
 let pending l = Queue.length l.queue
 let refused l = l.refused
+
+let register_metrics ?(name = "chan.listener") m l =
+  Metrics.register m ~name ~kind:Metrics.Counter (fun () ->
+      [ ("chan.refused", l.refused) ]);
+  Metrics.register m ~name:(name ^ ".gauges") (fun () ->
+      [ ("chan.pending", Queue.length l.queue) ])

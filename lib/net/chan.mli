@@ -8,8 +8,10 @@
 
 exception Refused of string
 (** A connection attempt was refused: the listener's accept queue is at
-    its backlog.  Distinct from the [Invalid_argument] of connecting to a
-    listener that is down. *)
+    its backlog, or the listener is down (shut down / draining).  Part of
+    the engine's contained-fault class (registered at link time), so a
+    supervised compartment that reconnects after a drain dies contained —
+    and restartable — rather than as a programming error. *)
 
 type ep
 (** One end of a duplex channel. *)
@@ -18,6 +20,7 @@ val pair :
   ?clock:Wedge_sim.Clock.t ->
   ?costs:Wedge_sim.Cost_model.t ->
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?trace:Wedge_sim.Trace.t ->
   ?capacity:int ->
   unit ->
   ep * ep
@@ -84,21 +87,25 @@ val listener :
   ?clock:Wedge_sim.Clock.t ->
   ?costs:Wedge_sim.Cost_model.t ->
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?trace:Wedge_sim.Trace.t ->
   ?backlog:int ->
   ?capacity:int ->
   unit ->
   listener
 (** [faults] is inherited by every accepted connection; {!connect} itself
     rolls site ["chan.connect"] (a fired fault refuses the connection by
-    raising {!Wedge_fault.Fault_plan.Injected}).  [backlog] (default 128)
-    caps the accept queue: overflow connects raise {!Refused}.
-    [capacity] is inherited by every connection's two directions. *)
+    raising {!Wedge_fault.Fault_plan.Injected}).  [trace] records
+    ["chan.connect"/"chan.accept"/"chan.refused"] instants and is
+    inherited by every connection (["chan.read"/"chan.write"] counters,
+    ["chan.abort"] instants).  [backlog] (default 128) caps the accept
+    queue: overflow connects raise {!Refused}.  [capacity] is inherited
+    by every connection's two directions. *)
 
 val connect : listener -> ep
 (** Client side of a fresh connection; the server side is queued for
     {!accept}.
-    @raise Refused when the accept queue is at its backlog.
-    @raise Invalid_argument when the listener is down. *)
+    @raise Refused when the accept queue is at its backlog or the
+    listener is down ([refused] counts both). *)
 
 val accept : listener -> ep option
 (** Blocks until a connection arrives or the listener shuts down. *)
@@ -110,4 +117,10 @@ val shutdown : listener -> unit
 val pending : listener -> int
 
 val refused : listener -> int
-(** Connects refused over this listener's lifetime (backlog overflow). *)
+(** Connects refused over this listener's lifetime (backlog overflow or
+    down listener). *)
+
+val register_metrics : ?name:string -> Wedge_sim.Metrics.t -> listener -> unit
+(** Expose ["chan.refused"] (counter) and ["chan.pending"] (gauge) to a
+    metrics registry.  [name] (default ["chan.listener"]) keys the source
+    — pass distinct names to register several listeners. *)

@@ -15,13 +15,19 @@
 
 module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
+module Trace = Wedge_sim.Trace
+module Metrics = Wedge_sim.Metrics
 
 type t = {
   max_conns : int;
   header_deadline_ns : int option;
   idle_deadline_ns : int option;
   clock : Clock.t option;
+  trace : Trace.t;
   mutable conns : conn list;
+  mutable active_n : int;
+      (* |conns|, maintained at admit/release so the admission check is
+         O(1) — the list itself stays for drain/overdue iteration only *)
   mutable draining : bool;
   mutable admitted : int;
   mutable rejected_busy : int;
@@ -37,6 +43,9 @@ and conn = {
   mutable is_established : bool;
   mutable last_read_ns : int;
   mutable is_cut : bool;
+  mutable is_released : bool;
+      (* makes [release] idempotent without scanning the list to find
+         out whether this conn was still in it *)
 }
 
 type decision = Admitted of conn | Busy | Draining
@@ -56,7 +65,8 @@ type stats = {
 let guard_spins = 2_000
 let drain_spins = 5_000
 
-let create ?clock ?header_deadline_ns ?idle_deadline_ns ~max_conns () =
+let create ?clock ?header_deadline_ns ?idle_deadline_ns ?(trace = Trace.null)
+    ~max_conns () =
   if max_conns <= 0 then invalid_arg "Guard.create: max_conns <= 0";
   (match (header_deadline_ns, idle_deadline_ns, clock) with
   | (Some _, _, None | _, Some _, None) ->
@@ -67,7 +77,9 @@ let create ?clock ?header_deadline_ns ?idle_deadline_ns ~max_conns () =
     header_deadline_ns;
     idle_deadline_ns;
     clock;
+    trace;
     conns = [];
+    active_n = 0;
     draining = false;
     admitted = 0;
     rejected_busy = 0;
@@ -78,32 +90,53 @@ let create ?clock ?header_deadline_ns ?idle_deadline_ns ~max_conns () =
 
 let now t = match t.clock with Some c -> Clock.now c | None -> 0
 
+(* Guard events carry pid 0: admission happens before any compartment
+   exists for the connection. *)
+let guard_pid = 0
+
 let admit t ep =
   if t.draining then begin
     t.rejected_draining <- t.rejected_draining + 1;
+    Trace.instant t.trace ~name:"guard.reject.draining" ~pid:guard_pid;
     Draining
   end
-  else if List.length t.conns >= t.max_conns then begin
+  else if t.active_n >= t.max_conns then begin
     t.rejected_busy <- t.rejected_busy + 1;
+    Trace.instant t.trace ~name:"guard.reject.busy" ~pid:guard_pid;
     Busy
   end
   else begin
     let n = now t in
     let c =
-      { g = t; ep; opened_ns = n; is_established = false; last_read_ns = n; is_cut = false }
+      {
+        g = t;
+        ep;
+        opened_ns = n;
+        is_established = false;
+        last_read_ns = n;
+        is_cut = false;
+        is_released = false;
+      }
     in
     t.conns <- c :: t.conns;
+    t.active_n <- t.active_n + 1;
     t.admitted <- t.admitted + 1;
+    Trace.instant t.trace ~name:"guard.admit" ~pid:guard_pid;
     Admitted c
   end
 
 let release c =
-  let g = c.g in
-  let before = List.length g.conns in
-  g.conns <- List.filter (fun c' -> c' != c) g.conns;
-  (* Freeing a slot is global progress: an accept loop or drain waiting
-     on the connection count must not read this as a stall. *)
-  if List.length g.conns < before then Fiber.progress ()
+  (* Idempotent by flag, not by scanning: double releases (worker finally
+     + drain force-clear) must be cheap no-ops, not O(n) list walks. *)
+  if not c.is_released then begin
+    c.is_released <- true;
+    let g = c.g in
+    g.conns <- List.filter (fun c' -> c' != c) g.conns;
+    g.active_n <- g.active_n - 1;
+    (* Freeing a slot is global progress: an accept loop or drain waiting
+       on the connection count must not read this as a stall. *)
+    Fiber.progress ()
+  end
 
 let established c =
   c.is_established <- true;
@@ -130,6 +163,7 @@ let cut c =
   if not c.is_cut then begin
     c.is_cut <- true;
     c.g.timed_out <- c.g.timed_out + 1;
+    Trace.instant c.g.trace ~name:"guard.cut" ~pid:guard_pid;
     Chan.abort c.ep
   end
 
@@ -209,6 +243,7 @@ let accept_loop t l ~reject ~serve =
    workers have already been cut, their slots are forfeit. *)
 let drain ?deadline_ns t l =
   t.draining <- true;
+  Trace.span_begin t.trace ~name:"guard.drain" ~pid:guard_pid;
   Chan.shutdown l;
   let deadline =
     match (deadline_ns, t.clock) with
@@ -220,6 +255,7 @@ let drain ?deadline_ns t l =
   let force () =
     if not !forced then begin
       forced := true;
+      Trace.instant t.trace ~name:"guard.drain.forced" ~pid:guard_pid;
       List.iter
         (fun c ->
           if not c.is_cut then begin
@@ -230,13 +266,21 @@ let drain ?deadline_ns t l =
         t.conns
     end
   in
+  (* Already-forced stragglers whose workers never ran their finally:
+     their slots are forfeit — mark each released so a late [release]
+     stays a no-op and the active count agrees with the emptied list. *)
+  let forfeit () =
+    List.iter (fun c -> c.is_released <- true) t.conns;
+    t.conns <- [];
+    t.active_n <- 0
+  in
   let rec loop last spins =
     if t.conns <> [] then begin
       (match (deadline, t.clock) with
       | Some d, Some clk when Clock.now clk >= d -> force ()
       | _ -> ());
       if Fiber.stamp () = last && spins > drain_spins then
-        if !forced then t.conns <- []
+        if !forced then forfeit ()
         else begin
           force ();
           loop last 0
@@ -248,17 +292,30 @@ let drain ?deadline_ns t l =
       end
     end
   in
-  loop (Fiber.stamp ()) 0
+  loop (Fiber.stamp ()) 0;
+  Trace.span_end t.trace ~name:"guard.drain" ~pid:guard_pid
 
-let active t = List.length t.conns
+let active t = t.active_n
 let draining t = t.draining
 
 let stats t =
   {
-    s_active = List.length t.conns;
+    s_active = t.active_n;
     s_admitted = t.admitted;
     s_rejected_busy = t.rejected_busy;
     s_rejected_draining = t.rejected_draining;
     s_timed_out = t.timed_out;
     s_forced = t.forced;
   }
+
+let register_metrics ?(name = "guard") m t =
+  Metrics.register m ~name ~kind:Metrics.Counter (fun () ->
+      [
+        ("guard.admitted", t.admitted);
+        ("guard.rejected_busy", t.rejected_busy);
+        ("guard.rejected_draining", t.rejected_draining);
+        ("guard.timed_out", t.timed_out);
+        ("guard.forced", t.forced);
+      ]);
+  Metrics.register m ~name:(name ^ ".gauges") (fun () ->
+      [ ("guard.active", t.active_n) ])

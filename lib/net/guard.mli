@@ -28,14 +28,18 @@ val create :
   ?clock:Wedge_sim.Clock.t ->
   ?header_deadline_ns:int ->
   ?idle_deadline_ns:int ->
+  ?trace:Wedge_sim.Trace.t ->
   max_conns:int ->
   unit ->
   t
 (** [header_deadline_ns] bounds the time from admission to
     {!established} (e.g. handshake + first request line);
     [idle_deadline_ns] bounds the gap between reads thereafter.  Both
-    need [clock].  @raise Invalid_argument on a deadline without a clock
-    or [max_conns <= 0]. *)
+    need [clock].  [trace] records admission decisions
+    (["guard.admit"/"guard.reject.busy"/"guard.reject.draining"]), cuts
+    (["guard.cut"]) and a ["guard.drain"] span.
+    @raise Invalid_argument on a deadline without a clock or
+    [max_conns <= 0]. *)
 
 val admit : t -> Chan.ep -> decision
 (** Claim a slot.  [Busy] when at [max_conns], [Draining] once {!drain}
@@ -78,5 +82,14 @@ val drain : ?deadline_ns:int -> t -> Chan.listener -> unit
     passes or the system stalls.  Guaranteed to terminate. *)
 
 val active : t -> int
+(** Connections currently holding a slot — O(1), maintained at
+    admit/release (never a list walk). *)
+
 val draining : t -> bool
 val stats : t -> stats
+
+val register_metrics : ?name:string -> Wedge_sim.Metrics.t -> t -> unit
+(** Expose the admission counters (["guard.admitted"],
+    ["guard.rejected_busy"], ["guard.rejected_draining"],
+    ["guard.timed_out"], ["guard.forced"]) and the ["guard.active"]
+    gauge.  [name] (default ["guard"]) keys the source. *)

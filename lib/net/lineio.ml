@@ -139,7 +139,17 @@ let read_line t =
             None
           end
           else if t.eof then
-            if available t = 0 then None else Some (consume t (available t))
+            if available t = 0 then None
+            else begin
+              (* Final unterminated line: strip a trailing '\r' exactly
+                 like the newline path, so "QUIT\r" without a final '\n'
+                 parses as "QUIT", not as an unknown command. *)
+              let line = consume t (available t) in
+              let n = String.length line in
+              if n > 0 && line.[n - 1] = '\r' then
+                Some (String.sub line 0 (n - 1))
+              else Some line
+            end
           else begin
             refill t;
             go ()

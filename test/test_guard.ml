@@ -323,10 +323,70 @@ let test_drain_forces_stragglers () =
   check Alcotest.int "straggler force-closed" 1 (Guard.stats guard).Guard.s_forced;
   check Alcotest.int "holder saw the cut" 1 t.Byzantine.cut;
   check Alcotest.int "no ghosts left" 0 (Guard.active guard);
-  (* The listener is down for good. *)
+  (* The listener is down for good: reconnecting is refused (contained),
+     not a programming error. *)
   match Chan.connect l with
   | _ -> Alcotest.fail "connect succeeded after drain"
-  | exception Invalid_argument _ -> ()
+  | exception Chan.Refused _ -> ()
+
+let test_release_idempotent () =
+  (* Regression: releasing a connection twice (worker finally + drain
+     forfeit racing) must not drive the O(1) active counter negative or
+     free another connection's slot. *)
+  Fiber.run (fun () ->
+      let guard = Guard.create ~max_conns:2 () in
+      let a, b = Chan.pair () in
+      match (Guard.admit guard a, Guard.admit guard b) with
+      | Guard.Admitted ca, Guard.Admitted cb ->
+          check Alcotest.int "two active" 2 (Guard.active guard);
+          Guard.release ca;
+          Guard.release ca;
+          Guard.release ca;
+          check Alcotest.int "triple release frees one slot" 1 (Guard.active guard);
+          (* The freed slot admits exactly one newcomer, not three. *)
+          let c, d = Chan.pair () in
+          (match Guard.admit guard c with
+          | Guard.Admitted _ -> ()
+          | _ -> Alcotest.fail "slot not reusable after release");
+          (match Guard.admit guard d with
+          | Guard.Admitted _ -> Alcotest.fail "double release leaked a slot"
+          | _ -> ());
+          Guard.release cb;
+          check Alcotest.int "one left" 1 (Guard.active guard)
+      | _ -> Alcotest.fail "admissions under capacity refused")
+
+let test_refused_contained_under_supervision () =
+  (* Connect-after-drain from a supervised compartment: Chan.Refused is
+     in the registered contained-fault class, so the sthread dies cleanly
+     and the supervisor degrades the attempt — the exception must not
+     escape as a crash. *)
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let app = W.create_app k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let l = Chan.listener ~costs:Cost_model.free () in
+  let outcome = ref None in
+  Fiber.run (fun () ->
+      Chan.shutdown l;
+      outcome :=
+        Some
+          (Wedge_core.Supervisor.supervise_sthread
+             ~policy:(Wedge_core.Supervisor.policy ~max_restarts:1 ())
+             main (W.sc_create ())
+             (fun _ctx _ ->
+               ignore (Chan.connect l);
+               0)
+             0));
+  (match !outcome with
+  | Some (Wedge_core.Supervisor.Gave_up { attempts; last_fault }) ->
+      check Alcotest.int "both attempts refused" 2 attempts;
+      check Alcotest.bool "reason names the refusal" true
+        (contains last_fault "listener is down")
+  | Some (Wedge_core.Supervisor.Done _) -> Alcotest.fail "connect to a down listener succeeded"
+  | None -> Alcotest.fail "supervision never resolved");
+  check Alcotest.bool "gave_up counted" true
+    (Stats.get k.Kernel.stats "supervisor.gave_up" >= 1);
+  check Alcotest.int "refusals counted on the listener" 2 (Chan.refused l)
 
 let () =
   Alcotest.run "guard"
@@ -366,5 +426,11 @@ let () =
         [
           Alcotest.test_case "completes in-flight" `Quick test_drain_completes_in_flight;
           Alcotest.test_case "forces stragglers" `Quick test_drain_forces_stragglers;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "release idempotent" `Quick test_release_idempotent;
+          Alcotest.test_case "refused contained under supervision" `Quick
+            test_refused_contained_under_supervision;
         ] );
     ]

@@ -29,7 +29,8 @@ let test_alloc_returns_usable_memory () =
   let _, vm = mk_seg () in
   let p = Smalloc.alloc vm ~base:seg_base 100 in
   Vm.write_bytes vm p (Bytes.make 100 'x');
-  check Alcotest.bool "usable >= requested" true (Smalloc.usable_size vm ~ptr:p >= 100);
+  check Alcotest.bool "usable >= requested" true
+    (Smalloc.usable_size vm ~base:seg_base ~ptr:p >= 100);
   Smalloc.check vm ~base:seg_base
 
 let test_allocations_disjoint () =
@@ -80,6 +81,46 @@ let test_double_free_detected () =
   Smalloc.free vm ~base:seg_base p;
   match Smalloc.free vm ~base:seg_base p with
   | _ -> Alcotest.fail "expected double-free detection"
+  | exception Invalid_argument _ -> ()
+
+let test_wild_free_rejected () =
+  (* Regression: free/usable_size validate the pointer before touching
+     the free list — a wild pointer raises instead of corrupting the
+     segment. *)
+  let _, vm = mk_seg () in
+  let p = Smalloc.alloc vm ~base:seg_base 64 in
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "misaligned" (fun () -> Smalloc.free vm ~base:seg_base (p + 1));
+  expect_invalid "before segment" (fun () ->
+      Smalloc.free vm ~base:seg_base (seg_base + 8));
+  expect_invalid "past segment" (fun () ->
+      Smalloc.free vm ~base:seg_base (seg_base + seg_size + 128));
+  expect_invalid "interior pointer" (fun () ->
+      Smalloc.free vm ~base:seg_base (p + 16));
+  expect_invalid "usable_size misaligned" (fun () ->
+      ignore (Smalloc.usable_size vm ~base:seg_base ~ptr:(p + 4)));
+  expect_invalid "usable_size wild" (fun () ->
+      ignore (Smalloc.usable_size vm ~base:seg_base ~ptr:(p + 16)));
+  (* The segment survives every rejected operation. *)
+  Smalloc.check vm ~base:seg_base;
+  Smalloc.free vm ~base:seg_base p;
+  Smalloc.check vm ~base:seg_base
+
+let test_corrupted_footer_rejected () =
+  (* A peer that scribbles over a chunk footer (hostile writer sharing
+     the tag) is caught by the header/footer cross-check on free. *)
+  let _, vm = mk_seg () in
+  let p = Smalloc.alloc vm ~base:seg_base 64 in
+  let usable = Smalloc.usable_size vm ~base:seg_base ~ptr:p in
+  (* The footer is the last word of the chunk: overwrite it via the
+     user's own (in-bounds-ish) buffer overflow. *)
+  Vm.write_u64 vm (p + usable) 0xdeadbeef;
+  match Smalloc.free vm ~base:seg_base p with
+  | _ -> Alcotest.fail "expected footer-mismatch detection"
   | exception Invalid_argument _ -> ()
 
 let test_bad_magic_rejected () =
@@ -177,6 +218,37 @@ let prop_free_all_recovers_everything =
       List.iter (fun p -> Smalloc.free vm ~base:seg_base p) ptrs;
       Smalloc.check vm ~base:seg_base;
       Smalloc.free_bytes vm ~base:seg_base = initial)
+
+(* Regression for the pointer-validation sweep: the segment must be
+   structurally valid after {e every single} operation, not just at the
+   end of a trace — a validation bug that corrupts the free list shows
+   up immediately instead of being masked by later coalescing. *)
+let prop_checked_after_every_op =
+  QCheck.Test.make ~name:"segment valid after every alloc/free" ~count:40
+    QCheck.(list (pair (int_range 1 600) bool))
+    (fun ops ->
+      let _, vm = mk_seg () in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_free) ->
+          (match (do_free, !live) with
+          | true, p :: rest ->
+              Smalloc.free vm ~base:seg_base p;
+              live := rest
+          | _ -> (
+              match Smalloc.alloc vm ~base:seg_base size with
+              | p ->
+                  (* Every live pointer must still validate. *)
+                  live := p :: !live
+              | exception Smalloc.Out_of_tag_memory _ -> ()));
+          Smalloc.check vm ~base:seg_base;
+          List.iter
+            (fun p ->
+              if Smalloc.usable_size vm ~base:seg_base ~ptr:p < 1 then
+                QCheck.Test.fail_report "live pointer stopped validating")
+            !live)
+        ops;
+      true)
 
 let prop_alloc_8byte_aligned =
   QCheck.Test.make ~name:"allocations are 8-byte aligned" ~count:60
@@ -282,12 +354,20 @@ let () =
           Alcotest.test_case "coalescing" `Quick test_coalescing_recovers_space;
           Alcotest.test_case "out of memory" `Quick test_out_of_memory;
           Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "wild free rejected" `Quick test_wild_free_rejected;
+          Alcotest.test_case "corrupted footer rejected" `Quick test_corrupted_footer_rejected;
           Alcotest.test_case "bad magic" `Quick test_bad_magic_rejected;
           Alcotest.test_case "protection enforced" `Quick test_alloc_respects_vm_protection;
           Alcotest.test_case "prefill image" `Quick test_prefill_image_matches_init;
         ] );
       ( "smalloc-properties",
-        qcheck [ prop_random_trace; prop_free_all_recovers_everything; prop_alloc_8byte_aligned ]
+        qcheck
+          [
+            prop_random_trace;
+            prop_checked_after_every_op;
+            prop_free_all_recovers_everything;
+            prop_alloc_8byte_aligned;
+          ]
       );
       ("tag", [ Alcotest.test_case "registry lookup" `Quick test_tag_registry_lookup ]);
       ( "tag_cache",

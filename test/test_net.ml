@@ -81,9 +81,12 @@ let test_listener_shutdown () =
       Chan.shutdown l;
       Fiber.yield ();
       check Alcotest.bool "accept returned None" true (!got = `Down);
-      match Chan.connect l with
+      (* A down listener refuses (a contained, supervisable condition),
+         never Invalid_argument (which would escape containment). *)
+      (match Chan.connect l with
       | _ -> Alcotest.fail "connect after shutdown"
-      | exception Invalid_argument _ -> ())
+      | exception Chan.Refused _ -> ());
+      check Alcotest.int "refusal counted" 1 (Chan.refused l))
 
 let test_listener_queueing () =
   Fiber.run (fun () ->
@@ -123,6 +126,19 @@ let test_lineio_empty_lines () =
   check (Alcotest.option Alcotest.string) "empty crlf" (Some "") (Lineio.read_line io);
   check (Alcotest.option Alcotest.string) "empty lf" (Some "") (Lineio.read_line io);
   check (Alcotest.option Alcotest.string) "tail" (Some "a") (Lineio.read_line io)
+
+let test_lineio_eof_cr_tail () =
+  (* Regression: a final line terminated by EOF right after '\r' (the
+     peer died between the '\r' and the '\n') must strip the '\r' just
+     like the newline path does. *)
+  let io, _ = mk_lineio "QUIT\r" in
+  check (Alcotest.option Alcotest.string) "cr tail stripped" (Some "QUIT")
+    (Lineio.read_line io);
+  check (Alcotest.option Alcotest.string) "eof after tail" None (Lineio.read_line io);
+  (* Only one trailing '\r' is stripped; interior ones survive. *)
+  let io2, _ = mk_lineio "a\rb\r" in
+  check (Alcotest.option Alcotest.string) "interior cr kept" (Some "a\rb")
+    (Lineio.read_line io2)
 
 let test_lineio_read_exact_mixes_with_lines () =
   let io, _ = mk_lineio "HDR\r\nBODYBODY!" in
@@ -254,6 +270,7 @@ let () =
         [
           Alcotest.test_case "line termination styles" `Quick test_lineio_lines;
           Alcotest.test_case "empty lines" `Quick test_lineio_empty_lines;
+          Alcotest.test_case "eof right after cr" `Quick test_lineio_eof_cr_tail;
           Alcotest.test_case "lines + exact reads" `Quick test_lineio_read_exact_mixes_with_lines;
           Alcotest.test_case "write_line" `Quick test_lineio_write_line;
         ] );
