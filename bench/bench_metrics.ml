@@ -222,6 +222,75 @@ let tracing_overhead () =
     (site_on *. 1e9 /. float_of_int site_iters);
   print_newline ()
 
+(* What the correctness harness costs: a full invariant sweep (refcounts,
+   rlimits, TLBs, smalloc walks, guards) measured directly against a
+   booted application, the differential reference model's lockstep tax on
+   the engine r/w loop, and end-to-end exploration throughput. *)
+let oracle_overhead () =
+  let module W = Wedge_core.Wedge in
+  let module Kernel = Wedge_kernel.Kernel in
+  let module Oracle = Wedge_check.Oracle in
+  let module Refvm = Wedge_check.Refvm in
+  let module Explore = Wedge_check.Explore in
+  (* Direct cost of one Oracle.check against a booted app. *)
+  let k = Kernel.create ~costs:Wedge_sim.Cost_model.free () in
+  let app = W.create_app ~image_pages:60 k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let tag = W.tag_new ~name:"bench.oracle" ~pages:4 main in
+  ignore (W.smalloc main 256 tag);
+  let oracle = Oracle.create k in
+  Oracle.set_app oracle app;
+  let sweeps = 2_000 in
+  let (), sweep_t =
+    Bench_util.wall_time (fun () ->
+        for _ = 1 to sweeps do
+          Oracle.check oracle
+        done)
+  in
+  (* Lockstep tax of the differential model on the engine r/w loop. *)
+  let buf = W.smalloc main 8192 tag in
+  let iters = 100_000 in
+  let loop () =
+    for i = 0 to iters - 1 do
+      W.write_u64 main (buf + (i land 1023) * 8) i;
+      ignore (W.read_u64 main (buf + ((i + 7) land 1023) * 8))
+    done
+  in
+  let (), plain = Bench_util.wall_time loop in
+  let refvm = Refvm.create k in
+  Refvm.arm refvm;
+  let (), lockstep = Bench_util.wall_time loop in
+  Refvm.disarm refvm;
+  (* End-to-end exploration throughput on the pop3 chaos scenario. *)
+  let schedules = 10 in
+  let explore diff () =
+    match Explore.explore ~schedules ~diff ~scenario:"pop3" ~seed:1 () with
+    | Explore.Passed _ -> ()
+    | Explore.Failed _ as v -> failwith (Explore.verdict_to_string v)
+  in
+  let (), ex_plain = Bench_util.wall_time (explore false) in
+  let (), ex_diff = Bench_util.wall_time (explore true) in
+  header "Correctness-harness overhead (wall clock, this host)";
+  Printf.printf "%-44s %12s %12s\n" "" "time" "per op";
+  Printf.printf "%-44s %9.1f ms %9.1f us\n" "Oracle.check full sweep (booted app)"
+    (sweep_t *. 1e3)
+    (sweep_t *. 1e6 /. float_of_int sweeps);
+  Printf.printf "%-44s %9.1f ms %9.1f ns\n" "engine r/w loop, no recorder" (plain *. 1e3)
+    (plain *. 1e9 /. float_of_int (2 * iters));
+  Printf.printf "%-44s %9.1f ms %9.1f ns\n" "engine r/w loop, differential lockstep"
+    (lockstep *. 1e3)
+    (lockstep *. 1e9 /. float_of_int (2 * iters));
+  Printf.printf "%-44s %9.1f ms %9.1f ms\n"
+    (Printf.sprintf "explore pop3 x%d schedules, oracles on" schedules)
+    (ex_plain *. 1e3)
+    (ex_plain *. 1e3 /. float_of_int schedules);
+  Printf.printf "%-44s %9.1f ms %9.1f ms\n"
+    (Printf.sprintf "explore pop3 x%d schedules, + differential" schedules)
+    (ex_diff *. 1e3)
+    (ex_diff *. 1e3 /. float_of_int schedules);
+  print_newline ()
+
 let run () =
   header "Partitioning metrics (§5.1 / §5.2) - trusted vs untrusted code";
   if not (Sys.file_exists "lib/httpd/httpd_mitm.ml") then
@@ -252,4 +321,5 @@ let run () =
     Printf.printf "paper: Apache ~1700 changed lines (0.5%%), OpenSSH 564 changed lines (2%%)\n"
   end;
   tlb_counters ();
-  tracing_overhead ()
+  tracing_overhead ();
+  oracle_overhead ()

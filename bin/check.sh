@@ -6,6 +6,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Registration guard: a test file that exists but is not named in
+# test/dune silently never runs — fail loudly instead.
+echo "== test registration guard =="
+for f in test/test_*.ml; do
+  name="$(basename "$f" .ml)"
+  if ! grep -qw "$name" test/dune; then
+    echo "check.sh: $f is not registered in test/dune" >&2
+    exit 1
+  fi
+done
+
 echo "== dune build @default =="
 dune build @default
 
@@ -33,5 +44,12 @@ trace_out="$(mktemp /tmp/wedge-smoke-XXXXXX.trace.json)"
 WEDGE_TRACE_SMOKE=1 dune exec bin/wedge_cli.exe -- trace httpd -n 25 -o "$trace_out"
 test -s "$trace_out"
 rm -f "$trace_out"
+
+# Correctness-harness gate: explore seeded schedules of the httpd chaos
+# scenario (Byzantine clients + armed fault plan) under the invariant
+# oracles; wedge_cli check exits nonzero — printing a shrunk repro
+# command — if any schedule violates an invariant.
+echo "== schedule exploration (smoke) =="
+WEDGE_CHECK_SMOKE=1 dune exec bin/wedge_cli.exe -- check --scenario httpd --schedules 25 --seed 1
 
 echo "check.sh: all green"

@@ -378,6 +378,80 @@ let trace_cmd =
        ~doc:"Run a demo workload with tracing armed and export Chrome trace JSON")
     Term.(const run $ demo $ out $ connections)
 
+let check_cmd =
+  let open Wedge_check in
+  let scenario =
+    Arg.(value & opt string "httpd"
+         & info [ "scenario" ]
+             ~doc:
+               (Printf.sprintf "Scenario to explore: %s, or 'all'"
+                  (String.concat " | " (Scenarios.names ()))))
+  in
+  let schedules =
+    Arg.(value & opt int 100 & info [ "schedules"; "n" ] ~doc:"Seeded schedules to explore")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"Exploration seed") in
+  let policy =
+    Arg.(value & opt (enum [ ("random", `Random); ("pct", `Pct) ]) `Random
+         & info [ "policy" ] ~doc:"Scheduling policy: random | pct")
+  in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff" ] ~doc:"Also run the differential flat-memory reference model")
+  in
+  let no_faults =
+    Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable the scenario's fault plan")
+  in
+  let replay =
+    Arg.(value & opt string ""
+         & info [ "replay" ]
+             ~doc:"Comma-separated decision trace: run one schedule under Replay")
+  in
+  let run scenario schedules seed policy diff no_faults replay =
+    let faults = not no_faults in
+    if replay <> "" then begin
+      let trace =
+        String.split_on_char ',' replay
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s -> int_of_string (String.trim s))
+        |> Array.of_list
+      in
+      match Explore.replay ~diff ~faults ~scenario ~seed ~trace () with
+      | summary ->
+          Printf.printf "replay ok: %s\n" summary;
+          0
+      | exception e ->
+          Printf.printf "replay FAILED: %s\n" (Printexc.to_string e);
+          1
+    end
+    else begin
+      let scenarios =
+        (* "all" means every server scenario; "racy" is the deliberately
+           failing control and only runs when named explicitly. *)
+        if scenario = "all" then
+          List.filter (fun n -> n <> "racy") (Scenarios.names ())
+        else [ scenario ]
+      in
+      let failed = ref false in
+      List.iter
+        (fun sc ->
+          let v =
+            Explore.explore ~schedules ~policy ~diff ~faults ~log:print_endline
+              ~scenario:sc ~seed ()
+          in
+          Printf.printf "%s: %s\n%!" sc (Explore.verdict_to_string v);
+          match v with Explore.Failed _ -> failed := true | Explore.Passed _ -> ())
+        scenarios;
+      if !failed then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Explore seeded schedules of a chaos scenario under invariant oracles; \
+          shrink and print a repro on failure")
+    Term.(const run $ scenario $ schedules $ seed $ policy $ diff $ no_faults $ replay)
+
 let cblog_cmd =
   let out =
     Arg.(value & opt string "/tmp/wedge.cblog" & info [ "out"; "o" ] ~doc:"Trace file path")
@@ -398,4 +472,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "wedge_cli" ~doc)
-          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd; cblog_cmd ]))
+          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd; cblog_cmd; check_cmd ]))

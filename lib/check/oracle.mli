@@ -1,0 +1,55 @@
+(** Invariant oracles over kernel ground truth.
+
+    Wired to sync points — every context switch ({!hook} as
+    [Fiber.run ~on_switch]) and/or every system-call entry
+    ({!install_syscall_hook}) — an oracle re-derives from first
+    principles the bookkeeping the kernel maintains incrementally:
+
+    - frame refcounts == page-table mappings across all address spaces
+      + pristine snapshot + live tag registries + tag-cache entries;
+    - rlimit charges == live private frames and open descriptors, every
+      charged vpn mapped;
+    - every servable TLB entry agrees with the page table;
+    - every smalloc segment (live tags, per-process heaps) has intact
+      boundary tags and a sound free list;
+    - every registered {!Wedge_net.Guard}'s counters agree with its
+      connection list.
+
+    All reads go through raw page-table walks and frame bytes — no
+    clock charges, no TLB pollution, no injected-fault rolls — so the
+    schedule under test is not perturbed by being watched. *)
+
+exception Violation of string
+
+type t
+
+val create : Wedge_kernel.Kernel.t -> t
+
+val set_app : t -> Wedge_core.Engine.app -> unit
+(** Attach the engine application so the refcount oracle can account for
+    the pristine snapshot, tag registry and tag cache, and the smalloc
+    oracle can find tag segments.  Without an app only kernel-level
+    invariants (refcounts from mappings alone, rlimits, TLBs) run. *)
+
+val add_guard : t -> ?name:string -> Wedge_net.Guard.t -> unit
+val add_invariant : t -> name:string -> (unit -> string option) -> unit
+(** Register a scenario-specific invariant; [Some msg] means violated. *)
+
+val check : t -> unit
+(** Run every invariant once.
+    @raise Violation on the first disagreement with ground truth. *)
+
+val checks_run : t -> int
+(** How many times {!check} has run (for overhead reporting). *)
+
+val hook : ?stride:int -> t -> unit -> unit
+(** [Fiber.run ~on_switch:(Oracle.hook t)] checks at context switches.
+    [stride] (default 7, prime so sampling never phase-locks with
+    periodic fiber patterns) checks every [stride]th switch; pass [1]
+    for every switch. *)
+
+val install_syscall_hook : t -> unit
+(** Check on entry to every system call ({!Wedge_kernel.Kernel}'s
+    [on_syscall]), before the trap charges anything. *)
+
+val remove_syscall_hook : t -> unit

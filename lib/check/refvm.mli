@@ -1,0 +1,39 @@
+(** Differential checking of the memory subsystem.
+
+    A naive flat reference model of {!Wedge_kernel.Vm} — no TLB, no COW
+    tricks, no quota coupling — consumes a kernel's {!Wedge_kernel.Vm.mem_event}
+    stream in lockstep and recomputes what every access should have
+    observed.  Any disagreement (different bytes, a success where the
+    model faults, an unjustifiable fault) raises {!Mismatch}. *)
+
+exception Mismatch of string
+
+type t
+
+val create : Wedge_kernel.Kernel.t -> t
+
+val sync : t -> unit
+(** Re-prime the model from page-table and frame ground truth (called by
+    {!arm}; exposed for tests). *)
+
+val arm : t -> unit
+(** {!sync}, then install the model as the kernel's memory-event
+    recorder: from here every access is checked in lockstep.
+    @raise Invalid_argument if already armed. *)
+
+val disarm : t -> unit
+(** Remove the recorder; idempotent. *)
+
+val apply : t -> Wedge_kernel.Vm.mem_event -> unit
+(** Feed one event (what arming wires up; exposed for replaying recorded
+    traces).
+    @raise Mismatch when the event disagrees with the model. *)
+
+val verify : t -> unit
+(** End-of-run sweep: every live process's page table must agree with
+    the model — same mappings, frames, protections, byte-identical
+    content.
+    @raise Mismatch on divergence. *)
+
+val events : t -> int
+(** Events consumed so far. *)

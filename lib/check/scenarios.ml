@@ -1,0 +1,327 @@
+(* Checkable chaos scenarios for schedule exploration.
+
+   Each scenario builds a fresh simulated world (kernel, app, servers),
+   runs a melee of Byzantine clients — optionally under an armed fault
+   plan — with the invariant oracle wired to every system call and a
+   sampled stream of context switches, and finishes with a full oracle
+   sweep (plus a differential-model verify when [diff] is set).  The
+   returned string is a deterministic summary of everything observable
+   (tallies, guard stats, fault trace digest): two runs with the same
+   seed and schedule policy must produce identical summaries, which is
+   what [Explore] digests.
+
+   Failures are exceptions: [Oracle.Violation], [Refvm.Mismatch], a
+   scenario's own end-state assertion, or anything a server let escape
+   containment.  [Explore] catches them, captures the scheduler decision
+   trace and shrinks it.
+
+   The [racy] scenario is the deliberately buggy control: two sthreads
+   increment a shared tagged counter, one of them yielding between its
+   read and its write.  Under FIFO scheduling the window never overlaps;
+   under seeded random/PCT schedules the lost update manifests and the
+   end-state assertion fails — the mutation-style sanity check that the
+   explorer actually catches schedule-dependent bugs. *)
+
+module Kernel = Wedge_kernel.Kernel
+module Rlimit = Wedge_kernel.Rlimit
+module Cost_model = Wedge_sim.Cost_model
+module Stats = Wedge_sim.Stats
+module Fiber = Wedge_sim.Fiber
+module Fault_plan = Wedge_fault.Fault_plan
+module Chan = Wedge_net.Chan
+module Guard = Wedge_net.Guard
+module Byzantine = Wedge_net.Byzantine
+module Drbg = Wedge_crypto.Drbg
+module Rsa = Wedge_crypto.Rsa
+module W = Wedge_core.Wedge
+
+type t = {
+  s_name : string;
+  s_doc : string;
+  s_run : policy:Fiber.policy -> diff:bool -> faults:bool -> seed:int -> string;
+}
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Run [main] under [policy] with the oracle (and optionally the
+   differential model) armed, then sweep.  [summarize] builds the
+   deterministic outcome line from whatever the scenario observed. *)
+let checked ~kernel ?app ~policy ~diff main summarize =
+  let oracle = Oracle.create kernel in
+  (match app with Some a -> Oracle.set_app oracle a | None -> ());
+  let refvm = if diff then Some (Refvm.create kernel) else None in
+  Oracle.install_syscall_hook oracle;
+  (match refvm with Some rv -> Refvm.arm rv | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Oracle.remove_syscall_hook oracle;
+      match refvm with Some rv -> Refvm.disarm rv | None -> ())
+    (fun () ->
+      Fiber.run ~policy ~on_switch:(Oracle.hook oracle) (fun () -> main oracle);
+      Oracle.check oracle;
+      (match refvm with Some rv -> Refvm.verify rv | None -> ());
+      Printf.sprintf "%s checks=%d diff_events=%s" (summarize ())
+        (Oracle.checks_run oracle)
+        (match refvm with Some rv -> string_of_int (Refvm.events rv) | None -> "-"))
+
+let tally_to_string (t : Byzantine.tally) =
+  Printf.sprintf "ok=%d refused=%d rejected=%d cut=%d err=%d" t.Byzantine.completed
+    t.refused t.rejected t.cut t.errors
+
+let guard_to_string (s : Guard.stats) =
+  Printf.sprintf "admitted=%d busy=%d draining=%d timed_out=%d forced=%d active=%d"
+    s.Guard.s_admitted s.s_rejected_busy s.s_rejected_draining s.s_timed_out s.s_forced
+    s.s_active
+
+let plan_digest plan = Digest.to_hex (Digest.string (Fault_plan.trace plan))
+
+(* ------------------------------------------------------------------ *)
+(* POP3: partitioned server under flood + faults + slow-loris          *)
+
+let run_pop3 ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.03 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.03 [ Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"physmem.alloc" ~prob:0.002 [ Fault_plan.Enomem ]
+  end;
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+  let app = W.create_app ~image_pages:60 k in
+  W.boot app;
+  let main_ctx = W.main_ctx app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:8 () in
+  let guard =
+    Guard.create ~clock:k.Kernel.clock ~header_deadline_ns:5_000 ~max_conns:4 ()
+  in
+  let t = Byzantine.tally () in
+  let loris = Byzantine.tally () in
+  let is_rejection s = contains s "-ERR busy" in
+  let n_clients = 16 in
+  checked ~kernel:k ~app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"pop3.guard" guard;
+      Fiber.spawn (fun () -> Wedge_pop3.Pop3_wedge.serve_loop main_ctx guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              Byzantine.half_close t l ~request:"USER alice\r\nQUIT\r\n" ~is_rejection
+            else if i mod 7 = 0 then
+              Byzantine.oversized t l ~size:2_000
+                ~is_rejection:(fun s -> contains s "too long")
+            else
+              Byzantine.oneshot t l ~request:"USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n"
+                ~is_rejection)
+      done;
+      Fiber.spawn (fun () ->
+          Byzantine.slow_loris loris l ~clock:k.Kernel.clock ~step_ns:1_000
+            ~request:"USER alice\r\nQUIT\r\n" ~is_rejection);
+      Fiber.wait_until ~what:"pop3 melee resolved" (fun () ->
+          Byzantine.total t = n_clients && Byzantine.total loris = 1);
+      Fault_plan.disarm plan;
+      Guard.drain guard l)
+    (fun () ->
+      Printf.sprintf "pop3 %s loris_cut=%d %s degraded=%d plan=%s" (tally_to_string t)
+        loris.Byzantine.cut
+        (guard_to_string (Guard.stats guard))
+        (Stats.get k.Kernel.stats "pop3.degraded")
+        (plan_digest plan))
+
+(* ------------------------------------------------------------------ *)
+(* HTTPD: TLS-terminating partitioned server, garbage + real clients   *)
+
+let run_httpd ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.02 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.02 [ Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"physmem.alloc" ~prob:0.001 [ Fault_plan.Enomem ]
+  end;
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
+  let app = env.Wedge_httpd.Httpd_env.app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:8 () in
+  let guard = Guard.create ~max_conns:4 () in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "503" in
+  let served_bodies = ref 0 and client_errors = ref 0 in
+  let n_garbage = 8 and n_tls = 2 in
+  checked ~kernel:k ~app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"httpd.guard" guard;
+      Fiber.spawn (fun () ->
+          Wedge_httpd.Httpd_simple.serve_loop ~max_request_bytes:4096 env guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_garbage do
+        Fiber.spawn (fun () ->
+            if i mod 3 = 0 then
+              Byzantine.half_close t l ~request:"GET / HTTP/1.0\r\n\r\n" ~is_rejection
+            else if i mod 5 = 0 then Byzantine.silent t l
+            else
+              (* Plaintext HTTP at a TLS endpoint: handshake garbage the
+                 worker must contain. *)
+              Byzantine.oneshot t l ~request:"GET /index.html HTTP/1.1\r\n\r\n" ~is_rejection)
+      done;
+      for i = 1 to n_tls do
+        Fiber.spawn (fun () ->
+            let rng = Drbg.create ~seed:(seed + i) in
+            match Chan.connect l with
+            | exception _ -> incr client_errors
+            | ep -> (
+                match
+                  Wedge_httpd.Https_client.get ~rng
+                    ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html" ep
+                with
+                | { Wedge_httpd.Https_client.response = Some r; _ }
+                  when r.Wedge_httpd.Http.status = 200 ->
+                    incr served_bodies
+                | _ -> incr client_errors
+                | exception _ -> incr client_errors))
+      done;
+      (* The silent holder (i = 5) only resolves when drain force-cuts
+         it — this guard has no header deadline — so wait for everyone
+         else, drain, then wait for the straggler's cut to land. *)
+      (* [>=]: an injected chan fault can cut the silent holder early,
+         landing its tally before the drain below. *)
+      let n_silent = 1 in
+      Fiber.wait_until ~what:"httpd melee resolved" (fun () ->
+          Byzantine.total t >= n_garbage - n_silent
+          && !served_bodies + !client_errors >= n_tls);
+      Fault_plan.disarm plan;
+      Guard.drain guard l;
+      Fiber.wait_until ~what:"silent holders cut" (fun () ->
+          Byzantine.total t = n_garbage))
+    (fun () ->
+      Printf.sprintf "httpd %s tls_ok=%d tls_err=%d %s degraded=%d rejected=%d plan=%s"
+        (tally_to_string t) !served_bodies !client_errors
+        (guard_to_string (Guard.stats guard))
+        (Stats.get k.Kernel.stats "httpd.degraded")
+        (Stats.get k.Kernel.stats "httpd.rejected")
+        (plan_digest plan))
+
+(* ------------------------------------------------------------------ *)
+(* SSHD: fork-per-connection privsep baseline (COW churn) + garbage    *)
+
+let run_sshd ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.02 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.02 [ Fault_plan.Reset ]
+  end;
+  Fault_plan.disarm plan;
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let env = Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed k in
+  let app = env.Wedge_sshd.Sshd_env.app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:6 () in
+  let guard = Guard.create ~max_conns:3 () in
+  let t = Byzantine.tally () in
+  let is_rejection _ = false in
+  let n_clients = 8 in
+  checked ~kernel:k ~app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"sshd.guard" guard;
+      Fiber.spawn (fun () -> Wedge_sshd.Sshd_privsep.serve_loop env guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 3 = 0 then
+              Byzantine.half_close t l ~request:"SSH-2.0-chaos\r\n\r\n" ~is_rejection
+            else
+              Byzantine.oneshot t l
+                ~request:"SSH-2.0-chaos\r\nnot-a-kexinit\r\n" ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"sshd melee resolved" (fun () -> Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      Guard.drain guard l)
+    (fun () ->
+      Printf.sprintf "sshd %s %s degraded=%d rejected=%d plan=%s" (tally_to_string t)
+        (guard_to_string (Guard.stats guard))
+        (Stats.get k.Kernel.stats "sshd.degraded")
+        (Stats.get k.Kernel.stats "sshd.rejected")
+        (plan_digest plan))
+
+(* ------------------------------------------------------------------ *)
+(* RACY: the deliberately schedule-dependent lost-update bug           *)
+
+let racy_rounds = 3
+
+let run_racy ~policy ~diff ~faults:_ ~seed:_ =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let app = W.create_app ~image_pages:40 k in
+  W.boot app;
+  let main_ctx = W.main_ctx app in
+  let tag = W.tag_new ~name:"counter" main_ctx in
+  let addr = W.smalloc main_ctx 8 tag in
+  W.write_u64 main_ctx addr 0;
+  let done_n = ref 0 in
+  (* Worker A ([yields_mid = false]) never yields: it runs its whole
+     increment loop as one scheduling unit.  Worker B opens a window
+     between read and write.  Spawned A-then-B, round-robin runs A to
+     completion before B's first window opens, so the lost update only
+     manifests under schedules that start B first — exactly the
+     schedule-dependence exploration must be able to find. *)
+  let worker yields_mid ctx _ =
+    for _ = 1 to racy_rounds do
+      let v = W.read_u64 ctx addr in
+      if yields_mid then Fiber.yield ();
+      (* The unlocked read-modify-write: any increment scheduled into the
+         window above is lost. *)
+      W.write_u64 ctx addr (v + 1);
+      if yields_mid then Fiber.yield ()
+    done;
+    0
+  in
+  let spawn_worker yields_mid =
+    Fiber.spawn (fun () ->
+        let sc = W.sc_create () in
+        W.sc_mem_add sc tag Wedge_kernel.Prot.RW;
+        ignore (W.sthread_join main_ctx (W.sthread_create main_ctx sc (worker yields_mid) 0));
+        incr done_n)
+  in
+  checked ~kernel:k ~app ~policy ~diff
+    (fun _oracle ->
+      spawn_worker false;
+      spawn_worker true;
+      Fiber.wait_until ~what:"racy workers joined" (fun () -> !done_n = 2);
+      let final = W.read_u64 main_ctx addr in
+      if final <> 2 * racy_rounds then
+        raise
+          (Oracle.Violation
+             (Printf.sprintf "racy: lost update — counter %d after %d increments" final
+                (2 * racy_rounds))))
+    (fun () -> Printf.sprintf "racy counter=%d" (W.read_u64 main_ctx addr))
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      s_name = "pop3";
+      s_doc = "partitioned POP3 under flood, faults and slow-loris";
+      s_run = (fun ~policy ~diff ~faults ~seed -> run_pop3 ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "httpd";
+      s_doc = "TLS httpd under garbage handshakes, faults and real clients";
+      s_run = (fun ~policy ~diff ~faults ~seed -> run_httpd ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "sshd";
+      s_doc = "fork-per-connection sshd privsep under protocol garbage";
+      s_run = (fun ~policy ~diff ~faults ~seed -> run_sshd ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "racy";
+      s_doc = "deliberate lost-update race (the explorer must catch it)";
+      s_run = (fun ~policy ~diff ~faults ~seed -> run_racy ~policy ~diff ~faults ~seed);
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.s_name = name) all
+let names () = List.map (fun s -> s.s_name) all

@@ -1,0 +1,28 @@
+(** Checkable chaos scenarios for schedule exploration.
+
+    Each scenario builds a fresh simulated world, runs a melee of
+    Byzantine clients (optionally under an armed fault plan) with the
+    invariant {!Oracle} wired to every system call and a sampled stream
+    of context switches, then finishes with a full oracle sweep and —
+    when [diff] — a {!Refvm} lockstep check plus end-of-run verify.
+
+    A run returns a deterministic summary string (same seed + policy ⇒
+    byte-identical summary); failures are exceptions
+    ({!Oracle.Violation}, {!Refvm.Mismatch}, a scenario's end-state
+    assertion) which {!Explore} catches and shrinks.
+
+    The ["racy"] scenario is the deliberately buggy control: a lost
+    update that only manifests under schedules that interleave a
+    yielding read-modify-write — the sanity check that exploration
+    actually catches schedule-dependent bugs. *)
+
+type t = {
+  s_name : string;
+  s_doc : string;
+  s_run :
+    policy:Wedge_sim.Fiber.policy -> diff:bool -> faults:bool -> seed:int -> string;
+}
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

@@ -17,6 +17,12 @@ type t = {
   faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
+  mem_rec : Vm.recorder;
+      (* one recorder cell shared by every address space this kernel
+         creates, so an armed consumer sees the globally ordered
+         cross-process memory-event stream *)
+  mutable on_syscall : (string -> unit) option;
+      (* invariant-oracle hook, called on entry to [syscall_check] *)
 }
 
 let create ?(costs = Cost_model.default) ?faults ?max_frames () =
@@ -32,6 +38,8 @@ let create ?(costs = Cost_model.default) ?faults ?max_frames () =
     faults;
     next_pid = 1;
     procs = Hashtbl.create 32;
+    mem_rec = ref None;
+    on_syscall = None;
   }
 
 let charge t ns = Clock.charge t.clock ns
@@ -54,8 +62,8 @@ let new_process t ?limits ~kind ~uid ~root ~sid () =
       root;
       sid;
       vm =
-        Vm.create ?faults:t.faults ?limits:vm_limits ~trace:t.trace ~pid t.pm
-          t.clock t.costs;
+        Vm.create ?faults:t.faults ?limits:vm_limits ~trace:t.trace
+          ~recorder:t.mem_rec ~pid t.pm t.clock t.costs;
       fds = Fd_table.create ?limits:vm_limits ();
       limits;
       status = Process.Running;
@@ -83,6 +91,9 @@ let reap t (p : Process.t) =
   Hashtbl.remove t.procs p.Process.pid
 
 let syscall_check t (p : Process.t) name =
+  (* The oracle hook runs first: it checks the state the syscall found,
+     before the trap charges fuel or anything else moves. *)
+  (match t.on_syscall with Some f -> f name | None -> ());
   trap t name;
   (* The [enabled] guard keeps the disabled path free of the string
      concatenation below. *)

@@ -17,6 +17,14 @@ type t = {
   faults : Wedge_fault.Fault_plan.t option;
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
+  mem_rec : Vm.recorder;
+      (** one {!Vm.recorder} cell shared by every address space this
+          kernel creates — arm it ([:= Some f]) to stream the globally
+          ordered memory events of all processes to a differential
+          checker, disarm with [:= None] *)
+  mutable on_syscall : (string -> unit) option;
+      (** invariant-oracle hook, called with the syscall name on entry to
+          {!syscall_check}, before any charge or policy check runs *)
 }
 
 val create :

@@ -76,3 +76,8 @@ let decref t f =
 
 let refcount t f = t.refs.(f)
 let frames_in_use t = t.used
+
+let iter_live t f =
+  for i = 0 to t.next - 1 do
+    match t.frames.(i) with Some _ -> f i t.refs.(i) | None -> ()
+  done

@@ -33,3 +33,8 @@ val decref : t -> int -> unit
 
 val refcount : t -> int -> int
 val frames_in_use : t -> int
+
+val iter_live : t -> (int -> int -> unit) -> unit
+(** [iter_live t f] calls [f frame refcount] for every live frame, in
+    frame order.  Pure (no allocation charges, no fault rolls) — the
+    refcount invariant oracle's view of ground truth. *)

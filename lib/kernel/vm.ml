@@ -20,6 +20,48 @@ let fault_to_string f =
     f.addr f.reason
 
 (* ------------------------------------------------------------------ *)
+(* Memory-event stream (differential checking)                         *)
+
+(* When the recorder cell is armed, every structural change to an address
+   space and every access outcome emits one event.  The cell is shared by
+   all address spaces of a kernel (see [Kernel.create]) so one consumer
+   observes the globally ordered, cross-process stream — which is what a
+   reference model needs to follow COW sharing between processes.  The
+   disarmed cost is one load and compare per access, off the per-byte
+   path. *)
+type mem_event =
+  | Ev_map of {
+      pid : int;
+      vpn : int;
+      frame : int;
+      prot : Prot.page;
+      seed : bytes option;
+          (* [None]: a freshly allocated zeroed frame.  [Some snap]: an
+             existing frame mapped in; [snap] is its content at map time,
+             so a model that has never seen the frame can seed it. *)
+    }
+  | Ev_unmap of { pid : int; vpn : int }
+  | Ev_prot of { pid : int; vpn : int; prot : Prot.page }
+  | Ev_cow of {
+      pid : int;
+      vpn : int;
+      frame : int;  (* the frame backing [vpn] after the break *)
+      prot : Prot.page;
+    }
+  | Ev_destroy of { pid : int }
+  | Ev_read of { pid : int; addr : int; value : bytes; kernel : bool; u64 : bool }
+  | Ev_write of { pid : int; addr : int; value : bytes; kernel : bool }
+  | Ev_fault of {
+      pid : int;
+      addr : int;  (* the faulting address, not the access start *)
+      access : access;
+      reason : string;
+      kernel : bool;
+    }
+
+type recorder = (mem_event -> unit) option ref
+
+(* ------------------------------------------------------------------ *)
 (* Software TLB                                                        *)
 
 (* Direct-mapped, per-address-space translation cache: vpn -> frame bytes
@@ -60,13 +102,15 @@ type t = {
       (* vpns whose frames were charged to [limits]: fresh mappings and
          private COW copies.  Shared mappings (pristine snapshot, tag
          grants) are never charged — the quota bounds private frames. *)
+  recorder : recorder;
   tlb : tlb_entry array;
   mutable tlb_hit_n : int;
   mutable tlb_miss_n : int;
   mutable tlb_shootdown_n : int;
 }
 
-let create ?faults ?limits ?(trace = Wedge_sim.Trace.null) ~pid pm clock costs =
+let create ?faults ?limits ?(trace = Wedge_sim.Trace.null) ?recorder ~pid pm clock
+    costs =
   {
     pid;
     pm;
@@ -77,6 +121,7 @@ let create ?faults ?limits ?(trace = Wedge_sim.Trace.null) ~pid pm clock costs =
     limits;
     trace;
     owned = Hashtbl.create 64;
+    recorder = (match recorder with Some r -> r | None -> ref None);
     tlb =
       Array.init tlb_slots (fun _ ->
           {
@@ -139,13 +184,24 @@ let tlb_fill t vpn (pte : Pagetable.pte) =
   e.e_tag <- pte.Pagetable.tag;
   e.e_frame <- pte.Pagetable.frame
 
+let emit t ev = match !(t.recorder) with Some f -> f ev | None -> ()
+let recording t = !(t.recorder) <> None
+
 (* Quota accounting for private frames.  The charge happens before the
    allocation so exhaustion is deterministic and leaves physical memory
    untouched; [Rlimit.Resource_exhausted] is contained by the engine the
-   same way Enomem is. *)
+   same way Enomem is.  Returns whether a fresh charge was made: a vpn
+   already owned (a COW break of a page this space itself allocated, e.g.
+   after a fork downgraded it) must not be charged twice — the quota
+   counts live private frames, and unmap releases exactly one unit per
+   owned vpn. *)
 let charge_owned t vpn =
-  (match t.limits with Some l -> Rlimit.charge_frames l 1 | None -> ());
-  Hashtbl.replace t.owned vpn ()
+  if Hashtbl.mem t.owned vpn then false
+  else begin
+    (match t.limits with Some l -> Rlimit.charge_frames l 1 | None -> ());
+    Hashtbl.replace t.owned vpn ();
+    true
+  end
 
 let release_owned t vpn =
   if Hashtbl.mem t.owned vpn then begin
@@ -153,19 +209,43 @@ let release_owned t vpn =
     match t.limits with Some l -> Rlimit.release_frames l 1 | None -> ()
   end
 
+(* Charge-then-allocate, with the charge rolled back if the allocation
+   itself fails (budget exhaustion or an injected ENOMEM): otherwise the
+   quota would keep counting a private frame that never existed — a drift
+   the invariant oracles flag — and, for a never-mapped vpn, the unit
+   could never be released at all. *)
+let alloc_charged t vpn =
+  let charged = charge_owned t vpn in
+  match Physmem.alloc t.pm with
+  | frame -> frame
+  | exception e ->
+      if charged then release_owned t vpn;
+      raise e
+
 let map_fresh t ~addr ~pages ~prot ~tag =
   check_aligned addr;
   for i = 0 to pages - 1 do
     Clock.charge t.clock t.costs.Cost_model.page_alloc;
-    charge_owned t (vpn_of addr + i);
-    let frame = Physmem.alloc t.pm in
-    Pagetable.map t.pt ~vpn:(vpn_of addr + i) ~frame ~prot ~tag
+    let vpn = vpn_of addr + i in
+    let frame = alloc_charged t vpn in
+    Pagetable.map t.pt ~vpn ~frame ~prot ~tag;
+    if recording t then emit t (Ev_map { pid = t.pid; vpn; frame; prot; seed = None })
   done
 
 let map_frame t ~addr ~frame ~prot ~tag =
   check_aligned addr;
   Physmem.incref t.pm frame;
-  Pagetable.map t.pt ~vpn:(vpn_of addr) ~frame ~prot ~tag
+  Pagetable.map t.pt ~vpn:(vpn_of addr) ~frame ~prot ~tag;
+  if recording t then
+    emit t
+      (Ev_map
+         {
+           pid = t.pid;
+           vpn = vpn_of addr;
+           frame;
+           prot;
+           seed = Some (Bytes.copy (Physmem.get t.pm frame));
+         })
 
 let share_range ~src ~dst ~addr ~pages ~prot =
   check_aligned addr;
@@ -178,7 +258,17 @@ let share_range ~src ~dst ~addr ~pages ~prot =
     | Some pte ->
         Clock.charge dst.clock dst.costs.Cost_model.pte_copy;
         Physmem.incref dst.pm pte.Pagetable.frame;
-        Pagetable.map dst.pt ~vpn ~frame:pte.Pagetable.frame ~prot ~tag:pte.Pagetable.tag
+        Pagetable.map dst.pt ~vpn ~frame:pte.Pagetable.frame ~prot ~tag:pte.Pagetable.tag;
+        if recording dst then
+          emit dst
+            (Ev_map
+               {
+                 pid = dst.pid;
+                 vpn;
+                 frame = pte.Pagetable.frame;
+                 prot;
+                 seed = Some (Bytes.copy (Physmem.get dst.pm pte.Pagetable.frame));
+               })
   done
 
 let unmap_range t ~addr ~pages =
@@ -191,7 +281,8 @@ let unmap_range t ~addr ~pages =
     match Pagetable.unmap t.pt ~vpn:(vpn_of addr + i) with
     | Some pte ->
         release_owned t (vpn_of addr + i);
-        Physmem.decref t.pm pte.Pagetable.frame
+        Physmem.decref t.pm pte.Pagetable.frame;
+        if recording t then emit t (Ev_unmap { pid = t.pid; vpn = vpn_of addr + i })
     | None -> ()
   done
 
@@ -208,7 +299,8 @@ let protect_range t ~addr ~pages ~prot =
     | Some pte ->
         Clock.charge t.clock t.costs.Cost_model.pte_copy;
         pte.Pagetable.prot <- prot;
-        tlb_invalidate t ~vpn:(vpn_of addr + i)
+        tlb_invalidate t ~vpn:(vpn_of addr + i);
+        if recording t then emit t (Ev_prot { pid = t.pid; vpn = vpn_of addr + i; prot })
     | None -> ()
   done
 
@@ -221,7 +313,8 @@ let set_page_prot t ~addr ~prot =
   match Pagetable.find t.pt ~vpn:(vpn_of addr) with
   | Some pte ->
       pte.Pagetable.prot <- prot;
-      tlb_invalidate t ~vpn:(vpn_of addr)
+      tlb_invalidate t ~vpn:(vpn_of addr);
+      if recording t then emit t (Ev_prot { pid = t.pid; vpn = vpn_of addr; prot })
   | None -> invalid_arg (Printf.sprintf "Vm.set_page_prot: 0x%x unmapped" addr)
 
 let set_page_tag t ~addr ~tag =
@@ -239,7 +332,8 @@ let destroy t =
       ignore (Pagetable.unmap t.pt ~vpn);
       release_owned t vpn;
       Physmem.decref t.pm frame)
-    frames
+    frames;
+  if recording t then emit t (Ev_destroy { pid = t.pid })
 
 let mapped_pages t = Pagetable.count t.pt
 
@@ -252,14 +346,15 @@ let mapped_pages t = Pagetable.count t.pt
 let cow_break t ~vpn (pte : Pagetable.pte) =
   Clock.charge t.clock t.costs.Cost_model.page_copy;
   if Physmem.refcount t.pm pte.frame > 1 then begin
-    charge_owned t vpn;
-    let fresh = Physmem.alloc t.pm in
+    let fresh = alloc_charged t vpn in
     Bytes.blit (Physmem.get t.pm pte.frame) 0 (Physmem.get t.pm fresh) 0 page_size;
     Physmem.decref t.pm pte.frame;
     pte.frame <- fresh
   end;
   pte.prot <- { pr = true; pw = true; pcow = false };
-  tlb_invalidate t ~vpn
+  tlb_invalidate t ~vpn;
+  if recording t then
+    emit t (Ev_cow { pid = t.pid; vpn; frame = pte.frame; prot = pte.prot })
 
 (* The slow path: one page-table walk.  Injected faults are rolled by the
    callers, once per access (see [roll_access]), not here — a bulk read
@@ -280,7 +375,9 @@ let pte_for t addr access check =
             if Physmem.refcount t.pm pte.Pagetable.frame > 1 then begin
               let prot = p in
               cow_break t ~vpn:(vpn_of addr) pte;
-              pte.Pagetable.prot <- prot
+              pte.Pagetable.prot <- prot;
+              if recording t then
+                emit t (Ev_prot { pid = t.pid; vpn = vpn_of addr; prot })
             end);
       pte
 
@@ -322,12 +419,12 @@ let roll_access t addr access =
   | Some _ -> fault t addr access "injected protection fault"
   | None -> ()
 
-let read_u8 t addr =
+let read_u8_raw t addr =
   roll_access t addr Read;
   let b = page_for t addr Read true in
   Char.code (Bytes.unsafe_get b (addr land (page_size - 1)))
 
-let write_u8 t addr v =
+let write_u8_raw t addr v =
   roll_access t addr Write;
   let b = page_for t addr Write true in
   Bytes.unsafe_set b (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xff))
@@ -378,7 +475,7 @@ let blit_write_atomic t addr src pos len check =
    any simulated address-space region. *)
 let max_read = 64 * 1024 * 1024
 
-let read_bytes t addr len =
+let read_bytes_raw t addr len =
   if len < 0 || len > max_read then
     fault t addr Read (Printf.sprintf "oversized read of %d bytes" len);
   let buf = Bytes.create len in
@@ -388,25 +485,25 @@ let read_bytes t addr len =
   end;
   buf
 
-let write_bytes t addr src =
+let write_bytes_raw t addr src =
   let len = Bytes.length src in
   if len > 0 then begin
     roll_access t addr Write;
     blit_write_atomic t addr src 0 len true
   end
 
-let read_bytes_kernel t addr len =
+let read_bytes_kernel_raw t addr len =
   let buf = Bytes.create len in
   blit_read_pages t addr buf 0 len false;
   buf
 
-let write_bytes_kernel t addr src = blit_write_atomic t addr src 0 (Bytes.length src) false
+let write_bytes_kernel_raw t addr src = blit_write_atomic t addr src 0 (Bytes.length src) false
 
 (* Multi-byte accessors: translate once when the value sits inside a page
    (the overwhelmingly common case), fall back to the page cursor across
    a boundary.  Either way: one fault roll, not one per byte. *)
 
-let read_u16 t addr =
+let read_u16_raw t addr =
   roll_access t addr Read;
   let off = off_of addr in
   if off <= page_size - 2 then Bytes.get_uint16_le (page_for t addr Read true) off
@@ -416,7 +513,7 @@ let read_u16 t addr =
     Bytes.get_uint16_le buf 0
   end
 
-let write_u16 t addr v =
+let write_u16_raw t addr v =
   roll_access t addr Write;
   let off = off_of addr in
   if off <= page_size - 2 then Bytes.set_uint16_le (page_for t addr Write true) off (v land 0xffff)
@@ -426,7 +523,7 @@ let write_u16 t addr v =
     blit_write_atomic t addr buf 0 2 true
   end
 
-let read_u32 t addr =
+let read_u32_raw t addr =
   roll_access t addr Read;
   let off = off_of addr in
   if off <= page_size - 4 then
@@ -437,7 +534,7 @@ let read_u32 t addr =
     Int32.to_int (Bytes.get_int32_le buf 0) land 0xffffffff
   end
 
-let write_u32 t addr v =
+let write_u32_raw t addr v =
   roll_access t addr Write;
   let off = off_of addr in
   if off <= page_size - 4 then
@@ -458,7 +555,7 @@ let write_u32 t addr v =
    relying on lsl overflow. *)
 let u64_store_mask = 0x7FFF_FFFF_FFFF_FFFFL
 
-let read_u64 t addr =
+let read_u64_raw t addr =
   roll_access t addr Read;
   let off = off_of addr in
   if off <= page_size - 8 then Int64.to_int (Bytes.get_int64_le (page_for t addr Read true) off)
@@ -468,7 +565,7 @@ let read_u64 t addr =
     Int64.to_int (Bytes.get_int64_le buf 0)
   end
 
-let write_u64 t addr v =
+let write_u64_raw t addr v =
   roll_access t addr Write;
   let w = Int64.logand (Int64.of_int v) u64_store_mask in
   let off = off_of addr in
@@ -478,6 +575,165 @@ let write_u64 t addr v =
     Bytes.set_int64_le buf 0 w;
     blit_write_atomic t addr buf 0 8 true
   end
+
+(* ------------------------------------------------------------------ *)
+(* Recording facades over the raw accessors.  Disarmed: one load and one
+   branch, no allocation.  Armed: the observed outcome — returned value
+   (encoded little-endian, scalar reads/writes re-encoded exactly as the
+   bytes a reference model computes from its own state) or the protection
+   fault — is emitted after the access completes, with any [Ev_cow] the
+   access triggered already in the stream before it. *)
+
+let enc1 v =
+  let b = Bytes.create 1 in
+  Bytes.set_uint8 b 0 (v land 0xff);
+  b
+
+let enc2 v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 (v land 0xffff);
+  b
+
+let enc4 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  b
+
+(* Masked exactly like [write_u64_raw]'s store, so an emitted write value
+   is byte-identical to what landed in the frame, and an emitted u64 read
+   value is the stored word with bit 63 cleared — which a reference model
+   reproduces by applying the same mask to its own word ([Ev_read.u64]). *)
+let enc8 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.logand (Int64.of_int v) u64_store_mask);
+  b
+
+let armed_read t r addr ~kernel ~u64 enc f =
+  match f () with
+  | v ->
+      r (Ev_read { pid = t.pid; addr; value = enc v; kernel; u64 });
+      v
+  | exception Fault ft ->
+      r (Ev_fault { pid = t.pid; addr = ft.addr; access = Read; reason = ft.reason; kernel });
+      raise (Fault ft)
+
+let armed_write t r addr ~kernel enc f =
+  match f () with
+  | () -> r (Ev_write { pid = t.pid; addr; value = enc (); kernel })
+  | exception Fault ft ->
+      r (Ev_fault { pid = t.pid; addr = ft.addr; access = Write; reason = ft.reason; kernel });
+      raise (Fault ft)
+
+let read_u8 t addr =
+  match !(t.recorder) with
+  | None -> read_u8_raw t addr
+  | Some r -> armed_read t r addr ~kernel:false ~u64:false enc1 (fun () -> read_u8_raw t addr)
+
+let write_u8 t addr v =
+  match !(t.recorder) with
+  | None -> write_u8_raw t addr v
+  | Some r ->
+      armed_write t r addr ~kernel:false (fun () -> enc1 v) (fun () -> write_u8_raw t addr v)
+
+let read_u16 t addr =
+  match !(t.recorder) with
+  | None -> read_u16_raw t addr
+  | Some r -> armed_read t r addr ~kernel:false ~u64:false enc2 (fun () -> read_u16_raw t addr)
+
+let write_u16 t addr v =
+  match !(t.recorder) with
+  | None -> write_u16_raw t addr v
+  | Some r ->
+      armed_write t r addr ~kernel:false (fun () -> enc2 v) (fun () -> write_u16_raw t addr v)
+
+let read_u32 t addr =
+  match !(t.recorder) with
+  | None -> read_u32_raw t addr
+  | Some r -> armed_read t r addr ~kernel:false ~u64:false enc4 (fun () -> read_u32_raw t addr)
+
+let write_u32 t addr v =
+  match !(t.recorder) with
+  | None -> write_u32_raw t addr v
+  | Some r ->
+      armed_write t r addr ~kernel:false (fun () -> enc4 v) (fun () -> write_u32_raw t addr v)
+
+let read_u64 t addr =
+  match !(t.recorder) with
+  | None -> read_u64_raw t addr
+  | Some r -> armed_read t r addr ~kernel:false ~u64:true enc8 (fun () -> read_u64_raw t addr)
+
+let write_u64 t addr v =
+  match !(t.recorder) with
+  | None -> write_u64_raw t addr v
+  | Some r ->
+      armed_write t r addr ~kernel:false (fun () -> enc8 v) (fun () -> write_u64_raw t addr v)
+
+let read_bytes t addr len =
+  match !(t.recorder) with
+  | None -> read_bytes_raw t addr len
+  | Some r -> armed_read t r addr ~kernel:false ~u64:false Bytes.copy (fun () -> read_bytes_raw t addr len)
+
+let write_bytes t addr src =
+  match !(t.recorder) with
+  | None -> write_bytes_raw t addr src
+  | Some r ->
+      armed_write t r addr ~kernel:false
+        (fun () -> Bytes.copy src)
+        (fun () -> write_bytes_raw t addr src)
+
+let read_bytes_kernel t addr len =
+  match !(t.recorder) with
+  | None -> read_bytes_kernel_raw t addr len
+  | Some r ->
+      armed_read t r addr ~kernel:true ~u64:false Bytes.copy (fun () -> read_bytes_kernel_raw t addr len)
+
+let write_bytes_kernel t addr src =
+  match !(t.recorder) with
+  | None -> write_bytes_kernel_raw t addr src
+  | Some r ->
+      armed_write t r addr ~kernel:true
+        (fun () -> Bytes.copy src)
+        (fun () -> write_bytes_kernel_raw t addr src)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle accessors: pure reads of ground truth for invariant checking.
+   Nothing here charges the clock, touches the TLB, or rolls faults. *)
+
+let owned_count t = Hashtbl.length t.owned
+let owned_vpns t = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) t.owned [])
+let quota_tracked t = t.limits <> None
+
+(* Validate every *servable* TLB entry (valid vpn, current epoch — stale
+   epochs can never be served) against the page table: same frame, the
+   cached byte store physically identical to the frame's, protection and
+   tag as filled.  Any disagreement is a revocation that failed to shoot
+   an entry down — a default-deny bypass. *)
+let tlb_check t =
+  let epoch = Pagetable.epoch t.pt in
+  let bad = ref [] in
+  let report fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  Array.iter
+    (fun e ->
+      if e.e_vpn >= 0 && e.e_epoch = epoch then
+        match Pagetable.find t.pt ~vpn:e.e_vpn with
+        | None ->
+            report "pid %d: TLB entry for unmapped vpn 0x%x (frame %d)" t.pid e.e_vpn
+              e.e_frame
+        | Some pte ->
+            if pte.Pagetable.frame <> e.e_frame then
+              report "pid %d: TLB vpn 0x%x caches frame %d but pte has %d" t.pid e.e_vpn
+                e.e_frame pte.Pagetable.frame
+            else if not (Physmem.get t.pm pte.Pagetable.frame == e.e_bytes) then
+              report "pid %d: TLB vpn 0x%x byte store is not frame %d's backing" t.pid
+                e.e_vpn pte.Pagetable.frame
+            else begin
+              if pte.Pagetable.prot <> e.e_prot then
+                report "pid %d: TLB vpn 0x%x caches stale protection" t.pid e.e_vpn;
+              if pte.Pagetable.tag <> e.e_tag then
+                report "pid %d: TLB vpn 0x%x caches stale tag" t.pid e.e_vpn
+            end)
+    t.tlb;
+  List.rev !bad
 
 (* [probe] is advisory, not an access: it answers "would this access be
    allowed right now" for policy decisions (e.g. priv_for_tag).  It walks

@@ -32,12 +32,70 @@ exception Fault of fault
 
 val fault_to_string : fault -> string
 
+(** {2 Memory-event stream (differential checking)}
+
+    With a {!recorder} cell armed, every structural change to the address
+    space and every access outcome emits one event, in global order.  A
+    reference model (see [lib/check]'s [Refvm]) consumes the stream and
+    independently recomputes what each access should have observed. *)
+type mem_event =
+  | Ev_map of {
+      pid : int;
+      vpn : int;
+      frame : int;
+      prot : Prot.page;
+      seed : bytes option;
+          (** [None]: a freshly allocated zeroed frame; [Some snap]: an
+              existing frame mapped in, with its content at map time *)
+    }
+  | Ev_unmap of { pid : int; vpn : int }
+  | Ev_prot of { pid : int; vpn : int; prot : Prot.page }
+  | Ev_cow of {
+      pid : int;
+      vpn : int;
+      frame : int;  (** the frame backing [vpn] after the break *)
+      prot : Prot.page;
+    }
+  | Ev_destroy of { pid : int }
+  | Ev_read of {
+      pid : int;
+      addr : int;
+      value : bytes;
+      kernel : bool;
+      u64 : bool;
+          (** the value was observed through {!read_u64}'s 63-bit codec:
+              it is the stored word with bit 63 cleared, and a model must
+              mask its own word the same way before comparing *)
+    }
+  | Ev_write of {
+      pid : int;
+      addr : int;
+      value : bytes;
+          (** byte-identical to what landed in the frame (scalar stores
+              are re-encoded exactly like the store itself, including the
+              u64 bit-63 mask) *)
+      kernel : bool;
+    }
+  | Ev_fault of {
+      pid : int;
+      addr : int;  (** the faulting address, not the access start *)
+      access : access;
+      reason : string;
+      kernel : bool;
+    }
+
+type recorder = (mem_event -> unit) option ref
+(** Shared by every address space of a kernel ({!Kernel.create} makes
+    one); arm by setting the cell to [Some f], disarm with [None].  The
+    disarmed cost is one load and compare per access. *)
+
 type t
 
 val create :
   ?faults:Wedge_fault.Fault_plan.t ->
   ?limits:Rlimit.t ->
   ?trace:Wedge_sim.Trace.t ->
+  ?recorder:recorder ->
   pid:int ->
   Physmem.t ->
   Wedge_sim.Clock.t ->
@@ -148,6 +206,30 @@ val can_write : t -> addr:int -> len:int -> bool
     which they must not pollute — charge nothing, and are exempt from
     injected-fault rolls: a probe is a question, not an access, and no
     real MMU faults on a question. *)
+
+(** {2 Oracle accessors (invariant checking)}
+
+    Pure reads of ground truth: nothing here charges the clock, touches
+    the TLB, or rolls injected faults, so an oracle running at every
+    context switch cannot perturb the schedule it is checking. *)
+
+val owned_count : t -> int
+(** Number of vpns currently charged against the frame quota (fresh
+    mappings and COW copies).  When {!quota_tracked}, this must equal
+    [Rlimit.frames_used] of the attached limits at every sync point. *)
+
+val owned_vpns : t -> int list
+(** The charged vpns, sorted.  Every one must be currently mapped. *)
+
+val quota_tracked : t -> bool
+(** Whether a frame quota is attached (bounded [limits] at creation). *)
+
+val tlb_check : t -> string list
+(** Validate every servable TLB entry (valid vpn, current epoch) against
+    the page table: same frame, physically identical byte store, same
+    protection and tag.  Returns one message per disagreement — any entry
+    here is a revocation that failed to shoot down, i.e. a default-deny
+    bypass.  Empty means consistent. *)
 
 (** {2 Unchecked access (kernel use only)} *)
 

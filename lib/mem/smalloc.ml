@@ -174,21 +174,56 @@ let free_bytes vm ~base =
   let rec go c acc = if c = 0 then acc else go (fl_next vm c) (acc + size_of (chunk_size_word vm c)) in
   go (Vm.read_u64 vm (hd_free base)) 0
 
-let check vm ~base =
-  assert_magic vm base;
-  let seg_end = Vm.read_u64 vm (hd_end base) in
+(* Whole-segment integrity walk, parameterized over the word reader so an
+   invariant oracle can run it through a raw page-table walk (no clock
+   charges, no TLB pollution, no injected-fault rolls) without perturbing
+   the schedule under test.  Beyond the historical boundary-tag walk it
+   validates the free list itself: every link lands on a free chunk the
+   walk saw, no cycles, prev/next symmetry, and every free chunk on the
+   list exactly once. *)
+let is_segment ~read ~base = read base = magic
+
+let check_reader ~read ~base =
+  if read base <> magic then
+    invalid_arg (Printf.sprintf "Smalloc: no segment at 0x%x (bad magic)" base);
+  let seg_end = read (hd_end base) in
+  let free_chunks = Hashtbl.create 16 in
   let rec walk c prev_free =
     if c < seg_end then begin
-      let w = chunk_size_word vm c in
+      let w = read c in
       let size = size_of w in
       if size < min_chunk || c + size > seg_end then
         invalid_arg (Printf.sprintf "Smalloc.check: bad chunk size %d at 0x%x" size c);
-      let fw = Vm.read_u64 vm (c + size - 8) in
+      let fw = read (c + size - 8) in
       if fw <> w then
         invalid_arg (Printf.sprintf "Smalloc.check: header/footer mismatch at 0x%x" c);
       if prev_free && not (is_inuse w) then
         invalid_arg (Printf.sprintf "Smalloc.check: uncoalesced free chunks at 0x%x" c);
+      if not (is_inuse w) then Hashtbl.replace free_chunks c ();
       walk (c + size) (not (is_inuse w))
     end
   in
-  walk (first_chunk base) false
+  walk (first_chunk base) false;
+  let n_free = Hashtbl.length free_chunks in
+  let seen = Hashtbl.create 16 in
+  let rec follow c prev steps =
+    if c <> 0 then begin
+      if steps > n_free then
+        invalid_arg (Printf.sprintf "Smalloc.check: free list longer than free chunks");
+      if not (Hashtbl.mem free_chunks c) then
+        invalid_arg (Printf.sprintf "Smalloc.check: free list links to non-free 0x%x" c);
+      if Hashtbl.mem seen c then
+        invalid_arg (Printf.sprintf "Smalloc.check: free list cycle at 0x%x" c);
+      Hashtbl.replace seen c ();
+      if read (c + 16) <> prev then
+        invalid_arg (Printf.sprintf "Smalloc.check: bad prev link at 0x%x" c);
+      follow (read (c + 8)) c (steps + 1)
+    end
+  in
+  follow (read (hd_free base)) 0 0;
+  if Hashtbl.length seen <> n_free then
+    invalid_arg
+      (Printf.sprintf "Smalloc.check: %d free chunks but %d on the free list" n_free
+         (Hashtbl.length seen))
+
+let check vm ~base = check_reader ~read:(fun addr -> Vm.read_u64 vm addr) ~base

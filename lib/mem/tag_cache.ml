@@ -63,6 +63,9 @@ let take t ~pages =
         t.misses <- t.misses + 1;
         None
 
+let entries t =
+  Hashtbl.fold (fun _ l acc -> List.rev_append !l acc) t.by_pages []
+
 let hits t = t.hits
 let misses t = t.misses
 let size t = t.count

@@ -29,6 +29,11 @@ val take : t -> pages:int -> entry option
 (** Pop a cached range with exactly [pages] pages, scrubbing its frames
     (unless scrubbing is off). *)
 
+val entries : t -> entry list
+(** Every cached entry, in no particular order.  The refcount invariant
+    oracle uses this to account for the one reference the cache holds on
+    each cached frame. *)
+
 val hits : t -> int
 val misses : t -> int
 val size : t -> int

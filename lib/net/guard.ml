@@ -298,6 +298,26 @@ let drain ?deadline_ns t l =
 let active t = t.active_n
 let draining t = t.draining
 
+(* Internal-consistency audit for the invariant oracle: the O(1) counter
+   must agree with the list it shadows, and a released connection must
+   never linger in the list (release removes it under the same flag that
+   makes it idempotent — drift between the two means a double-admit or a
+   lost release). *)
+let self_check t =
+  let n = List.length t.conns in
+  if t.active_n <> n then
+    Some
+      (Printf.sprintf "guard: active_n = %d but %d live connections" t.active_n n)
+  else
+    match List.find_opt (fun c -> c.is_released) t.conns with
+    | Some _ -> Some "guard: released connection still on the live list"
+    | None ->
+        if t.active_n > t.max_conns then
+          Some
+            (Printf.sprintf "guard: active_n = %d exceeds max_conns = %d"
+               t.active_n t.max_conns)
+        else None
+
 let stats t =
   {
     s_active = t.active_n;

@@ -88,6 +88,12 @@ val active : t -> int
 val draining : t -> bool
 val stats : t -> stats
 
+val self_check : t -> string option
+(** Internal-consistency audit for the invariant oracle: [None] when the
+    O(1) active counter equals the live-connection list length, no
+    released connection lingers on the list, and the counter respects
+    [max_conns]; otherwise [Some description] of the drift. *)
+
 val register_metrics : ?name:string -> Wedge_sim.Metrics.t -> t -> unit
 (** Expose the admission counters (["guard.admitted"],
     ["guard.rejected_busy"], ["guard.rejected_draining"],

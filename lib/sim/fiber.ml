@@ -1,14 +1,63 @@
 open Effect
 open Effect.Deep
 module Fault_plan = Wedge_fault.Fault_plan
+module Rng = Wedge_fault.Rng
 
 type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Spawn : (unit -> unit) -> unit Effect.t
 
 exception Deadlock of string
 
+(* ------------------------------------------------------------------ *)
+(* Scheduling policies                                                 *)
+
+(* Round_robin keeps the historical FIFO queue, byte-for-byte: every
+   seeded replay test in the suite depends on that order.  The other
+   policies schedule from an array-backed pool of runnable fibers and
+   record, per step, the pool index they picked — the decision trace.
+   Feeding a trace back through [Replay] reproduces the run exactly,
+   which is what exploration drivers use to shrink a failing schedule. *)
+type policy =
+  | Round_robin
+  | Random of int  (** uniformly random runnable fiber, from the seed *)
+  | Pct of {
+      seed : int;
+      change_prob : float;
+          (** probability, per scheduling step, that the currently
+              highest-priority fiber is demoted below everyone else — the
+              PCT "priority change point" *)
+    }
+  | Replay of int array
+      (** replay recorded pool indices; out of range / exhausted entries
+          fall back to index 0, so truncated traces still run *)
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Random seed -> Printf.sprintf "random:%d" seed
+  | Pct { seed; change_prob } -> Printf.sprintf "pct:%d:%g" seed change_prob
+  | Replay d -> Printf.sprintf "replay[%d]" (Array.length d)
+
+type task = {
+  t_id : int;
+  t_run : unit -> unit;
+}
+
+let dummy_task = { t_id = -1; t_run = (fun () -> ()) }
+
 type sched = {
-  runq : (unit -> unit) Queue.t;
+  policy : policy;
+  runq : (unit -> unit) Queue.t;  (* Round_robin *)
+  mutable pool : task array;  (* every other policy *)
+  mutable pool_n : int;
+  rng : Rng.t;
+  prio : (int, int) Hashtbl.t;  (* Pct: fiber id -> priority *)
+  mutable demote_next : int;  (* strictly decreasing fresh minima *)
+  mutable last_pick : int;  (* Pct anti-starvation state *)
+  mutable picks_in_a_row : int;
+  mutable stamp_at_pick : int;
+  mutable replay_pos : int;
+  mutable decisions : int list;  (* newest first *)
+  on_switch : (unit -> unit) option;
   mutable stamp : int;  (* bumped by [progress] *)
   mutable active : bool;
   mutable cur : int;  (* id of the running fiber *)
@@ -77,11 +126,122 @@ let wait_until ?(what = "condition") cond =
             raise e)
       end
 
-let run ?faults main =
+(* ------------------------------------------------------------------ *)
+(* Pool scheduling (Random / Pct / Replay)                             *)
+
+let pool_push s task =
+  let n = Array.length s.pool in
+  if s.pool_n = n then begin
+    let bigger = Array.make (max 8 (2 * n)) dummy_task in
+    Array.blit s.pool 0 bigger 0 n;
+    s.pool <- bigger
+  end;
+  s.pool.(s.pool_n) <- task;
+  s.pool_n <- s.pool_n + 1
+
+let pool_take s i =
+  let t = s.pool.(i) in
+  s.pool_n <- s.pool_n - 1;
+  s.pool.(i) <- s.pool.(s.pool_n);
+  s.pool.(s.pool_n) <- dummy_task;
+  t
+
+let enqueue s ~id thunk =
+  match s.policy with
+  | Round_robin -> Queue.push thunk s.runq
+  | _ -> pool_push s { t_id = id; t_run = thunk }
+
+(* Pct priorities are drawn at fiber creation; demotions assign fresh,
+   strictly decreasing minima so the post-demotion order is total and
+   deterministic. *)
+let assign_prio s id =
+  match s.policy with
+  | Pct _ -> Hashtbl.replace s.prio id (1 + Rng.int s.rng 1_000_000)
+  | _ -> ()
+
+let pct_demote s id =
+  Hashtbl.replace s.prio id s.demote_next;
+  s.demote_next <- s.demote_next - 1
+
+(* Strict priority alone livelocks against the stack's spin-yield blocking
+   idiom: a top-priority fiber sitting in [wait_until] would be picked
+   forever while the fiber able to unblock it never runs, and after 10_000
+   fruitless spins the detector above would report a deadlock that is
+   really a scheduling artifact.  Demoting a fiber that has been picked
+   this many consecutive times without any global progress guarantees
+   rotation long before the detector fires. *)
+let starvation_limit = 64
+
+let choose s =
+  let n = s.pool_n in
+  let i =
+    match s.policy with
+    | Round_robin -> assert false
+    | Random _ -> Rng.int s.rng n
+    | Replay d ->
+        let i =
+          if s.replay_pos < Array.length d then abs d.(s.replay_pos) mod n else 0
+        in
+        s.replay_pos <- s.replay_pos + 1;
+        i
+    | Pct { change_prob; _ } ->
+        let best = ref 0 in
+        let best_p = ref min_int in
+        for j = 0 to n - 1 do
+          let p =
+            match Hashtbl.find_opt s.prio s.pool.(j).t_id with
+            | Some p -> p
+            | None -> 0
+          in
+          if p > !best_p then begin
+            best := j;
+            best_p := p
+          end
+        done;
+        let id = s.pool.(!best).t_id in
+        if change_prob > 0.0 && Rng.float s.rng < change_prob then pct_demote s id;
+        if id = s.last_pick && s.stamp = s.stamp_at_pick then begin
+          s.picks_in_a_row <- s.picks_in_a_row + 1;
+          if s.picks_in_a_row >= starvation_limit then begin
+            pct_demote s id;
+            s.picks_in_a_row <- 0
+          end
+        end
+        else begin
+          s.last_pick <- id;
+          s.picks_in_a_row <- 1;
+          s.stamp_at_pick <- s.stamp
+        end;
+        !best
+  in
+  s.decisions <- i :: s.decisions;
+  i
+
+(* The decision trace of the most recently finished run (normal or
+   exceptional) — Round_robin records nothing, pool policies record one
+   index per scheduling step.  Survives the exception so a failing run can
+   still be shrunk and replayed. *)
+let last_run_decisions : int array ref = ref [||]
+let last_decisions () = !last_run_decisions
+
+let run ?faults ?(policy = Round_robin) ?on_switch main =
   if in_scheduler () then invalid_arg "Fiber.run: nested run";
+  let seed = match policy with Random s -> s | Pct { seed; _ } -> seed | _ -> 0 in
   let s =
     {
+      policy;
       runq = Queue.create ();
+      pool = Array.make 8 dummy_task;
+      pool_n = 0;
+      rng = Rng.create seed;
+      prio = Hashtbl.create 16;
+      demote_next = 0;
+      last_pick = -1;
+      picks_in_a_row = 0;
+      stamp_at_pick = -1;
+      replay_pos = 0;
+      decisions = [];
+      on_switch;
       stamp = 0;
       active = true;
       cur = 0;
@@ -91,12 +251,15 @@ let run ?faults main =
     }
   in
   current := Some s;
+  assign_prio s 0;
+  let save_decisions () = last_run_decisions := Array.of_list (List.rev s.decisions) in
   let rec exec (f : unit -> unit) : unit =
     match_with f ()
       {
         retc = (fun () -> ());
         exnc =
           (fun e ->
+            save_decisions ();
             current := None;
             raise e);
         effc =
@@ -106,35 +269,42 @@ let run ?faults main =
                 Some
                   (fun (k : (a, unit) continuation) ->
                     let id = s.cur in
-                    Queue.push
-                      (fun () ->
+                    enqueue s ~id (fun () ->
                         s.cur <- id;
-                        continue k ())
-                      s.runq)
+                        continue k ()))
             | Spawn g ->
                 Some
                   (fun (k : (a, unit) continuation) ->
                     let id = s.next_id in
                     s.next_id <- s.next_id + 1;
-                    Queue.push
-                      (fun () ->
+                    assign_prio s id;
+                    enqueue s ~id (fun () ->
                         s.cur <- id;
-                        exec g)
-                      s.runq;
+                        exec g);
                     continue k ())
             | _ -> None);
       }
   in
   let finish () =
     s.active <- false;
+    save_decisions ();
     current := None
   in
   (try
      exec main;
-     while not (Queue.is_empty s.runq) do
-       let f = Queue.pop s.runq in
-       f ()
-     done
+     (match s.policy with
+     | Round_robin ->
+         while not (Queue.is_empty s.runq) do
+           (match s.on_switch with Some f -> f () | None -> ());
+           let f = Queue.pop s.runq in
+           f ()
+         done
+     | _ ->
+         while s.pool_n > 0 do
+           (match s.on_switch with Some f -> f () | None -> ());
+           let i = choose s in
+           (pool_take s i).t_run ()
+         done)
    with e ->
      finish ();
      raise e);

@@ -16,13 +16,51 @@ exception Deadlock of string
     ["channel data (blocked: fiber 0 awaiting channel data, fiber 2
     awaiting incoming connection)"]. *)
 
-val run : ?faults:Wedge_fault.Fault_plan.t -> (unit -> unit) -> unit
+(** Which runnable fiber runs next.  {!Round_robin} (the default) keeps
+    the historical FIFO order byte-for-byte — every seeded replay test
+    depends on it.  The other policies schedule from a pool and record
+    the pool index picked at each step (the {e decision trace},
+    {!last_decisions}); [Replay] feeds such a trace back, reproducing or
+    shrinking a run exactly. *)
+type policy =
+  | Round_robin
+  | Random of int  (** uniformly random runnable fiber, from the seed *)
+  | Pct of {
+      seed : int;
+      change_prob : float;
+          (** per-step probability that the highest-priority fiber is
+              demoted below everyone else (the PCT change point).  An
+              anti-starvation rule additionally demotes a fiber picked 64
+              consecutive times without global progress, so strict
+              priority cannot livelock against spin-yield blocking. *)
+    }
+  | Replay of int array
+      (** replay recorded pool indices; exhausted or out-of-range entries
+          fall back to index 0, so truncated traces still run *)
+
+val policy_to_string : policy -> string
+
+val run :
+  ?faults:Wedge_fault.Fault_plan.t ->
+  ?policy:policy ->
+  ?on_switch:(unit -> unit) ->
+  (unit -> unit) ->
+  unit
 (** [run main] executes [main] as the first fiber and schedules every fiber
     it spawns, returning when all fibers have terminated.  When [faults] is
     given, every {!yield} rolls the plan at site ["fiber.yield"]; a fired
     fault raises {!Wedge_fault.Fault_plan.Injected} in the yielding fiber
     (crashing it mid-run unless a compartment boundary catches it).
+    [on_switch] runs before every scheduling step — the hook invariant
+    oracles use to check kernel state at each context switch.  It must not
+    yield or spawn; an exception it raises aborts the run (and propagates).
     @raise Deadlock if fibers block forever. *)
+
+val last_decisions : unit -> int array
+(** The decision trace of the most recently {e finished} run — one pool
+    index per scheduling step under [Random]/[Pct]/[Replay], empty under
+    [Round_robin].  Valid after both normal and exceptional termination,
+    so a failing schedule can be replayed ([Replay]) and shrunk. *)
 
 val spawn : (unit -> unit) -> unit
 (** Add a new fiber.  Must be called from within {!run}. *)

@@ -351,7 +351,7 @@ let test_drbg_int_below_range () =
     if v < 0 || v >= 17 then Alcotest.fail "out of range"
   done
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let () =
   Alcotest.run "wedge_crypto"

@@ -417,7 +417,7 @@ let prop_default_deny_total =
       in
       W.sthread_join main h = 1)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let () =
   Alcotest.run "wedge_engine_extra"

@@ -255,7 +255,7 @@ let test_pop3_path_injection () =
       Chan.close client_ep);
   check Alcotest.bool "path-shaped username rejected" false !logged
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let () =
   Alcotest.run "wedge_fuzz"

@@ -604,7 +604,7 @@ let () =
             test_vm_kernel_write_preserves_shared_frame;
           Alcotest.test_case "probes" `Quick test_vm_can_read_write_probes;
         ] );
-      ("vm-properties", List.map QCheck_alcotest.to_alcotest [ prop_refcount_invariant ]);
+      ("vm-properties", List.map Test_rng.to_alcotest [ prop_refcount_invariant ]);
       ( "pagetable",
         [
           Alcotest.test_case "double map rejected" `Quick test_pagetable_double_map_rejected;

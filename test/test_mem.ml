@@ -341,7 +341,7 @@ let test_tag_cache_disabled () =
   check Alcotest.int "nothing cached" 0 (Tag_cache.size cache);
   check Alcotest.bool "take misses" true (Tag_cache.take cache ~pages:1 = None)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let () =
   Alcotest.run "wedge_mem"

@@ -1,0 +1,39 @@
+(* One seeded PRNG for every randomized test in the suite.
+
+   All property tests draw from a single seed so a red CI run is
+   reproducible on a laptop: the failure output names the seed, and
+
+     WEDGE_TEST_SEED=<n> dune runtest
+
+   replays the exact generation sequence.  Individual tests never touch
+   the stdlib's global [Random] state. *)
+
+let seed =
+  match Sys.getenv_opt "WEDGE_TEST_SEED" with
+  | None -> 0xC0FFEE
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "WEDGE_TEST_SEED=%S is not an integer\n%!" s;
+          exit 2)
+
+(* A fresh state per call: each property test gets the same stream
+   regardless of suite ordering or which other tests ran first. *)
+let state () = Random.State.make [| seed |]
+
+let to_alcotest ?long t =
+  let name, speed, f = QCheck_alcotest.to_alcotest ?long ~rand:(state ()) t in
+  ( name,
+    speed,
+    fun () ->
+      try f ()
+      with e ->
+        Printf.eprintf "[test_rng] failing seed: WEDGE_TEST_SEED=%d\n%!" seed;
+        raise e )
+
+(* Ad-hoc randomized loops (non-QCheck) share the same discipline: take a
+   state from [fork ~label] — the label decorrelates streams between call
+   sites — and report [seed] in any failure message. *)
+let fork ~label =
+  Random.State.make [| seed; Hashtbl.hash label |]

@@ -86,6 +86,119 @@ let test_fiber_usable_after_crash () =
   Fiber.run (fun () -> ran := true);
   check Alcotest.bool "second run works" true !ran
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_fiber_deadlock_message_lists_waiters () =
+  (* The message must name every blocked fiber with what it awaits, so a
+     wedged exploration run is diagnosable from the exception alone. *)
+  match
+    Fiber.run (fun () ->
+        Fiber.spawn (fun () -> Fiber.wait_until ~what:"red flag" (fun () -> false));
+        Fiber.spawn (fun () -> Fiber.wait_until ~what:"green flag" (fun () -> false)))
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Fiber.Deadlock what ->
+      check Alcotest.bool "lists first waiter" true (contains what "red flag");
+      check Alcotest.bool "lists second waiter" true (contains what "green flag");
+      check Alcotest.bool "names a fiber id" true (contains what "fiber")
+
+let test_fiber_stamp_tracks_progress () =
+  let s0 = ref 0 and s1 = ref 0 and s2 = ref 0 in
+  check Alcotest.int "zero outside run" 0 (Fiber.stamp ());
+  Fiber.run (fun () ->
+      s0 := Fiber.stamp ();
+      Fiber.yield ();
+      (* A bare yield is not progress: the detector must see a stalled
+         system through any number of idle spins. *)
+      s1 := Fiber.stamp ();
+      Fiber.progress ();
+      s2 := Fiber.stamp ());
+  check Alcotest.int "yield alone does not advance the stamp" !s0 !s1;
+  check Alcotest.bool "progress advances the stamp" true (!s2 > !s1)
+
+let test_fiber_nested_spawn_ordering_policies () =
+  (* Nested spawns must run exactly once under every policy; round-robin
+     additionally pins the historical FIFO order. *)
+  let trace policy =
+    let log = Buffer.create 32 in
+    Fiber.run ~policy (fun () ->
+        Fiber.spawn (fun () ->
+            Buffer.add_string log "a";
+            Fiber.spawn (fun () -> Buffer.add_string log "c");
+            Fiber.yield ();
+            Buffer.add_string log "d");
+        Fiber.spawn (fun () -> Buffer.add_string log "b"));
+    Buffer.contents log
+  in
+  check Alcotest.string "round-robin FIFO" "abcd" (trace Fiber.Round_robin);
+  List.iter
+    (fun policy ->
+      let t = trace policy in
+      check Alcotest.int "all four ran" 4 (String.length t);
+      check Alcotest.string "same multiset of events" "abcd"
+        (String.init 4
+           (let sorted = List.sort compare [ t.[0]; t.[1]; t.[2]; t.[3] ] in
+            List.nth sorted));
+      (* Replayable: the same policy gives the same interleaving. *)
+      check Alcotest.string "deterministic in seed" t (trace policy))
+    [ Fiber.Random 42; Fiber.Pct { seed = 42; change_prob = 0.1 } ]
+
+let test_fiber_last_decisions_replay () =
+  let order policy =
+    let log = Buffer.create 8 in
+    Fiber.run ~policy (fun () ->
+        Fiber.spawn (fun () -> Buffer.add_string log "x");
+        Fiber.spawn (fun () -> Buffer.add_string log "y");
+        Fiber.yield ());
+    Buffer.contents log
+  in
+  let under_random = order (Fiber.Random 9) in
+  let decisions = Fiber.last_decisions () in
+  check Alcotest.bool "decisions recorded" true (Array.length decisions > 0);
+  check Alcotest.string "replaying the trace reproduces the schedule"
+    under_random
+    (order (Fiber.Replay decisions));
+  (* Decisions survive exceptional termination too. *)
+  (match
+     Fiber.run ~policy:(Fiber.Random 9) (fun () ->
+         Fiber.spawn (fun () -> ());
+         Fiber.yield ();
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected failure"
+  | exception Failure _ ->
+      check Alcotest.bool "decisions valid after a crash" true
+        (Array.length (Fiber.last_decisions ()) > 0));
+  check Alcotest.int "round-robin records no decisions" 0
+    (Fiber.run Fiber.yield;
+     Array.length (Fiber.last_decisions ()))
+
+let test_fiber_yield_fault_injection () =
+  (* An armed plan with a certain rule at "fiber.yield" kills the yielding
+     fiber; other fibers keep running and the run itself completes. *)
+  let plan = Wedge_fault.Fault_plan.create ~seed:3 () in
+  Wedge_fault.Fault_plan.rule plan ~site:"fiber.yield" ~prob:1.0
+    [ Wedge_fault.Fault_plan.Reset ];
+  let survivor = ref false and victim_died = ref false in
+  Fiber.run ~faults:plan (fun () ->
+      Fiber.spawn (fun () ->
+          match Fiber.yield () with
+          | () -> ()
+          | exception Wedge_fault.Fault_plan.Injected _ -> victim_died := true);
+      survivor := true);
+  check Alcotest.bool "yielding fiber saw the injection" true !victim_died;
+  check Alcotest.bool "non-yielding fiber unaffected" true !survivor;
+  (* Disarmed: yields are clean again. *)
+  Wedge_fault.Fault_plan.disarm plan;
+  let clean = ref false in
+  Fiber.run ~faults:plan (fun () ->
+      Fiber.yield ();
+      clean := true);
+  check Alcotest.bool "disarmed yield clean" true !clean
+
 (* ---------- clock ---------- *)
 
 let test_clock_accumulates () =
@@ -163,6 +276,13 @@ let () =
           Alcotest.test_case "yield outside run" `Quick test_fiber_yield_outside_run_is_noop;
           Alcotest.test_case "nested run rejected" `Quick test_fiber_nested_run_rejected;
           Alcotest.test_case "usable after crash" `Quick test_fiber_usable_after_crash;
+          Alcotest.test_case "deadlock message lists waiters" `Quick
+            test_fiber_deadlock_message_lists_waiters;
+          Alcotest.test_case "stamp tracks progress" `Quick test_fiber_stamp_tracks_progress;
+          Alcotest.test_case "nested spawn ordering per policy" `Quick
+            test_fiber_nested_spawn_ordering_policies;
+          Alcotest.test_case "last_decisions replay" `Quick test_fiber_last_decisions_replay;
+          Alcotest.test_case "yield fault injection" `Quick test_fiber_yield_fault_injection;
         ] );
       ( "clock",
         [

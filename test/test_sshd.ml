@@ -389,7 +389,7 @@ let prop_proto_roundtrip =
     (fun msg ->
       Wedge_sshd.Ssh_proto.unmarshal (Wedge_sshd.Ssh_proto.marshal msg) = Some msg)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let both name f = [ Alcotest.test_case (name ^ " (mono)") `Quick (f VMono);
                     Alcotest.test_case (name ^ " (privsep)") `Quick (f VPrivsep);

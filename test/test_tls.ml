@@ -452,7 +452,7 @@ let prop_wire_frames_roundtrip =
       List.length parsed = List.length payloads
       && List.for_all2 (fun (t, b) p -> t = Wire.App_data && Bytes.to_string b = p) parsed payloads)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map Test_rng.to_alcotest tests
 
 let () =
   Alcotest.run "wedge_tls"
