@@ -5,7 +5,8 @@
      dune exec bench/main.exe               # everything
      dune exec bench/main.exe -- fig7       # Figure 7 only
      dune exec bench/main.exe -- fig8 table2 ...
-   Experiments: fig7 fig8 fig9 table2 metrics ablation bechamel faults tlb *)
+   Experiments: fig7 fig8 fig9 table2 metrics ablation bechamel faults tlb
+   recovery *)
 
 let experiments =
   [
@@ -18,13 +19,17 @@ let experiments =
     ("bechamel", Bench_bechamel.run);
     ("faults", Bench_faults.run);
     ("tlb", Bench_tlb.run);
+    ("recovery", Bench_recovery.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
     if args = [] then
-      [ "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults"; "tlb" ]
+      [
+        "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults"; "tlb";
+        "recovery";
+      ]
     else args
   in
   print_endline "Wedge reproduction benchmarks (NSDI 2008)";

@@ -52,4 +52,14 @@ rm -f "$trace_out"
 echo "== schedule exploration (smoke) =="
 WEDGE_CHECK_SMOKE=1 dune exec bin/wedge_cli.exe -- check --scenario httpd --schedules 25 --seed 1
 
+# Self-healing gate: a seeded fault storm with induced hangs against the
+# supervised httpd (watchdog cuts, breaker trips, quarantine) must pass
+# the oracles on every schedule and end with the breaker closed and zero
+# leaked frames or descriptors; then the MTTR benchmark must produce its
+# artifact (shrunk incident count under the smoke flag).
+echo "== self-healing recovery (smoke) =="
+WEDGE_RECOVERY_SMOKE=1 dune exec bin/wedge_cli.exe -- check --scenario httpd_storm --schedules 25 --seed 1
+WEDGE_RECOVERY_SMOKE=1 dune exec bench/main.exe -- recovery
+test -s BENCH_recovery.json
+
 echo "check.sh: all green"

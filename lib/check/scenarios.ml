@@ -25,15 +25,18 @@
 module Kernel = Wedge_kernel.Kernel
 module Rlimit = Wedge_kernel.Rlimit
 module Cost_model = Wedge_sim.Cost_model
+module Clock = Wedge_sim.Clock
 module Stats = Wedge_sim.Stats
 module Fiber = Wedge_sim.Fiber
 module Fault_plan = Wedge_fault.Fault_plan
 module Chan = Wedge_net.Chan
 module Guard = Wedge_net.Guard
+module Watchdog = Wedge_net.Watchdog
 module Byzantine = Wedge_net.Byzantine
 module Drbg = Wedge_crypto.Drbg
 module Rsa = Wedge_crypto.Rsa
 module W = Wedge_core.Wedge
+module Supervisor = Wedge_core.Supervisor
 
 type t = {
   s_name : string;
@@ -48,19 +51,32 @@ let contains hay needle =
 
 (* Run [main] under [policy] with the oracle (and optionally the
    differential model) armed, then sweep.  [summarize] builds the
-   deterministic outcome line from whatever the scenario observed. *)
-let checked ~kernel ?app ~policy ~diff main summarize =
+   deterministic outcome line from whatever the scenario observed.
+   [extra_hook] (e.g. a watchdog sweep) is composed {e before} the
+   oracle's sampled check, so invariants like [Watchdog.self_check] hold
+   at every inspected switch; [clock] is threaded to the fiber scheduler
+   so induced ["fiber.stall"] faults charge simulated time. *)
+let checked ~kernel ?app ?sched_faults ?clock ?extra_hook ~policy ~diff main summarize =
   let oracle = Oracle.create kernel in
   (match app with Some a -> Oracle.set_app oracle a | None -> ());
   let refvm = if diff then Some (Refvm.create kernel) else None in
   Oracle.install_syscall_hook oracle;
   (match refvm with Some rv -> Refvm.arm rv | None -> ());
+  let on_switch =
+    let ohook = Oracle.hook oracle in
+    match extra_hook with
+    | None -> ohook
+    | Some h ->
+        fun () ->
+          h ();
+          ohook ()
+  in
   Fun.protect
     ~finally:(fun () ->
       Oracle.remove_syscall_hook oracle;
       match refvm with Some rv -> Refvm.disarm rv | None -> ())
     (fun () ->
-      Fiber.run ~policy ~on_switch:(Oracle.hook oracle) (fun () -> main oracle);
+      Fiber.run ?faults:sched_faults ?clock ~policy ~on_switch (fun () -> main oracle);
       Oracle.check oracle;
       (match refvm with Some rv -> Refvm.verify rv | None -> ());
       Printf.sprintf "%s checks=%d diff_events=%s" (summarize ())
@@ -72,11 +88,38 @@ let tally_to_string (t : Byzantine.tally) =
     t.refused t.rejected t.cut t.errors
 
 let guard_to_string (s : Guard.stats) =
-  Printf.sprintf "admitted=%d busy=%d draining=%d timed_out=%d forced=%d active=%d"
+  Printf.sprintf
+    "admitted=%d busy=%d draining=%d timed_out=%d forced=%d shed=%d bopen=%d active=%d"
     s.Guard.s_admitted s.s_rejected_busy s.s_rejected_draining s.s_timed_out s.s_forced
-    s.s_active
+    s.s_shed s.s_breaker_opened s.s_active
 
 let plan_digest plan = Digest.to_hex (Digest.string (Fault_plan.trace plan))
+
+(* Recovery epilogue for the storm scenarios: with the fault plan already
+   disarmed, advance the clock past the breaker's cooling period and feed
+   clean probe connections until the breaker closes — the scenario's own
+   "system healed" assertion.  A worker quarantined by the storm makes
+   the first probes fail and re-open the breaker; the clock advances each
+   round, so the quarantine lifts and the loop converges.  The bound only
+   trips when recovery is genuinely broken. *)
+let heal_breaker ~what guard clock probe =
+  let rec go tries =
+    match Guard.breaker_state guard with
+    | None | Some Guard.Closed -> tries
+    | Some _ ->
+        if tries >= 60 then
+          raise (Oracle.Violation (what ^ ": breaker stuck open after the storm ended"))
+        else begin
+          Clock.charge clock 6_000;
+          probe ();
+          (* Outcomes reach the breaker when the serve fiber finishes. *)
+          Fiber.wait_until
+            ~what:(what ^ " probe settled")
+            (fun () -> Guard.active guard = 0);
+          go (tries + 1)
+        end
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* POP3: partitioned server under flood + faults + slow-loris          *)
@@ -298,6 +341,228 @@ let run_racy ~policy ~diff ~faults:_ ~seed:_ =
     (fun () -> Printf.sprintf "racy counter=%d" (W.read_u64 main_ctx addr))
 
 (* ------------------------------------------------------------------ *)
+(* Fault storms: self-healing under injected crashes AND induced hangs.
+
+   On top of the channel/memory faults of the base scenarios, the storm
+   plans roll ["fiber.stall"] (a fiber freezes for 20 µs of simulated
+   time — far past the watchdog's deadline) and ["cgate.call"] (a
+   callgate stalls or crashes mid-call).  The servers run their declared
+   supervision trees behind a guard armed with a circuit breaker and a
+   watchdog; the scenario asserts the full self-healing story: every
+   hung compartment is cut by the watchdog (oracle invariant), the
+   listener survives, the breaker closes again once the storm passes
+   (heal epilogue), and the oracle sweeps clean — no leaked frame or
+   descriptor across any restart, cut, or quarantine. *)
+
+let storm_plan ~seed ~faults ~cgates =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.04 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.04 [ Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"physmem.alloc" ~prob:0.002 [ Fault_plan.Enomem ];
+    Fault_plan.rule plan ~site:"fiber.stall" ~prob:0.003 [ Fault_plan.Delay 20_000 ];
+    if cgates then
+      Fault_plan.rule plan ~site:"cgate.call" ~prob:0.02
+        [ Fault_plan.Delay 20_000; Fault_plan.Crash ]
+  end;
+  Fault_plan.disarm plan;
+  plan
+
+let storm_breaker () =
+  Guard.breaker_config ~consecutive:3 ~rate:0.5 ~min_samples:6 ~window_ns:40_000
+    ~open_ns:5_000 ~probes:2 ~brownout:0.3 ()
+
+(* The watchdog sweep runs at every context switch ([checked]'s
+   [extra_hook]), so a hung heart is cut within one scheduling step of
+   its deadline.  The oracle re-checks between switches too (syscall
+   entries), where a single large clock charge (a 20 µs induced stall)
+   can land before the next sweep — the slack covers exactly that. *)
+let storm_watchdog_invariant oracle w =
+  Oracle.add_invariant oracle ~name:"watchdog.cut-by-deadline" (fun () ->
+      Watchdog.self_check ~slack_ns:50_000 w)
+
+let storm_summary ~server ~k ~t ~heal ~guard ~w ~tree =
+  Printf.sprintf "%s %s heal=%d %s breaker=%s wd_cuts=%d wd_beats=%d %s degraded=%d shed=%d plan_armed"
+    server (tally_to_string t) heal
+    (guard_to_string (Guard.stats guard))
+    (Guard.breaker_summary guard) (Watchdog.cuts w) (Watchdog.beats w)
+    (Supervisor.tree_to_string tree)
+    (Stats.get k.Kernel.stats (server ^ ".degraded"))
+    (Stats.get k.Kernel.stats (server ^ ".shed"))
+
+let run_httpd_storm ~policy ~diff ~faults ~seed =
+  let plan = storm_plan ~seed ~faults ~cgates:true in
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let clock = k.Kernel.clock in
+  let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
+  let app = env.Wedge_httpd.Httpd_env.app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:8 () in
+  let w = Watchdog.create ~deadline_ns:6_000 clock in
+  let guard =
+    Guard.create ~clock ~header_deadline_ns:8_000 ~breaker:(storm_breaker ())
+      ~watchdog:w ~max_conns:4 ()
+  in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "503" in
+  let n_clients = 12 in
+  let clean_request = "GET /index.html HTTP/1.1\r\n\r\n" in
+  let tree =
+    Wedge_httpd.Httpd_simple.supervision_tree
+      ~worker_policy:(Supervisor.policy ~max_restarts:1 ())
+      env
+  in
+  let node, _, _ = tree in
+  let heal = ref 0 in
+  checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook:(Watchdog.hook w)
+    ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"httpd.guard" guard;
+      storm_watchdog_invariant oracle w;
+      Fiber.spawn (fun () ->
+          Wedge_httpd.Httpd_simple.serve_loop ~max_request_bytes:4096 ~supervision:tree
+            env guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              (* A truncated ClientHello frame (header claims 256 bytes,
+                 body never arrives): the worker blocks mid-record, and
+                 only hang detection can reclaim the slot. *)
+              Byzantine.mid_header_stall t l ~clock ~step_ns:1_000
+                ~prefix:"h\001\000partial-hello" ~is_rejection ()
+            else if i mod 5 = 0 then
+              Byzantine.half_close t l ~request:"GET / HTTP/1.0\r\n\r\n" ~is_rejection
+            else Byzantine.oneshot t l ~request:clean_request ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"httpd storm resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      let probes = Byzantine.tally () in
+      heal :=
+        heal_breaker ~what:"httpd" guard clock (fun () ->
+            Byzantine.oneshot probes l ~request:clean_request ~is_rejection);
+      Guard.drain guard l)
+    (fun () -> storm_summary ~server:"httpd" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+
+let run_pop3_storm ~policy ~diff ~faults ~seed =
+  let plan = storm_plan ~seed ~faults ~cgates:true in
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let clock = k.Kernel.clock in
+  Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+  let app = W.create_app ~image_pages:60 k in
+  W.boot app;
+  let main_ctx = W.main_ctx app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:8 () in
+  let w = Watchdog.create ~deadline_ns:6_000 clock in
+  let guard =
+    Guard.create ~clock ~header_deadline_ns:8_000 ~breaker:(storm_breaker ())
+      ~watchdog:w ~max_conns:4 ()
+  in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "-ERR busy" in
+  let n_clients = 12 in
+  let clean_request = "USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n" in
+  let tree = Wedge_pop3.Pop3_wedge.supervision_tree main_ctx in
+  let node, _, _ = tree in
+  let heal = ref 0 in
+  checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook:(Watchdog.hook w)
+    ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"pop3.guard" guard;
+      storm_watchdog_invariant oracle w;
+      Fiber.spawn (fun () ->
+          Wedge_pop3.Pop3_wedge.serve_loop ~supervision:tree main_ctx guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              Byzantine.mid_header_stall t l ~clock ~step_ns:1_000 ~prefix:"USER ali"
+                ~is_rejection ()
+            else if i mod 5 = 0 then
+              Byzantine.half_close t l ~request:"USER alice\r\nQUIT\r\n" ~is_rejection
+            else Byzantine.oneshot t l ~request:clean_request ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"pop3 storm resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      let probes = Byzantine.tally () in
+      heal :=
+        heal_breaker ~what:"pop3" guard clock (fun () ->
+            Byzantine.oneshot probes l ~request:clean_request ~is_rejection);
+      Guard.drain guard l)
+    (fun () -> storm_summary ~server:"pop3" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+
+let run_sshd_storm ~policy ~diff ~faults ~seed =
+  (* No callgates on the privsep path: hangs come from fiber stalls. *)
+  let plan = storm_plan ~seed ~faults ~cgates:false in
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let clock = k.Kernel.clock in
+  let env = Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed k in
+  let app = env.Wedge_sshd.Sshd_env.app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:6 () in
+  let w = Watchdog.create ~deadline_ns:6_000 clock in
+  let guard =
+    Guard.create ~clock ~header_deadline_ns:8_000 ~breaker:(storm_breaker ())
+      ~watchdog:w ~max_conns:3 ()
+  in
+  let t = Byzantine.tally () in
+  let is_rejection _ = false in
+  let n_clients = 9 in
+  let tree = Wedge_sshd.Sshd_privsep.supervision_tree env in
+  let node, _, _ = tree in
+  let heal = ref 0 in
+  (* The healing probe is a real SSH login: garbage cannot prove the
+     backend healthy, a key exchange + authentication can. *)
+  let probe_n = ref 0 in
+  let probe () =
+    incr probe_n;
+    match Chan.connect l with
+    | exception _ -> ()
+    | ep -> (
+        let rng = Drbg.create ~seed:(seed + 0x5AFE + !probe_n) in
+        match
+          Wedge_sshd.Ssh_client.login ~rng
+            ~pinned_rsa:env.Wedge_sshd.Sshd_env.host_rsa.Rsa.pub
+            ~pinned_dsa:env.Wedge_sshd.Sshd_env.host_dsa.Wedge_crypto.Dsa.pub
+            ~user:"alice"
+            (Wedge_sshd.Ssh_client.Password "wonderland")
+            ep
+        with
+        | Ok conn -> Wedge_sshd.Ssh_client.close conn
+        | Error _ -> ( try Chan.close ep with _ -> ())
+        | exception _ -> ( try Chan.close ep with _ -> ()))
+  in
+  checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook:(Watchdog.hook w)
+    ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"sshd.guard" guard;
+      storm_watchdog_invariant oracle w;
+      Fiber.spawn (fun () ->
+          Wedge_sshd.Sshd_privsep.serve_loop ~supervision:tree env guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              (* A truncated wire frame: the header claims a 256-byte
+                 payload, so the slave blocks mid-message — only the
+                 watchdog can reclaim it.  (A bad leading byte like a raw
+                 "SSH-2.0-" banner fails fast instead of hanging.) *)
+              Byzantine.mid_header_stall t l ~clock ~step_ns:1_000
+                ~prefix:"D\001\000SSH-2.0-cha" ~is_rejection ()
+            else if i mod 5 = 0 then
+              Byzantine.half_close t l ~request:"SSH-2.0-chaos\r\n\r\n" ~is_rejection
+            else
+              Byzantine.oneshot t l ~request:"SSH-2.0-chaos\r\nnot-a-kexinit\r\n"
+                ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"sshd storm resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      heal := heal_breaker ~what:"sshd" guard clock probe;
+      Guard.drain guard l)
+    (fun () -> storm_summary ~server:"sshd" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -315,6 +580,24 @@ let all =
       s_name = "sshd";
       s_doc = "fork-per-connection sshd privsep under protocol garbage";
       s_run = (fun ~policy ~diff ~faults ~seed -> run_sshd ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "httpd_storm";
+      s_doc = "httpd self-healing: fault storm + induced hangs, watchdog, breaker, tree";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_httpd_storm ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "pop3_storm";
+      s_doc = "pop3 self-healing: fault storm + induced hangs, watchdog, breaker, tree";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_pop3_storm ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "sshd_storm";
+      s_doc = "sshd self-healing: fault storm + induced hangs, watchdog, breaker, tree";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_sshd_storm ~policy ~diff ~faults ~seed);
     };
     {
       s_name = "racy";

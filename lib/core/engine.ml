@@ -25,6 +25,7 @@ module Smalloc = Wedge_mem.Smalloc
 module Tag_cache = Wedge_mem.Tag_cache
 module Fault_plan = Wedge_fault.Fault_plan
 module Rlimit = Wedge_kernel.Rlimit
+module Fiber = Wedge_sim.Fiber
 
 exception Privilege_violation of string
 exception Exit_sthread of int
@@ -54,6 +55,9 @@ let fault_reason e =
   | Fault_plan.Injected msg -> Some msg
   | Rlimit.Resource_exhausted msg -> Some msg
   | Heap_corruption msg -> Some msg
+  (* A watchdog-cancelled fiber dies contained, like a SIGKILLed hung
+     worker: the hang was detected and cut, not a programming error. *)
+  | Fiber.Cancelled msg -> Some msg
   | _ -> List.find_map (fun f -> f e) !extra_fault_classes
 
 let page_size = Physmem.page_size
@@ -766,6 +770,20 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
     result
   in
   let started_ns = Clock.now (clock caller) in
+  (* Fault site "cgate.call": [Delay ns] models a livelocked gate — the
+     invocation burns [ns] of simulated time before the entry runs, so a
+     caller-supplied [deadline_ns] fires (and a recycled member is
+     discarded as hung); any other kind crashes the call contained, in
+     the caller, before any gate process is built. *)
+  (match Fault_plan.roll_opt caller.app.kernel.Kernel.faults ~site:"cgate.call" with
+  | Some (Fault_plan.Delay ns) ->
+      stat caller "cgate.stalled";
+      charge caller ns
+  | Some k ->
+      stat caller "fault.cgate";
+      if Trace.enabled tr then Trace.span_end tr ~name:span ~pid:(pid caller);
+      Fault_plan.fail ~site:"cgate.call" k
+  | None -> ());
   (* A gate that overruns its deadline is treated as hung: the caller gets
      -1 after the gate's work has been charged to the clock (the timeout
      fires only once that much simulated time has passed). *)

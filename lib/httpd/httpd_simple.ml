@@ -167,8 +167,8 @@ let send_degraded main ep =
   try Chan.write_string ep (Http.format_response Http.internal_error) with _ -> ()
 
 let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_policy)
-    ?exploit_handshake ?exploit_request ?guard ?max_request_bytes ?worker_limits
-    (env : Httpd_env.t) ep =
+    ?supervised ?exploit_handshake ?exploit_request ?guard ?max_request_bytes
+    ?worker_limits (env : Httpd_env.t) ep =
   let main = env.Httpd_env.main in
   (* Per-connection setup runs in the monitor, so a fault here (injected
      frame exhaustion during tag_new, a reset connection) must be contained
@@ -231,9 +231,7 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
         attempts = 0;
       }
   | conn_tag, arg_tag, arg_block, fd, worker_sc, gate ->
-      let outcome =
-        Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
-          (fun ctx _ ->
+      let worker_main ctx _ =
             let io = io_of_fd ctx fd in
             let master_ref = ref None
             and keys_ref = ref None
@@ -271,8 +269,16 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
                         Httpd_env.charge ctx Httpd_env.Mac;
                         Handshake.send_data io keys (Bytes.of_string resp);
                         env.Httpd_env.served <- env.Httpd_env.served + 1;
-                        0)))
-          0
+                        0))
+      in
+      let outcome =
+        (* A supervised worker runs under the tree's per-child policy and
+           intensity budget; unsupervised falls back to the flat layer. *)
+        match supervised with
+        | Some child -> Supervisor.run_child_sthread child worker_sc worker_main 0
+        | None ->
+            Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
+              worker_main 0
       in
       let worker_status, degraded, attempts =
         match outcome with
@@ -292,19 +298,58 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
         attempts;
       }
 
+(* The declared worker/listener topology: one node, the listener child
+   registered first (so a [Rest_for_one] escalation of the listener also
+   restarts the workers, never the reverse). *)
+let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+    ?listener_policy ?worker_policy (env : Httpd_env.t) =
+  let node =
+    Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+      ~name:"httpd" env.Httpd_env.main
+  in
+  let listener =
+    Supervisor.child
+      ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
+      node ~name:"listener"
+  in
+  let worker =
+    Supervisor.child
+      ?policy:worker_policy
+      node ~name:"worker"
+  in
+  (node, listener, worker)
+
 (* Guarded accept loop: admission control in front of per-connection
-   compartments.  Over-capacity connections get a plaintext 503 (the TLS
-   session never started, so plaintext is all there is) and are closed;
-   admitted ones are served in their own fiber with the slot
-   auto-released.  Returns when the listener shuts down (see
-   [Guard.drain]). *)
-let serve_loop ?restart_policy ?max_request_bytes ?worker_limits (env : Httpd_env.t)
-    guard listener =
-  Guard.accept_loop guard listener
-    ~reject:(fun _decision ep ->
-      W.stat env.Httpd_env.main "httpd.rejected";
-      Chan.write_string ep (Http.format_response Http.service_unavailable))
-    ~serve:(fun c ->
-      ignore
-        (serve_connection ?restart_policy ~guard:c ?max_request_bytes ?worker_limits env
-           (Guard.ep c)))
+   compartments.  Over-capacity (or breaker-shed) connections get a
+   plaintext 503 (the TLS session never started, so plaintext is all
+   there is) and are closed; admitted ones are served in their own fiber
+   with the slot auto-released and their outcome reported to the guard's
+   breaker.  With [supervision], workers run under the tree's "worker"
+   child and the accept loop itself under "listener" — a contained fault
+   leaking out of the serve path restarts the loop instead of killing the
+   server.  Returns when the listener shuts down (see [Guard.drain]). *)
+let serve_loop ?restart_policy ?max_request_bytes ?worker_limits ?supervision
+    (env : Httpd_env.t) guard listener =
+  let main = env.Httpd_env.main in
+  let supervised = Option.map (fun (_, _, worker) -> worker) supervision in
+  let reject decision ep =
+    (match decision with
+    | Guard.Shed -> W.stat main "httpd.shed"
+    | _ -> W.stat main "httpd.rejected");
+    Chan.write_string ep (Http.format_response Http.service_unavailable)
+  in
+  let serve c =
+    let r =
+      serve_connection ?restart_policy ?supervised ~guard:c ?max_request_bytes
+        ?worker_limits env (Guard.ep c)
+    in
+    Guard.report c ~ok:(not r.degraded)
+  in
+  let accept () =
+    Guard.accept_loop guard listener ~reject ~serve;
+    0
+  in
+  match supervision with
+  | None -> ignore (accept ())
+  | Some (_, listener_child, _) ->
+      ignore (Supervisor.run_child_fn listener_child accept)

@@ -23,6 +23,7 @@ type conn_debug = {
 val serve_connection :
   ?recycled:bool ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?supervised:Wedge_core.Supervisor.child ->
   ?exploit_handshake:(Wedge_core.Wedge.ctx -> unit) ->
   ?exploit_request:(Wedge_core.Wedge.ctx -> unit) ->
   ?guard:Wedge_net.Guard.conn ->
@@ -42,7 +43,9 @@ val serve_connection :
     [httpd.degraded] / [supervisor.*] bumped) and never propagates to the
     caller, so an accept loop above survives any connection's death.
     [restart_policy] retries faulted workers first (default: none — the
-    TLS stream is consumed by the failed attempt).
+    TLS stream is consumed by the failed attempt); [supervised] runs the
+    worker under a supervision-tree child instead (its policy and
+    intensity budget override [restart_policy]).
 
     Resource governance: [guard] makes the worker read through the
     deadline-aware endpoint (slow-loris becomes EOF) and marks the
@@ -51,15 +54,40 @@ val serve_connection :
     [worker_limits] arms per-sthread resource quotas (frames / fds /
     syscall fuel) on the worker compartment. *)
 
+val supervision_tree :
+  ?strategy:Wedge_core.Supervisor.strategy ->
+  ?intensity:int ->
+  ?window_ns:int ->
+  ?healthy_after_ns:int ->
+  ?quarantine_ns:int ->
+  ?listener_policy:Wedge_core.Supervisor.policy ->
+  ?worker_policy:Wedge_core.Supervisor.policy ->
+  Httpd_env.t ->
+  Wedge_core.Supervisor.node
+  * Wedge_core.Supervisor.child
+  * Wedge_core.Supervisor.child
+(** The declared httpd topology: node ["httpd"] with children
+    ["listener"] (registered first; default policy retries the accept
+    loop twice) and ["worker"].  Returns [(node, listener, worker)] —
+    pass the triple to {!serve_loop} as [supervision]. *)
+
 val serve_loop :
   ?restart_policy:Wedge_core.Supervisor.policy ->
   ?max_request_bytes:int ->
   ?worker_limits:Wedge_kernel.Rlimit.t ->
+  ?supervision:
+    Wedge_core.Supervisor.node
+    * Wedge_core.Supervisor.child
+    * Wedge_core.Supervisor.child ->
   Httpd_env.t ->
   Wedge_net.Guard.t ->
   Wedge_net.Chan.listener ->
   unit
 (** Guarded accept loop: over-capacity or draining connections get a
-    plaintext 503 and close (counter [httpd.rejected]); admitted ones run
-    {!serve_connection} in their own fiber.  Returns once the listener
-    shuts down — compose with {!Wedge_net.Guard.drain}. *)
+    plaintext 503 and close (counter [httpd.rejected]); breaker-shed ones
+    the same answer under [httpd.shed]; admitted ones run
+    {!serve_connection} in their own fiber, their outcome reported to the
+    guard's breaker ({!Wedge_net.Guard.report}).  With [supervision] (see
+    {!supervision_tree}) workers run under the "worker" child and the
+    accept loop under "listener".  Returns once the listener shuts down —
+    compose with {!Wedge_net.Guard.drain}. *)

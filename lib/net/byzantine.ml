@@ -113,6 +113,28 @@ let oversized t l ~size ~is_rejection =
       Chan.write_string ep "\r\n";
       classify t ~is_rejection (read_until_eof ep))
 
+(* Mid-header staller: send a plausible prefix of the request, then go
+   silent forever — a half-written header that never finishes.  Unlike
+   slow-loris it makes no further progress at all, so only hang detection
+   (a watchdog heartbeat deadline, or the guard's header deadline) can
+   reclaim the slot: the worker is blocked mid-read with bytes already
+   consumed.  The clock is charged in steps while waiting so deadlines
+   actually expire.  Always tallied as cut (the session never completed)
+   unless the server improbably answers the half request. *)
+let mid_header_stall t l ~clock ~step_ns ?(max_steps = 64) ~prefix ~is_rejection () =
+  with_conn t l (fun ep ->
+      Chan.write_string ep prefix;
+      let rec wait steps =
+        Clock.charge clock step_ns;
+        Fiber.yield ();
+        if Chan.is_eof ep then ()
+        else if steps < max_steps then wait (steps + 1)
+      in
+      wait 0;
+      let resp = read_until_eof ep in
+      if resp <> "" && is_rejection resp then t.rejected <- t.rejected + 1
+      else t.cut <- t.cut + 1)
+
 (* Connect and say nothing: holds a slot until the guard's stall/deadline
    detection cuts it loose.  Tallied as cut when reset, completed if the
    server closes cleanly first. *)

@@ -8,12 +8,50 @@
     force-close stragglers.
 
     Deadline cuts use {!Chan.abort}, so the worker compartment sees EOF
-    on read and a {e contained} fault on write — the listener survives. *)
+    on read and a {e contained} fault on write — the listener survives.
+
+    Two self-healing attachments (both optional):
+
+    - a per-backend {e circuit breaker} over reported worker outcomes:
+      closed → open on a consecutive-failure streak or a window failure
+      rate, open sheds every admission ({!decision} [Shed]) for a cooling
+      period, then half-open lets a few probes through — all succeeding
+      closes it, any failing reopens it.  Below the trip point, a window
+      failure rate at the brownout threshold sheds every second admission
+      (partial load shedding while the backend flaps);
+
+    - a {!Watchdog}: every admitted connection gets a heart armed in its
+      serve fiber, beaten by delivered bytes and {!established}, so a
+      hung worker is cut and cancelled within its heartbeat deadline. *)
 
 type t
 type conn
 
-type decision = Admitted of conn | Busy | Draining
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+type breaker_config
+
+val breaker_config :
+  ?consecutive:int ->
+  ?rate:float ->
+  ?min_samples:int ->
+  ?window_ns:int ->
+  ?open_ns:int ->
+  ?probes:int ->
+  ?brownout:float ->
+  unit ->
+  breaker_config
+(** Trip on [consecutive] (default 3) straight failures, or a failure
+    rate of [rate] (default 0.5) over at least [min_samples] (default 8)
+    outcomes within [window_ns] (default 20_000) of simulated time.  Stay
+    open for [open_ns] (default 10_000), then admit [probes] (default 2)
+    half-open probes.  Brownout-shed every second admission while the
+    window failure rate is at least [brownout] (default 0.25).
+    @raise Invalid_argument on non-positive thresholds or windows. *)
+
+type decision = Admitted of conn | Busy | Draining | Shed
 
 type stats = {
   s_active : int;
@@ -22,28 +60,50 @@ type stats = {
   s_rejected_draining : int;
   s_timed_out : int;  (** connections cut by a deadline or stall *)
   s_forced : int;  (** connections force-closed by {!drain} *)
+  s_shed : int;  (** admissions shed by the breaker or brownout *)
+  s_breaker_opened : int;  (** times the breaker tripped *)
 }
 
 val create :
   ?clock:Wedge_sim.Clock.t ->
   ?header_deadline_ns:int ->
   ?idle_deadline_ns:int ->
+  ?breaker:breaker_config ->
+  ?watchdog:Watchdog.t ->
   ?trace:Wedge_sim.Trace.t ->
   max_conns:int ->
   unit ->
   t
 (** [header_deadline_ns] bounds the time from admission to
     {!established} (e.g. handshake + first request line);
-    [idle_deadline_ns] bounds the gap between reads thereafter.  Both
-    need [clock].  [trace] records admission decisions
+    [idle_deadline_ns] bounds the gap between reads thereafter.  Both —
+    and [breaker] — need [clock].  [trace] records admission decisions
     (["guard.admit"/"guard.reject.busy"/"guard.reject.draining"]), cuts
-    (["guard.cut"]) and a ["guard.drain"] span.
-    @raise Invalid_argument on a deadline without a clock or
+    (["guard.cut"]), drain spans, and breaker transitions
+    (["guard.breaker.open"/"half_open"/"close"/"shed"]).
+    @raise Invalid_argument on a deadline or breaker without a clock or
     [max_conns <= 0]. *)
 
 val admit : t -> Chan.ep -> decision
 (** Claim a slot.  [Busy] when at [max_conns], [Draining] once {!drain}
-    started; both are counted and the caller must reject + close. *)
+    started, [Shed] when the breaker is open (or half-open beyond its
+    probe budget, or brownout alternation fires); all are counted and the
+    caller must reject + close.  The breaker is consulted {e before}
+    capacity: shedding refuses work without burning a slot. *)
+
+val report : conn -> ok:bool -> unit
+(** Feed this connection's outcome to the breaker (idempotent per
+    connection; no-op without a breaker).  Servers call it where they
+    decide served-vs-degraded. *)
+
+val breaker_state : t -> breaker_state option
+val breaker_reactions : t -> int list
+(** Trip latencies (first failure of a streak → open), oldest first —
+    the MTTR benchmark's breaker reaction rows. *)
+
+val breaker_summary : t -> string
+(** Deterministic one-liner, e.g. ["closed opened=2 shed=5"]; ["-"]
+    without a breaker. *)
 
 val release : conn -> unit
 (** Give the slot back; idempotent.  Always call (e.g. [Fun.protect

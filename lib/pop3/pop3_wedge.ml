@@ -180,7 +180,7 @@ let send_degraded main ep =
   try Chan.write_string ep "-ERR internal server error, closing\r\n" with _ -> ()
 
 let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts:1 ())
-    ?guard ?max_line ?worker_limits main ep =
+    ?supervised ?guard ?max_line ?worker_limits main ep =
   (* Guard the master's own per-connection setup: an injected fault during
      tag creation must degrade this connection, not kill the accept loop. *)
   let created = ref [] in
@@ -251,9 +251,7 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         attempts = 0;
       }
   | uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate ->
-      let outcome =
-        Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
-          (fun ctx _ ->
+      let worker_main ctx _ =
             let io =
               Lineio.create ?max_line
                 ~recv:(fun n -> W.fd_read ctx fd n)
@@ -279,8 +277,14 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
             in
             let exploit = Option.map (fun payload () -> payload ctx) exploit in
             Pop3_proto.serve io backend ~exploit;
-            0)
-          0
+            0
+      in
+      let outcome =
+        match supervised with
+        | Some child -> Supervisor.run_child_sthread child worker_sc worker_main 0
+        | None ->
+            Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
+              worker_main 0
       in
       let worker_status, degraded, attempts =
         match outcome with
@@ -300,15 +304,52 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         attempts;
       }
 
+(* The declared topology: listener first, then the per-connection
+   handler workers (rest-for-one restarts workers when the listener
+   escalates, never the reverse). *)
+let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+    ?listener_policy ?worker_policy main =
+  let node =
+    Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+      ~name:"pop3" main
+  in
+  let listener =
+    Supervisor.child
+      ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
+      node ~name:"listener"
+  in
+  let worker =
+    Supervisor.child
+      ~policy:(Option.value worker_policy ~default:(Supervisor.policy ~max_restarts:1 ()))
+      node ~name:"worker"
+  in
+  (node, listener, worker)
+
 (* Guarded accept loop: the admission front door for the partitioned
-   POP3 server.  Over-capacity or draining connections get "-ERR busy"
-   and close; admitted ones are served in their own fiber. *)
-let serve_loop ?exploit ?restart_policy ?max_line ?worker_limits main guard listener =
-  Guard.accept_loop guard listener
-    ~reject:(fun _decision ep ->
-      W.stat main "pop3.rejected";
-      Chan.write_string ep "-ERR busy, try again later\r\n")
-    ~serve:(fun c ->
-      ignore
-        (serve_connection ?exploit ?restart_policy ~guard:c ?max_line ?worker_limits main
-           (Guard.ep c)))
+   POP3 server.  Over-capacity, draining, or breaker-shed connections get
+   "-ERR busy" and close; admitted ones are served in their own fiber and
+   their outcome reported to the guard's breaker. *)
+let serve_loop ?exploit ?restart_policy ?max_line ?worker_limits ?supervision main guard
+    listener =
+  let supervised = Option.map (fun (_, _, worker) -> worker) supervision in
+  let reject decision ep =
+    (match decision with
+    | Guard.Shed -> W.stat main "pop3.shed"
+    | _ -> W.stat main "pop3.rejected");
+    Chan.write_string ep "-ERR busy, try again later\r\n"
+  in
+  let serve c =
+    let r =
+      serve_connection ?exploit ?restart_policy ?supervised ~guard:c ?max_line
+        ?worker_limits main (Guard.ep c)
+    in
+    Guard.report c ~ok:(not r.degraded)
+  in
+  let accept () =
+    Guard.accept_loop guard listener ~reject ~serve;
+    0
+  in
+  match supervision with
+  | None -> ignore (accept ())
+  | Some (_, listener_child, _) ->
+      ignore (Supervisor.run_child_fn listener_child accept)

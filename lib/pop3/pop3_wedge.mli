@@ -30,6 +30,7 @@ type conn_debug = {
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?supervised:Wedge_core.Supervisor.child ->
   ?guard:Wedge_net.Guard.conn ->
   ?max_line:int ->
   ?worker_limits:Wedge_kernel.Rlimit.t ->
@@ -44,6 +45,8 @@ val serve_connection :
     this connection (best-effort [-ERR] farewell, [pop3.degraded] counter)
     and never reaches the caller.  [restart_policy] defaults to one retry —
     POP3 is line-oriented, so a fresh handler can greet the client again.
+    [supervised] runs the handler under a supervision-tree child instead
+    (its policy and intensity budget override [restart_policy]).
 
     Resource governance: [guard] makes the handler read through the
     deadline-aware endpoint and marks the session established on a
@@ -51,16 +54,41 @@ val serve_connection :
     commands answer [-ERR command line too long] and close);
     [worker_limits] arms per-sthread resource quotas on the handler. *)
 
+val supervision_tree :
+  ?strategy:Wedge_core.Supervisor.strategy ->
+  ?intensity:int ->
+  ?window_ns:int ->
+  ?healthy_after_ns:int ->
+  ?quarantine_ns:int ->
+  ?listener_policy:Wedge_core.Supervisor.policy ->
+  ?worker_policy:Wedge_core.Supervisor.policy ->
+  Wedge_core.Wedge.ctx ->
+  Wedge_core.Supervisor.node
+  * Wedge_core.Supervisor.child
+  * Wedge_core.Supervisor.child
+(** The declared POP3 topology: node ["pop3"] with children ["listener"]
+    (registered first, default two accept-loop retries) and ["worker"]
+    (default one retry, matching {!serve_connection}).  Pass the triple
+    to {!serve_loop} as [supervision]. *)
+
 val serve_loop :
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
   ?max_line:int ->
   ?worker_limits:Wedge_kernel.Rlimit.t ->
+  ?supervision:
+    Wedge_core.Supervisor.node
+    * Wedge_core.Supervisor.child
+    * Wedge_core.Supervisor.child ->
   Wedge_core.Wedge.ctx ->
   Wedge_net.Guard.t ->
   Wedge_net.Chan.listener ->
   unit
 (** Guarded accept loop: over-capacity or draining connections get
-    ["-ERR busy, try again later"] and close (counter [pop3.rejected]);
-    admitted ones run {!serve_connection} in their own fiber.  Returns
-    once the listener shuts down — compose with {!Wedge_net.Guard.drain}. *)
+    ["-ERR busy, try again later"] and close (counter [pop3.rejected];
+    breaker-shed ones count [pop3.shed]); admitted ones run
+    {!serve_connection} in their own fiber, their outcome reported to the
+    guard's breaker.  With [supervision] (see {!supervision_tree})
+    workers run under "worker" and the accept loop under "listener".
+    Returns once the listener shuts down — compose with
+    {!Wedge_net.Guard.drain}. *)

@@ -8,6 +8,13 @@ type _ Effect.t += Spawn : (unit -> unit) -> unit Effect.t
 
 exception Deadlock of string
 
+exception Cancelled of string
+(* Delivered inside a fiber at its next yield (or stall step / wait-until
+   spin) after [cancel] marked it.  The watchdog uses this to tear down a
+   hung compartment: the engine registers [Cancelled] as a contained
+   fault class, so a cancelled worker dies like a crashed one — the
+   listener and every other fiber keep running. *)
+
 (* ------------------------------------------------------------------ *)
 (* Scheduling policies                                                 *)
 
@@ -63,7 +70,9 @@ type sched = {
   mutable cur : int;  (* id of the running fiber *)
   mutable next_id : int;
   blocked : (int, string) Hashtbl.t;  (* fiber id -> awaited condition *)
+  cancelled : (int, string) Hashtbl.t;  (* fiber id -> cancel reason *)
   faults : Fault_plan.t option;
+  clock : Clock.t option;  (* charged by induced stalls (site "fiber.stall") *)
 }
 
 let current : sched option ref = ref None
@@ -72,12 +81,61 @@ let progress () = match !current with Some s -> s.stamp <- s.stamp + 1 | None ->
 let stamp () = match !current with Some s -> s.stamp | None -> 0
 let fiber_id () = match !current with Some s -> s.cur | None -> 0
 
+(* Deliver a pending cancellation exactly once: the flag is consumed on
+   raise, so a supervisor restarting the cancelled worker does not see the
+   retry die instantly from the same stale mark. *)
+let check_cancel s =
+  match Hashtbl.find_opt s.cancelled s.cur with
+  | Some reason ->
+      Hashtbl.remove s.cancelled s.cur;
+      raise (Cancelled reason)
+  | None -> ()
+
+let cancel ?(reason = "cancelled") id =
+  match !current with
+  | None -> ()
+  | Some s ->
+      if not (Hashtbl.mem s.cancelled id) then Hashtbl.replace s.cancelled id reason
+
+let cancel_pending id =
+  match !current with None -> false | Some s -> Hashtbl.mem s.cancelled id
+
+(* An induced hang (site "fiber.stall", kind [Delay ns]): burn [ns] of
+   simulated time across several yields.  Each resume checks for
+   cancellation first, so a watchdog that cuts the stalled fiber turns the
+   hang into a contained [Cancelled] death mid-stall; an uncut stall is
+   transient — the fiber resumes where it left off. *)
+let stall s total =
+  let chunk = max 1 (total / 8) in
+  let rec go remaining =
+    if remaining > 0 then begin
+      check_cancel s;
+      (match s.clock with
+      | Some c ->
+          Clock.charge c (min chunk remaining);
+          (* Advancing the clock is global progress: deadline-based guards
+             must get to observe it rather than read the stall as a wedged
+             system. *)
+          progress ()
+      | None -> ());
+      perform Yield;
+      go (remaining - chunk)
+    end
+  in
+  go total;
+  check_cancel s
+
 let yield () =
   match !current with
   | None -> ()
   | Some s ->
+      check_cancel s;
       (match Fault_plan.roll_opt s.faults ~site:"fiber.yield" with
       | Some k -> Fault_plan.fail ~site:"fiber.yield" k
+      | None -> ());
+      (match Fault_plan.roll_opt s.faults ~site:"fiber.stall" with
+      | Some (Fault_plan.Delay ns) -> stall s ns
+      | Some k -> Fault_plan.fail ~site:"fiber.stall" k
       | None -> ());
       perform Yield
 
@@ -107,6 +165,7 @@ let wait_until ?(what = "condition") cond =
         let finish () = Hashtbl.remove s.blocked id in
         let rec loop last_stamp spins =
           if not (cond ()) then begin
+            check_cancel s;
             (* If we have spun through the run queue many times with no global
                progress, every other fiber is blocked too: deadlock. *)
             if s.stamp = last_stamp && spins > 10_000 then begin
@@ -224,7 +283,7 @@ let choose s =
 let last_run_decisions : int array ref = ref [||]
 let last_decisions () = !last_run_decisions
 
-let run ?faults ?(policy = Round_robin) ?on_switch main =
+let run ?faults ?clock ?(policy = Round_robin) ?on_switch main =
   if in_scheduler () then invalid_arg "Fiber.run: nested run";
   let seed = match policy with Random s -> s | Pct { seed; _ } -> seed | _ -> 0 in
   let s =
@@ -247,7 +306,9 @@ let run ?faults ?(policy = Round_robin) ?on_switch main =
       cur = 0;
       next_id = 1;
       blocked = Hashtbl.create 8;
+      cancelled = Hashtbl.create 8;
       faults;
+      clock;
     }
   in
   current := Some s;

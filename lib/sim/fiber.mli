@@ -16,6 +16,15 @@ exception Deadlock of string
     ["channel data (blocked: fiber 0 awaiting channel data, fiber 2
     awaiting incoming connection)"]. *)
 
+exception Cancelled of string
+(** Delivered inside a fiber at its next {!yield} (or stall step, or
+    {!wait_until} spin) after {!cancel} marked it.  The engine registers
+    this as a {e contained} fault class, so cancelling the fiber running a
+    compartment kills only that compartment — the mechanism a watchdog
+    uses to tear down a hung worker.  The mark is consumed on delivery:
+    a supervisor restarting the victim does not see the retry die from
+    the same stale cancellation. *)
+
 (** Which runnable fiber runs next.  {!Round_robin} (the default) keeps
     the historical FIFO order byte-for-byte — every seeded replay test
     depends on it.  The other policies schedule from a pool and record
@@ -42,6 +51,7 @@ val policy_to_string : policy -> string
 
 val run :
   ?faults:Wedge_fault.Fault_plan.t ->
+  ?clock:Clock.t ->
   ?policy:policy ->
   ?on_switch:(unit -> unit) ->
   (unit -> unit) ->
@@ -51,9 +61,14 @@ val run :
     given, every {!yield} rolls the plan at site ["fiber.yield"]; a fired
     fault raises {!Wedge_fault.Fault_plan.Injected} in the yielding fiber
     (crashing it mid-run unless a compartment boundary catches it).
-    [on_switch] runs before every scheduling step — the hook invariant
-    oracles use to check kernel state at each context switch.  It must not
-    yield or spawn; an exception it raises aborts the run (and propagates).
+    {!yield} additionally rolls site ["fiber.stall"]: kind [Delay ns]
+    induces a hang — the fiber burns [ns] of simulated time (charged to
+    [clock] when given) across several yields before resuming, unless a
+    watchdog cancels it mid-stall; any other kind raises like
+    ["fiber.yield"].  [on_switch] runs before every scheduling step — the
+    hook invariant oracles use to check kernel state at each context
+    switch.  It must not yield or spawn; an exception it raises aborts the
+    run (and propagates).
     @raise Deadlock if fibers block forever. *)
 
 val last_decisions : unit -> int array
@@ -88,6 +103,16 @@ val stamp : unit -> int
 
 val in_scheduler : unit -> bool
 (** True when called from inside {!run}. *)
+
+val cancel : ?reason:string -> int -> unit
+(** Mark fiber [id] for cancellation: its next {!yield}, stall step or
+    {!wait_until} spin raises {!Cancelled} [reason] inside it.  Safe to
+    call from the {!run} [on_switch] hook (scheduler context) — the
+    watchdog's cut path.  No-op outside {!run}; marking an already-marked
+    fiber keeps the first reason. *)
+
+val cancel_pending : int -> bool
+(** True while fiber [id] has an undelivered cancellation mark. *)
 
 val fiber_id : unit -> int
 (** The id of the running fiber (main is 0); 0 outside {!run}. *)

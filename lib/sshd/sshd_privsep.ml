@@ -112,8 +112,8 @@ let slave_ops (env : Sshd_env.t) monitor slave_ctx =
         ok);
   }
 
-let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?guard
-    ?max_cmd_bytes ?max_upload_bytes (env : Sshd_env.t) ep =
+let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?supervised
+    ?guard ?max_cmd_bytes ?max_upload_bytes (env : Sshd_env.t) ep =
   let main = env.Sshd_env.main in
   let monitor = make_monitor env in
   (* Authentication success always goes through m_setuid — the natural
@@ -135,8 +135,7 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?gua
   in
   let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
   let wrng = Drbg.create ~seed:(Drbg.next64 env.Sshd_env.rng) in
-  let outcome =
-    Supervisor.supervise_fork ~policy:restart_policy main (fun slave ->
+  let slave_main slave =
         (* The slave drops privileges after the fork — but its address
            space is already a copy of the monitor's. *)
         W.set_identity slave ~target_pid:(W.pid slave) ~uid:99 ~root:"/var/empty" ();
@@ -148,24 +147,63 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?gua
           ~host_rsa_pub:(Rsa.pub_to_string env.Sshd_env.host_rsa.Rsa.pub)
           ~host_dsa_pub:(Dsa.pub_to_string env.Sshd_env.host_dsa.Dsa.pub)
           ~ops:(slave_ops env monitor slave) ~exploit ();
-        0)
+        0
+  in
+  let outcome =
+    match supervised with
+    | Some child -> Supervisor.run_child_fork child slave_main
+    | None -> Supervisor.supervise_fork ~policy:restart_policy main slave_main
   in
   (* An SSH session whose slave died mid-protocol cannot be resumed in
-     plaintext: the degraded answer is a disconnect, monitor intact. *)
+     plaintext: the degraded answer is a disconnect, monitor intact.  The
+     outcome feeds the guard's breaker either way. *)
   (match outcome with
-  | Supervisor.Done _ -> ()
-  | Supervisor.Gave_up _ -> W.stat main "sshd.degraded");
+  | Supervisor.Done _ ->
+      (match guard with Some c -> Guard.report c ~ok:true | None -> ())
+  | Supervisor.Gave_up _ ->
+      W.stat main "sshd.degraded";
+      (match guard with Some c -> Guard.report c ~ok:false | None -> ()));
   W.fd_close main fd;
   Chan.close ep
 
+(* The declared privsep topology: listener first, then the slave
+   compartments. *)
+let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+    ?listener_policy ?slave_policy (env : Sshd_env.t) =
+  let node =
+    Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
+      ~name:"sshd" env.Sshd_env.main
+  in
+  let listener =
+    Supervisor.child
+      ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
+      node ~name:"listener"
+  in
+  let slave = Supervisor.child ?policy:slave_policy node ~name:"slave" in
+  (node, listener, slave)
+
 (* Guarded accept loop.  SSH has no pre-handshake plaintext channel to
-   apologise on: over-capacity connections are simply disconnected (the
-   client sees EOF before any version string — the classic sshd
-   MaxStartups behaviour). *)
-let serve_loop ?restart_policy ?max_cmd_bytes ?max_upload_bytes (env : Sshd_env.t)
-    guard listener =
-  Guard.accept_loop guard listener
-    ~reject:(fun _decision _ep -> W.stat env.Sshd_env.main "sshd.rejected")
-    ~serve:(fun c ->
-      serve_connection ?restart_policy ~guard:c ?max_cmd_bytes ?max_upload_bytes env
-        (Guard.ep c))
+   apologise on: over-capacity (or breaker-shed) connections are simply
+   disconnected (the client sees EOF before any version string — the
+   classic sshd MaxStartups behaviour). *)
+let serve_loop ?restart_policy ?max_cmd_bytes ?max_upload_bytes ?supervision
+    (env : Sshd_env.t) guard listener =
+  let main = env.Sshd_env.main in
+  let supervised = Option.map (fun (_, _, slave) -> slave) supervision in
+  let reject decision _ep =
+    match decision with
+    | Guard.Shed -> W.stat main "sshd.shed"
+    | _ -> W.stat main "sshd.rejected"
+  in
+  let serve c =
+    serve_connection ?restart_policy ?supervised ~guard:c ?max_cmd_bytes
+      ?max_upload_bytes env (Guard.ep c)
+  in
+  let accept () =
+    Guard.accept_loop guard listener ~reject ~serve;
+    0
+  in
+  match supervision with
+  | None -> ignore (accept ())
+  | Some (_, listener_child, _) ->
+      ignore (Supervisor.run_child_fn listener_child accept)

@@ -28,6 +28,7 @@ type monitor = {
 val serve_connection :
   ?exploit:(Wedge_core.Wedge.ctx -> monitor -> unit) ->
   ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?supervised:Wedge_core.Supervisor.child ->
   ?guard:Wedge_net.Guard.conn ->
   ?max_cmd_bytes:int ->
   ?max_upload_bytes:int ->
@@ -40,7 +41,9 @@ val serve_connection :
     Fault containment: a slave crash (injected or real) never kills the
     monitor — when [restart_policy] (default: no retries, the encrypted
     stream died with the slave) gives up, the client is disconnected and
-    [sshd.degraded] is counted.
+    [sshd.degraded] is counted.  [supervised] runs the slave under a
+    supervision-tree child instead.  Either way the outcome is reported
+    to the guard's breaker when [guard] is present.
 
     Resource governance: [guard] makes the slave read through the
     deadline-aware endpoint and marks the session established on
@@ -48,14 +51,37 @@ val serve_connection :
     setuid); [max_cmd_bytes]/[max_upload_bytes] are forwarded to
     {!Sshd_session.run}. *)
 
+val supervision_tree :
+  ?strategy:Wedge_core.Supervisor.strategy ->
+  ?intensity:int ->
+  ?window_ns:int ->
+  ?healthy_after_ns:int ->
+  ?quarantine_ns:int ->
+  ?listener_policy:Wedge_core.Supervisor.policy ->
+  ?slave_policy:Wedge_core.Supervisor.policy ->
+  Sshd_env.t ->
+  Wedge_core.Supervisor.node
+  * Wedge_core.Supervisor.child
+  * Wedge_core.Supervisor.child
+(** The declared privsep topology: node ["sshd"] with children
+    ["listener"] (registered first, default two accept-loop retries) and
+    ["slave"].  Pass the triple to {!serve_loop} as [supervision]. *)
+
 val serve_loop :
   ?restart_policy:Wedge_core.Supervisor.policy ->
   ?max_cmd_bytes:int ->
   ?max_upload_bytes:int ->
+  ?supervision:
+    Wedge_core.Supervisor.node
+    * Wedge_core.Supervisor.child
+    * Wedge_core.Supervisor.child ->
   Sshd_env.t ->
   Wedge_net.Guard.t ->
   Wedge_net.Chan.listener ->
   unit
 (** Guarded accept loop.  Rejected connections are disconnected without a
-    banner (counter [sshd.rejected]) — MaxStartups semantics.  Returns
-    once the listener shuts down — compose with {!Wedge_net.Guard.drain}. *)
+    banner (counter [sshd.rejected]; breaker-shed ones [sshd.shed]) —
+    MaxStartups semantics.  With [supervision] (see {!supervision_tree})
+    slaves run under "slave" and the accept loop under "listener".
+    Returns once the listener shuts down — compose with
+    {!Wedge_net.Guard.drain}. *)
