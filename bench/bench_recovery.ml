@@ -88,15 +88,29 @@ let percentile sorted p =
 
 type incident = { mttr_ns : int; lost : int }
 
-let run () =
-  Bench_util.header
-    (Printf.sprintf "Self-healing MTTR: %d fault incidents + %d hangs (simulated clock)"
-       n_incidents n_hangs);
+type variant = {
+  v_incidents : incident list;
+  v_reactions : int list;
+  v_stats : Guard.stats;
+  v_cuts : int;
+  v_stamps : int;
+}
+
+(* The spawn-priced cost model both variants pay: per-PTE and per-fd
+   copy on a fresh boot, the flat stamp on a pooled one.  The prices are
+   the paper's Table 2 shape scaled down so spawns stay well inside the
+   storm's watchdog deadline and breaker windows — the fresh/pooled
+   *difference* per restart is what the rows measure, and it scales with
+   the image either way. *)
+let spawn_costs =
+  { Cost_model.free with Cost_model.pte_copy = 20; fd_dup = 25; pool_stamp = 100 }
+
+let measure ~pooled =
   let plan = Fault_plan.create ~seed:0xEC0 () in
   Fault_plan.rule plan ~site:"chan.read" ~prob:0.6 [ Fault_plan.Reset ];
   Fault_plan.rule plan ~site:"chan.write" ~prob:0.6 [ Fault_plan.Reset ];
   Fault_plan.disarm plan;
-  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let k = Kernel.create ~costs:spawn_costs ~faults:plan () in
   let clock = k.Kernel.clock in
   Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
   let app = W.create_app ~image_pages:60 k in
@@ -114,7 +128,8 @@ let run () =
            ~window_ns:40_000 ~open_ns:5_000 ~probes:2 ~brownout:0.3 ())
       ~watchdog:w ~max_conns:4 ()
   in
-  let tree = Wedge_pop3.Pop3_wedge.supervision_tree main_ctx in
+  let pool = if pooled then Some (Wedge_pop3.Pop3_wedge.worker_pool main_ctx) else None in
+  let tree = Wedge_pop3.Pop3_wedge.supervision_tree ?pool main_ctx in
   let incidents = ref [] in
   let hang_tally = Byzantine.tally () in
   Fiber.run ~clock ~on_switch:(Watchdog.hook w) (fun () ->
@@ -169,48 +184,107 @@ let run () =
       Fiber.wait_until ~what:"hang clients resolved" (fun () ->
           Byzantine.total hang_tally = n_hangs);
       Guard.drain guard l);
-  let incidents = List.rev !incidents in
-  let n = List.length incidents in
-  let mttrs = List.sort compare (List.map (fun i -> i.mttr_ns) incidents) in
-  let lost_total = List.fold_left (fun a i -> a + i.lost) 0 incidents in
-  let lost_per_fault =
-    if n = 0 then 0. else float_of_int lost_total /. float_of_int n
-  in
-  let mean =
-    if n = 0 then 0 else List.fold_left ( + ) 0 mttrs / n
-  in
-  let p50 = percentile mttrs 0.50 and p99 = percentile mttrs 0.99 in
-  let reactions = List.sort compare (Guard.breaker_reactions guard) in
-  let r_p50 = percentile reactions 0.50 in
-  let r_max = List.fold_left max 0 reactions in
-  let stats = Guard.stats guard in
+  {
+    v_incidents = List.rev !incidents;
+    v_reactions = List.sort compare (Guard.breaker_reactions guard);
+    v_stats = Guard.stats guard;
+    v_cuts = Watchdog.cuts w;
+    v_stamps = app.Wedge_core.Engine.pool_stamps;
+  }
+
+type digest = {
+  d_n : int;
+  d_p50 : int;
+  d_p99 : int;
+  d_mean : int;
+  d_lost : float;
+  d_r_p50 : int;
+  d_r_max : int;
+}
+
+let digest_of v =
+  let n = List.length v.v_incidents in
+  let mttrs = List.sort compare (List.map (fun i -> i.mttr_ns) v.v_incidents) in
+  let lost_total = List.fold_left (fun a i -> a + i.lost) 0 v.v_incidents in
+  {
+    d_n = n;
+    d_p50 = percentile mttrs 0.50;
+    d_p99 = percentile mttrs 0.99;
+    d_mean = (if n = 0 then 0 else List.fold_left ( + ) 0 mttrs / n);
+    d_lost = (if n = 0 then 0. else float_of_int lost_total /. float_of_int n);
+    d_r_p50 = percentile v.v_reactions 0.50;
+    d_r_max = List.fold_left max 0 v.v_reactions;
+  }
+
+let report ~label v d =
+  Bench_util.row3 ("MTTR p50 (" ^ label ^ ")") (Bench_util.us d.d_p50) "";
+  Bench_util.row3 ("MTTR p99 (" ^ label ^ ")") (Bench_util.us d.d_p99) "";
+  Bench_util.row3 ("MTTR mean (" ^ label ^ ")") (Bench_util.us d.d_mean) "";
+  Bench_util.row3
+    ("requests lost / fault (" ^ label ^ ")")
+    (Printf.sprintf "%.2f" d.d_lost) "";
+  Bench_util.row3
+    ("breaker trips (" ^ label ^ ")")
+    (string_of_int v.v_stats.Guard.s_breaker_opened) "";
+  Bench_util.row3 ("breaker reaction p50 (" ^ label ^ ")") (Bench_util.us d.d_r_p50) "";
+  Bench_util.row3 ("breaker reaction max (" ^ label ^ ")") (Bench_util.us d.d_r_max) "";
+  Bench_util.row3 ("admissions shed (" ^ label ^ ")")
+    (string_of_int v.v_stats.Guard.s_shed) "";
+  Bench_util.row3
+    ("watchdog cuts (" ^ label ^ ")")
+    (string_of_int v.v_cuts)
+    (Printf.sprintf "(deadline %s)" (Bench_util.us watchdog_deadline_ns));
+  Bench_util.row3 ("pool stamps (" ^ label ^ ")") (string_of_int v.v_stamps) ""
+
+let variant_json ~label v d =
+  Printf.sprintf
+    "  \"%s\": {\n\
+    \    \"incidents\": %d,\n\
+    \    \"mttr_ns\": { \"p50\": %d, \"p99\": %d, \"mean\": %d },\n\
+    \    \"requests_lost_per_fault\": %.2f,\n\
+    \    \"breaker\": { \"opened\": %d, \"shed\": %d, \"reaction_ns_p50\": %d, \"reaction_ns_max\": %d },\n\
+    \    \"watchdog\": { \"cuts\": %d, \"deadline_ns\": %d, \"hang_clients\": %d },\n\
+    \    \"pool_stamps\": %d\n\
+    \  }"
+    label d.d_n d.d_p50 d.d_p99 d.d_mean d.d_lost v.v_stats.Guard.s_breaker_opened
+    v.v_stats.Guard.s_shed d.d_r_p50 d.d_r_max v.v_cuts watchdog_deadline_ns n_hangs
+    v.v_stamps
+
+let run () =
+  Bench_util.header
+    (Printf.sprintf
+       "Self-healing MTTR, fresh boot vs pooled stamp: %d incidents + %d hangs"
+       n_incidents n_hangs);
+  let fresh = measure ~pooled:false in
+  let pooled = measure ~pooled:true in
+  let df = digest_of fresh and dp = digest_of pooled in
   Bench_util.row3 "metric" "value" "unit";
   Bench_util.hr ();
-  Bench_util.row3 "incidents recorded" (string_of_int n) "";
-  Bench_util.row3 "MTTR p50" (Bench_util.us p50) "";
-  Bench_util.row3 "MTTR p99" (Bench_util.us p99) "";
-  Bench_util.row3 "MTTR mean" (Bench_util.us mean) "";
-  Bench_util.row3 "requests lost / fault" (Printf.sprintf "%.2f" lost_per_fault) "";
-  Bench_util.row3 "breaker trips" (string_of_int stats.Guard.s_breaker_opened) "";
-  Bench_util.row3 "breaker reaction p50" (Bench_util.us r_p50) "";
-  Bench_util.row3 "breaker reaction max" (Bench_util.us r_max) "";
-  Bench_util.row3 "admissions shed" (string_of_int stats.Guard.s_shed) "";
-  Bench_util.row3 "watchdog cuts" (string_of_int (Watchdog.cuts w))
-    (Printf.sprintf "(deadline %s)" (Bench_util.us watchdog_deadline_ns));
+  report ~label:"fresh" fresh df;
+  Bench_util.hr ();
+  report ~label:"pooled" pooled dp;
   Printf.printf "  (every number is simulated time: the artifact below is\n";
   print_endline "   byte-stable for this seed and schedule)";
+  (* The gates: the breaker reaction fix holds (a recorded p50 of 0 was
+     the bug), the pool was actually exercised, and pooled recovery
+     strictly beats both the fresh-boot run and the historical
+     fresh-boot baseline (22.3 us, measured when spawn was free). *)
+  if df.d_r_p50 <= 0 || dp.d_r_p50 <= 0 then
+    failwith "bench recovery: breaker reaction p50 is 0 (reaction recording broke)";
+  if pooled.v_stamps = 0 then
+    failwith "bench recovery: pooled variant never stamped a worker";
+  if dp.d_p50 >= df.d_p50 then
+    failwith
+      (Printf.sprintf "bench recovery: pooled MTTR p50 (%d) >= fresh (%d)" dp.d_p50
+         df.d_p50);
+  if dp.d_p50 >= 22_300 then
+    failwith
+      (Printf.sprintf "bench recovery: pooled MTTR p50 (%d) >= fresh-boot baseline 22300"
+         dp.d_p50);
   (let oc = open_out "BENCH_recovery.json" in
-   Printf.fprintf oc
-     "{\n\
-     \  \"incidents\": %d,\n\
-     \  \"mttr_ns\": { \"p50\": %d, \"p99\": %d, \"mean\": %d },\n\
-     \  \"requests_lost_per_fault\": %.2f,\n\
-     \  \"breaker\": { \"opened\": %d, \"shed\": %d, \"reaction_ns_p50\": %d, \"reaction_ns_max\": %d },\n\
-     \  \"watchdog\": { \"cuts\": %d, \"deadline_ns\": %d, \"hang_clients\": %d },\n\
-     \  \"simulated\": true\n\
-      }\n"
-     n p50 p99 mean lost_per_fault stats.Guard.s_breaker_opened
-     stats.Guard.s_shed r_p50 r_max (Watchdog.cuts w) watchdog_deadline_ns n_hangs;
+   Printf.fprintf oc "{\n%s,\n%s,\n  \"simulated\": true\n}\n"
+     (variant_json ~label:"fresh" fresh df)
+     (variant_json ~label:"pooled" pooled dp);
    close_out oc;
    print_endline "  wrote BENCH_recovery.json");
   print_newline ()

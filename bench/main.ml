@@ -20,6 +20,7 @@ let experiments =
     ("faults", Bench_faults.run);
     ("tlb", Bench_tlb.run);
     ("recovery", Bench_recovery.run);
+    ("spawn", Bench_spawn.run);
   ]
 
 let () =
@@ -28,7 +29,7 @@ let () =
     if args = [] then
       [
         "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults"; "tlb";
-        "recovery";
+        "recovery"; "spawn";
       ]
     else args
   in

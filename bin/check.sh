@@ -62,4 +62,18 @@ WEDGE_RECOVERY_SMOKE=1 dune exec bin/wedge_cli.exe -- check --scenario httpd_sto
 WEDGE_RECOVERY_SMOKE=1 dune exec bench/main.exe -- recovery
 test -s BENCH_recovery.json
 
+# Snapshot-pool gate: spawn cost must stay flat for pooled stamps while
+# fresh boot scales with the image (bench_spawn exits nonzero on either
+# violation, or if a stamp ever loses to a fresh boot), and the artifact
+# must be byte-stable across two runs — everything is simulated time, so
+# any drift is nondeterminism.
+echo "== spawn pool (smoke) =="
+WEDGE_SPAWN_SMOKE=1 dune exec bench/main.exe -- spawn
+test -s BENCH_spawn.json
+spawn_first="$(mktemp /tmp/wedge-spawn-XXXXXX.json)"
+cp BENCH_spawn.json "$spawn_first"
+WEDGE_SPAWN_SMOKE=1 dune exec bench/main.exe -- spawn
+cmp BENCH_spawn.json "$spawn_first"
+rm -f "$spawn_first"
+
 echo "check.sh: all green"

@@ -25,6 +25,7 @@
 module Kernel = Wedge_kernel.Kernel
 module Physmem = Wedge_kernel.Physmem
 module Pagetable = Wedge_kernel.Pagetable
+module Prot = Wedge_kernel.Prot
 module Process = Wedge_kernel.Process
 module Rlimit = Wedge_kernel.Rlimit
 module Fd_table = Wedge_kernel.Fd_table
@@ -104,13 +105,20 @@ let check_refcounts t =
         (Tag.live_tags app.Engine.tags);
       List.iter
         (fun (e : Tag_cache.entry) -> List.iter add e.Tag_cache.frames)
-        (Tag_cache.entries app.Engine.tag_cache));
+        (Tag_cache.entries app.Engine.tag_cache);
+      (* Frozen snapshot-pool images are pristine-like holders: each page
+         pins its frame with exactly one reference from freeze until
+         discard, independent of how many stamped children map it. *)
+      List.iter
+        (fun (_, pages) ->
+          List.iter (fun (fz : Engine.frozen_page) -> add fz.Engine.fz_frame) pages)
+        app.Engine.frozen_images);
   Physmem.iter_live t.kernel.Kernel.pm (fun frame refs ->
       let want = match Hashtbl.find_opt expected frame with Some n -> n | None -> 0 in
       if refs <> want then
         violation
           "oracle: frame %d refcount %d but %d holders (mappings + pristine + tags + \
-           cache)"
+           cache + frozen images)"
           frame refs want;
       Hashtbl.remove expected frame);
   (* Anything left expected a live frame that no longer exists. *)
@@ -186,6 +194,39 @@ let check_smalloc t =
           end)
 
 (* ------------------------------------------------------------------ *)
+(* Frozen snapshot images stay immutable                               *)
+
+(* A frozen page recorded copy-on-write must never be writable in any
+   address space: a stamped child's write is required to COW-break onto
+   a private frame, so finding the image's frame behind a [pw] pte means
+   a stamp (or a break) scribbled on the checkpoint every future stamp
+   restores from.  Tagged pages are exempt — they freeze with their
+   grant protection because tag memory is shared-mutable by design. *)
+let check_frozen t =
+  match t.app with
+  | None -> ()
+  | Some app ->
+      List.iter
+        (fun (name, pages) ->
+          List.iter
+            (fun (fz : Engine.frozen_page) ->
+              if fz.Engine.fz_prot.Prot.pcow then
+                Kernel.iter_processes t.kernel (fun p ->
+                    Pagetable.iter
+                      (fun vpn (pte : Pagetable.pte) ->
+                        if
+                          pte.Pagetable.frame = fz.Engine.fz_frame
+                          && pte.Pagetable.prot.Prot.pw
+                        then
+                          violation
+                            "oracle: frozen image %s frame %d mapped writable at vpn \
+                             0x%x by pid %d (stamp broke the image's COW)"
+                            name fz.Engine.fz_frame vpn p.Process.pid)
+                      (Vm.page_table p.Process.vm)))
+            pages)
+        app.Engine.frozen_images
+
+(* ------------------------------------------------------------------ *)
 
 let check_guards t =
   List.iter
@@ -207,6 +248,7 @@ let check t =
   check_rlimits t;
   check_tlbs t;
   check_smalloc t;
+  check_frozen t;
   check_guards t;
   check_custom t
 

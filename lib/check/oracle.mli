@@ -12,6 +12,11 @@
     - every servable TLB entry agrees with the page table;
     - every smalloc segment (live tags, per-process heaps) has intact
       boundary tags and a sound free list;
+    - frozen snapshot-pool images stay immutable: each frozen page pins
+      its frame with exactly one reference (counted as a pristine-like
+      holder above), and no address space maps a COW-frozen frame
+      writable — a stamped child's write must break onto a private
+      frame, never onto the checkpoint;
     - every registered {!Wedge_net.Guard}'s counters agree with its
       connection list.
 

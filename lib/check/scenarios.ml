@@ -354,7 +354,7 @@ let run_racy ~policy ~diff ~faults:_ ~seed:_ =
    (heal epilogue), and the oracle sweeps clean — no leaked frame or
    descriptor across any restart, cut, or quarantine. *)
 
-let storm_plan ~seed ~faults ~cgates =
+let storm_plan ?(pooled = false) ~seed ~faults ~cgates () =
   let plan = Fault_plan.create ~seed () in
   if faults then begin
     Fault_plan.rule plan ~site:"chan.read" ~prob:0.04 [ Fault_plan.Drop; Fault_plan.Reset ];
@@ -363,10 +363,79 @@ let storm_plan ~seed ~faults ~cgates =
     Fault_plan.rule plan ~site:"fiber.stall" ~prob:0.003 [ Fault_plan.Delay 20_000 ];
     if cgates then
       Fault_plan.rule plan ~site:"cgate.call" ~prob:0.02
-        [ Fault_plan.Delay 20_000; Fault_plan.Crash ]
+        [ Fault_plan.Delay 20_000; Fault_plan.Crash ];
+    if pooled then begin
+      (* The restore path itself is attackable: stamps crash mid-restore
+         (the frozen image and its refcounts must survive pristine — the
+         oracle's frozen-frame sweep checks exactly that), and the
+         mid-storm freeze probe rolls its own site. *)
+      Fault_plan.rule plan ~site:"pool.stamp" ~prob:0.05 [ Fault_plan.Crash ];
+      Fault_plan.rule plan ~site:"pool.freeze" ~prob:0.5 [ Fault_plan.Crash ]
+    end
   end;
   Fault_plan.disarm plan;
   plan
+
+(* The pooled storms' MTTR claim, made concrete: recovery time differs
+   from the fresh-boot storm only by the spawn term, so a twin world
+   with the paper's spawn prices armed (Table 2: per-PTE and per-fd
+   copy; the flat stamp charge) measures exactly that term for the same
+   image size the storm ran with.  Fresh boot pays O(pages); a stamp
+   pays the flat [pool_stamp] — the assertion is strict. *)
+let spawn_advantage ~image_pages =
+  let costs =
+    { Cost_model.free with Cost_model.pte_copy = 190; fd_dup = 250; pool_stamp = 950 }
+  in
+  let k = Kernel.create ~costs () in
+  let clock = k.Kernel.clock in
+  let app = W.create_app ~image_pages k in
+  W.boot app;
+  let main = W.main_ctx app in
+  let worker _ _ = 0 in
+  let fresh_ns = ref 0 and stamp_ns = ref 0 in
+  Fiber.run ~clock (fun () ->
+      let sc = W.sc_create () in
+      W.sc_set_uid sc 99;
+      let t0 = Clock.now clock in
+      ignore (W.sthread_create main sc worker 0);
+      fresh_ns := Clock.now clock - t0;
+      let pool_sc = W.sc_create () in
+      W.sc_set_uid pool_sc 99;
+      let pool = W.Pool.freeze ~name:"storm.pool" main pool_sc in
+      let t1 = Clock.now clock in
+      ignore (W.Pool.stamp main pool worker 0);
+      stamp_ns := Clock.now clock - t1);
+  if !stamp_ns >= !fresh_ns then
+    raise
+      (Oracle.Violation
+         (Printf.sprintf "pooled stamp (%d ns) does not beat fresh boot (%d ns)"
+            !stamp_ns !fresh_ns));
+  (!fresh_ns, !stamp_ns)
+
+(* Mid-storm freeze probe for the pooled storms: with the plan armed,
+   ["pool.freeze"] may crash the capture — either way the image registry
+   and refcounts must sweep clean, and a successful probe exercises
+   [discard]'s decref path under the same storm. *)
+let freeze_probe ~pooled main_ctx =
+  if not pooled then "-"
+  else
+    let sc = W.sc_create () in
+    match W.Pool.freeze ~name:"storm.probe" main_ctx sc with
+    | pool ->
+        W.Pool.discard main_ctx pool;
+        "ok"
+    | exception _ -> "fault"
+
+let pool_summary ~pooled app =
+  if not pooled then ""
+  else
+    Printf.sprintf " pool=%d/%d/%d"
+      app.Wedge_core.Engine.pool_freezes app.Wedge_core.Engine.pool_stamps
+      app.Wedge_core.Engine.pool_hits
+
+let assert_pool_used ~pooled ~server app =
+  if pooled && app.Wedge_core.Engine.pool_hits = 0 then
+    raise (Oracle.Violation (server ^ ": pooled storm never stamped a worker"))
 
 let storm_breaker () =
   Guard.breaker_config ~consecutive:3 ~rate:0.5 ~min_samples:6 ~window_ns:40_000
@@ -390,8 +459,9 @@ let storm_summary ~server ~k ~t ~heal ~guard ~w ~tree =
     (Stats.get k.Kernel.stats (server ^ ".degraded"))
     (Stats.get k.Kernel.stats (server ^ ".shed"))
 
-let run_httpd_storm ~policy ~diff ~faults ~seed =
-  let plan = storm_plan ~seed ~faults ~cgates:true in
+let run_httpd_storm ?(pooled = false) ~policy ~diff ~faults ~seed () =
+  let advantage = if pooled then Some (spawn_advantage ~image_pages:60) else None in
+  let plan = storm_plan ~pooled ~seed ~faults ~cgates:true () in
   let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
   let clock = k.Kernel.clock in
   let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
@@ -406,13 +476,15 @@ let run_httpd_storm ~policy ~diff ~faults ~seed =
   let is_rejection s = contains s "503" in
   let n_clients = 12 in
   let clean_request = "GET /index.html HTTP/1.1\r\n\r\n" in
+  let pool = if pooled then Some (Wedge_httpd.Httpd_simple.worker_pool env) else None in
   let tree =
     Wedge_httpd.Httpd_simple.supervision_tree
       ~worker_policy:(Supervisor.policy ~max_restarts:1 ())
-      env
+      ?pool env
   in
   let node, _, _ = tree in
   let heal = ref 0 in
+  let probe_outcome = ref "-" in
   checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook:(Watchdog.hook w)
     ~policy ~diff
     (fun oracle ->
@@ -422,6 +494,7 @@ let run_httpd_storm ~policy ~diff ~faults ~seed =
           Wedge_httpd.Httpd_simple.serve_loop ~max_request_bytes:4096 ~supervision:tree
             env guard l);
       Fault_plan.arm plan;
+      probe_outcome := freeze_probe ~pooled (W.main_ctx app);
       for i = 1 to n_clients do
         Fiber.spawn (fun () ->
             if i mod 4 = 0 then
@@ -441,11 +514,20 @@ let run_httpd_storm ~policy ~diff ~faults ~seed =
       heal :=
         heal_breaker ~what:"httpd" guard clock (fun () ->
             Byzantine.oneshot probes l ~request:clean_request ~is_rejection);
-      Guard.drain guard l)
-    (fun () -> storm_summary ~server:"httpd" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+      Guard.drain guard l;
+      assert_pool_used ~pooled ~server:"httpd" app)
+    (fun () ->
+      storm_summary ~server:"httpd" ~k ~t ~heal:!heal ~guard ~w ~tree:node
+      ^ pool_summary ~pooled app
+      ^ (if pooled then Printf.sprintf " freeze2=%s" !probe_outcome else "")
+      ^
+      match advantage with
+      | None -> ""
+      | Some (f, s) -> Printf.sprintf " spawn_fresh=%dns spawn_stamp=%dns" f s)
 
-let run_pop3_storm ~policy ~diff ~faults ~seed =
-  let plan = storm_plan ~seed ~faults ~cgates:true in
+let run_pop3_storm ?(pooled = false) ~policy ~diff ~faults ~seed () =
+  let advantage = if pooled then Some (spawn_advantage ~image_pages:60) else None in
+  let plan = storm_plan ~pooled ~seed ~faults ~cgates:true () in
   let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
   let clock = k.Kernel.clock in
   Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
@@ -462,9 +544,11 @@ let run_pop3_storm ~policy ~diff ~faults ~seed =
   let is_rejection s = contains s "-ERR busy" in
   let n_clients = 12 in
   let clean_request = "USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n" in
-  let tree = Wedge_pop3.Pop3_wedge.supervision_tree main_ctx in
+  let pool = if pooled then Some (Wedge_pop3.Pop3_wedge.worker_pool main_ctx) else None in
+  let tree = Wedge_pop3.Pop3_wedge.supervision_tree ?pool main_ctx in
   let node, _, _ = tree in
   let heal = ref 0 in
+  let probe_outcome = ref "-" in
   checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook:(Watchdog.hook w)
     ~policy ~diff
     (fun oracle ->
@@ -473,6 +557,7 @@ let run_pop3_storm ~policy ~diff ~faults ~seed =
       Fiber.spawn (fun () ->
           Wedge_pop3.Pop3_wedge.serve_loop ~supervision:tree main_ctx guard l);
       Fault_plan.arm plan;
+      probe_outcome := freeze_probe ~pooled main_ctx;
       for i = 1 to n_clients do
         Fiber.spawn (fun () ->
             if i mod 4 = 0 then
@@ -489,12 +574,21 @@ let run_pop3_storm ~policy ~diff ~faults ~seed =
       heal :=
         heal_breaker ~what:"pop3" guard clock (fun () ->
             Byzantine.oneshot probes l ~request:clean_request ~is_rejection);
-      Guard.drain guard l)
-    (fun () -> storm_summary ~server:"pop3" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+      Guard.drain guard l;
+      assert_pool_used ~pooled ~server:"pop3" app)
+    (fun () ->
+      storm_summary ~server:"pop3" ~k ~t ~heal:!heal ~guard ~w ~tree:node
+      ^ pool_summary ~pooled app
+      ^ (if pooled then Printf.sprintf " freeze2=%s" !probe_outcome else "")
+      ^
+      match advantage with
+      | None -> ""
+      | Some (f, s) -> Printf.sprintf " spawn_fresh=%dns spawn_stamp=%dns" f s)
 
-let run_sshd_storm ~policy ~diff ~faults ~seed =
+let run_sshd_storm ?(pooled = false) ~policy ~diff ~faults ~seed () =
+  let advantage = if pooled then Some (spawn_advantage ~image_pages:40) else None in
   (* No callgates on the privsep path: hangs come from fiber stalls. *)
-  let plan = storm_plan ~seed ~faults ~cgates:false in
+  let plan = storm_plan ~pooled ~seed ~faults ~cgates:false () in
   let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
   let clock = k.Kernel.clock in
   let env = Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed k in
@@ -508,9 +602,11 @@ let run_sshd_storm ~policy ~diff ~faults ~seed =
   let t = Byzantine.tally () in
   let is_rejection _ = false in
   let n_clients = 9 in
-  let tree = Wedge_sshd.Sshd_privsep.supervision_tree env in
+  let pool = if pooled then Some (Wedge_sshd.Sshd_privsep.slave_pool env) else None in
+  let tree = Wedge_sshd.Sshd_privsep.supervision_tree ?pool env in
   let node, _, _ = tree in
   let heal = ref 0 in
+  let probe_outcome = ref "-" in
   (* The healing probe is a real SSH login: garbage cannot prove the
      backend healthy, a key exchange + authentication can. *)
   let probe_n = ref 0 in
@@ -540,6 +636,7 @@ let run_sshd_storm ~policy ~diff ~faults ~seed =
       Fiber.spawn (fun () ->
           Wedge_sshd.Sshd_privsep.serve_loop ~supervision:tree env guard l);
       Fault_plan.arm plan;
+      probe_outcome := freeze_probe ~pooled (W.main_ctx app);
       for i = 1 to n_clients do
         Fiber.spawn (fun () ->
             if i mod 4 = 0 then
@@ -559,8 +656,16 @@ let run_sshd_storm ~policy ~diff ~faults ~seed =
           Byzantine.total t = n_clients);
       Fault_plan.disarm plan;
       heal := heal_breaker ~what:"sshd" guard clock probe;
-      Guard.drain guard l)
-    (fun () -> storm_summary ~server:"sshd" ~k ~t ~heal:!heal ~guard ~w ~tree:node)
+      Guard.drain guard l;
+      assert_pool_used ~pooled ~server:"sshd" app)
+    (fun () ->
+      storm_summary ~server:"sshd" ~k ~t ~heal:!heal ~guard ~w ~tree:node
+      ^ pool_summary ~pooled app
+      ^ (if pooled then Printf.sprintf " freeze2=%s" !probe_outcome else "")
+      ^
+      match advantage with
+      | None -> ""
+      | Some (f, s) -> Printf.sprintf " spawn_fresh=%dns spawn_stamp=%dns" f s)
 
 (* ------------------------------------------------------------------ *)
 
@@ -585,19 +690,43 @@ let all =
       s_name = "httpd_storm";
       s_doc = "httpd self-healing: fault storm + induced hangs, watchdog, breaker, tree";
       s_run =
-        (fun ~policy ~diff ~faults ~seed -> run_httpd_storm ~policy ~diff ~faults ~seed);
+        (fun ~policy ~diff ~faults ~seed ->
+          run_httpd_storm ~policy ~diff ~faults ~seed ());
     };
     {
       s_name = "pop3_storm";
       s_doc = "pop3 self-healing: fault storm + induced hangs, watchdog, breaker, tree";
       s_run =
-        (fun ~policy ~diff ~faults ~seed -> run_pop3_storm ~policy ~diff ~faults ~seed);
+        (fun ~policy ~diff ~faults ~seed ->
+          run_pop3_storm ~policy ~diff ~faults ~seed ());
     };
     {
       s_name = "sshd_storm";
       s_doc = "sshd self-healing: fault storm + induced hangs, watchdog, breaker, tree";
       s_run =
-        (fun ~policy ~diff ~faults ~seed -> run_sshd_storm ~policy ~diff ~faults ~seed);
+        (fun ~policy ~diff ~faults ~seed ->
+          run_sshd_storm ~policy ~diff ~faults ~seed ());
+    };
+    {
+      s_name = "httpd_pool_storm";
+      s_doc = "httpd storm with pooled O(1) restamps, stamp faults, frozen-frame sweep";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_httpd_storm ~pooled:true ~policy ~diff ~faults ~seed ());
+    };
+    {
+      s_name = "pop3_pool_storm";
+      s_doc = "pop3 storm with pooled O(1) restamps, stamp faults, frozen-frame sweep";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_pop3_storm ~pooled:true ~policy ~diff ~faults ~seed ());
+    };
+    {
+      s_name = "sshd_pool_storm";
+      s_doc = "sshd storm with pooled O(1) restamps, stamp faults, frozen-frame sweep";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_sshd_storm ~pooled:true ~policy ~diff ~faults ~seed ());
     };
     {
       s_name = "racy";

@@ -72,6 +72,18 @@ type boundary_section = {
   mutable b_tag : Tag.t option;
 }
 
+(* One page of a frozen compartment snapshot (see [Pool]): the frame it
+   pins, the protection a stamped child maps it with, and its tag.  The
+   registry lives on the app — not in [Pool] — so the invariant oracles
+   can re-derive frame refcounts (frozen images are pristine-like
+   holders) without a dependency on the pool module. *)
+type frozen_page = {
+  fz_vpn : int;
+  fz_frame : int;
+  fz_prot : Prot.page;
+  fz_tag : int option;
+}
+
 type app = {
   kernel : Kernel.t;
   layout : Layout.t;
@@ -88,6 +100,12 @@ type app = {
   recycled_pool : (string, pooled) Hashtbl.t;
       (* long-lived sthreads backing recycled callgates, keyed by gate
          name so they survive per-connection gate re-instantiation *)
+  mutable frozen_images : (string * frozen_page list) list;
+      (* frozen snapshot-pool images, newest first; each page holds one
+         Physmem reference until the image is discarded *)
+  mutable pool_freezes : int;
+  mutable pool_stamps : int;  (* stamp attempts, including faulted ones *)
+  mutable pool_hits : int;  (* stamps that produced a running compartment *)
 }
 
 and pooled = {
@@ -188,6 +206,10 @@ let create_app ?(image_pages = default_image_pages) kernel =
       pristine = [];
       main = None;
       recycled_pool = Hashtbl.create 8;
+      frozen_images = [];
+      pool_freezes = 0;
+      pool_stamps = 0;
+      pool_hits = 0;
     }
   in
   let proc = Kernel.new_process kernel ~kind:Process.Main ~uid:0 ~root:"/" ~sid:"system_u:system_r:init_t" () in
@@ -1170,4 +1192,16 @@ let register_metrics m app =
         ("tag_cache.scrubbed_pages", Tag_cache.scrubbed_pages app.tag_cache);
       ]);
   Metrics.register m ~name:"engine" (fun () ->
-      [ ("tags.live", List.length (Tag.live_tags app.tags)) ])
+      [ ("tags.live", List.length (Tag.live_tags app.tags)) ]);
+  Metrics.register m ~name:"pool" ~kind:Metrics.Counter (fun () ->
+      [
+        ("pool.freezes", app.pool_freezes);
+        ("pool.stamps", app.pool_stamps);
+        ("pool.hits", app.pool_hits);
+      ]);
+  Metrics.register m ~name:"pool.gauges" (fun () ->
+      [
+        ("pool.images", List.length app.frozen_images);
+        ( "pool.frozen_frames",
+          List.fold_left (fun a (_, ps) -> a + List.length ps) 0 app.frozen_images );
+      ])

@@ -83,8 +83,12 @@ let run_attempt ctx run =
 
 (* The flat retry loop, parameterised over what happens before a retry:
    the tree layer threads its intensity accounting through [on_fault]
-   (returning [false] to abort the retry sequence — escalation). *)
-let supervise_gen ~policy:p ~on_fault ctx attempt =
+   (returning [false] to abort the retry sequence — escalation), and
+   callers hook per-retry repair work — re-arming a watchdog heart left
+   [`Hung] by the cut that killed the previous attempt — through
+   [on_restart], which fires after the backoff charge, just before the
+   new attempt spawns. *)
+let supervise_gen ~policy:p ~on_fault ~on_restart ctx attempt =
   let rec go n =
     match attempt () with
     | Ok value -> Done { value; attempts = n }
@@ -97,6 +101,7 @@ let supervise_gen ~policy:p ~on_fault ctx attempt =
           (* Exponential backoff, charged to the simulated clock: 1x, 2x,
              4x ... of [backoff_ns], saturating at [max_backoff_ns]. *)
           Engine.charge_app ctx (backoff_for p ~attempt:n);
+          on_restart ();
           go (n + 1)
         end
         else begin
@@ -108,8 +113,11 @@ let supervise_gen ~policy:p ~on_fault ctx attempt =
   go 1
 
 let supervise ?(policy = default_policy) ctx run =
-  supervise_gen ~policy ~on_fault:(fun ~attempt:_ _ -> true) ctx (fun () ->
-      run_attempt ctx run)
+  supervise_gen ~policy
+    ~on_fault:(fun ~attempt:_ _ -> true)
+    ~on_restart:(fun () -> ())
+    ctx
+    (fun () -> run_attempt ctx run)
 
 let supervise_sthread ?policy ?instr ctx sc fn arg =
   supervise ?policy ctx (fun () -> Engine.sthread_create ?instr ctx sc fn arg)
@@ -121,6 +129,13 @@ let supervise_fork ?policy ctx fn = supervise ?policy ctx (fun () -> Engine.fork
 
 type health = Healthy | Degraded | Restarting | Quarantined
 type strategy = One_for_one | Rest_for_one
+
+(* Where a child's compartments come from: fresh fork-priced boots, or
+   O(1) stamps from a frozen snapshot pool.  [From_pool] applies to every
+   attempt, so a restart after a quarantine escalation, a watchdog cut or
+   a [Rest_for_one] sweep pays the flat stamp cost instead of a boot that
+   scales with the image — the recovery path this module exists for. *)
+type restart = Fresh | From_pool of Pool.t
 
 let health_to_string = function
   | Healthy -> "healthy"
@@ -147,6 +162,7 @@ and child = {
   c_name : string;
   c_node : node;
   c_policy : policy;
+  c_restart : restart;
   mutable c_health : health;
   mutable c_faults : int list;  (* fault timestamps inside the window, newest first *)
   mutable c_last_fault_ns : int;
@@ -171,7 +187,7 @@ let node ?(strategy = One_for_one) ?(intensity = 5) ?(window_ns = 10_000)
     n_children = [];
   }
 
-let child ?(policy = default_policy) node ~name =
+let child ?(policy = default_policy) ?(restart = Fresh) node ~name =
   if List.exists (fun c -> c.c_name = name) node.n_children then
     invalid_arg ("Supervisor.child: duplicate child " ^ name);
   let c =
@@ -179,6 +195,7 @@ let child ?(policy = default_policy) node ~name =
       c_name = name;
       c_node = node;
       c_policy = policy;
+      c_restart = restart;
       c_health = Healthy;
       c_faults = [];
       c_last_fault_ns = 0;
@@ -229,7 +246,17 @@ let refresh c =
 let quarantine c now reason =
   let n = c.c_node in
   c.c_health <- Quarantined;
-  c.c_quarantined_until <- now + n.n_quarantine_ns;
+  (* Quarantine throttles crash loops, and its length is priced against
+     what a futile restart costs.  A [From_pool] child restarts as a
+     flat-cost stamp instead of an O(pages) reboot, so the same thrash
+     budget re-admits it 4x sooner — this is what makes recovery time
+     independent of image size, not just the spawn itself. *)
+  let span =
+    match c.c_restart with
+    | From_pool _ -> max 1 (n.n_quarantine_ns / 4)
+    | Fresh -> n.n_quarantine_ns
+  in
+  c.c_quarantined_until <- now + span;
   c.c_last_fault <- reason;
   Engine.stat n.n_ctx "supervisor.escalated";
   Engine.trace_instant n.n_ctx "supervisor.escalated";
@@ -268,7 +295,7 @@ let note_fault c reason =
   end
   else true
 
-let run_child_gen c attempt =
+let run_child_gen ?(on_restart = fun () -> ()) c attempt =
   let n = c.c_node in
   refresh c;
   match c.c_health with
@@ -288,24 +315,43 @@ let run_child_gen c attempt =
         end;
         retry
       in
-      let outcome = supervise_gen ~policy:c.c_policy ~on_fault n.n_ctx attempt in
+      let outcome = supervise_gen ~policy:c.c_policy ~on_fault ~on_restart n.n_ctx attempt in
       (match outcome with
       | Done _ -> c.c_health <- (if c.c_faults = [] then Healthy else Degraded)
       | Gave_up _ -> if c.c_health <> Quarantined then c.c_health <- Degraded);
       outcome
 
-let run_child c run = run_child_gen c (fun () -> run_attempt c.c_node.n_ctx run)
+let run_child ?on_restart c run =
+  run_child_gen ?on_restart c (fun () -> run_attempt c.c_node.n_ctx run)
 
-let run_child_sthread ?instr c sc fn arg =
-  run_child c (fun () -> Engine.sthread_create ?instr c.c_node.n_ctx sc fn arg)
+let run_child_sthread ?on_restart ?instr c sc fn arg =
+  match c.c_restart with
+  | Fresh ->
+      run_child ?on_restart c (fun () ->
+          Engine.sthread_create ?instr c.c_node.n_ctx sc fn arg)
+  | From_pool pool ->
+      (* Every attempt is stamped from the frozen image at the flat
+         [pool_stamp] cost; [sc] rides along as the per-invocation extra
+         (the usual per-page/per-fd price on the small per-connection
+         grants, not on the image). *)
+      run_child ?on_restart c (fun () ->
+          Pool.stamp ?instr ~extra:sc c.c_node.n_ctx pool fn arg)
 
-let run_child_fork c fn = run_child c (fun () -> Engine.fork c.c_node.n_ctx fn)
+let run_child_fork ?on_restart ?pool_extra c fn =
+  match c.c_restart with
+  | Fresh -> run_child ?on_restart c (fun () -> Engine.fork c.c_node.n_ctx fn)
+  | From_pool pool ->
+      (* The privsep slave's pooled form: a stamped sthread standing in
+         for the fork, with [pool_extra] carrying what the fork would
+         have inherited for free (the connection descriptor). *)
+      run_child ?on_restart c (fun () ->
+          Pool.stamp ?extra:pool_extra c.c_node.n_ctx pool (fun c _ -> fn c) 0)
 
 (* Supervise a plain function in the caller's process — the shape of an
    accept loop, which is not a compartment but must survive contained
    faults leaking out of the serve path all the same. *)
-let run_child_fn c fn =
-  run_child_gen c (fun () ->
+let run_child_fn ?on_restart c fn =
+  run_child_gen ?on_restart c (fun () ->
       match fn () with
       | v -> Ok v
       | exception e when Engine.fault_reason e <> None ->

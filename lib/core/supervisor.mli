@@ -100,6 +100,21 @@ type strategy = One_for_one | Rest_for_one
 
 val strategy_to_string : strategy -> string
 
+type restart = Fresh | From_pool of Pool.t
+(** Where a child's compartments come from.  [Fresh] boots every attempt
+    the fork-priced way ({!Engine.sthread_create} / {!Engine.fork}).
+    [From_pool] stamps every attempt from a frozen snapshot image
+    ({!Pool.stamp}) at a flat cost independent of image size — so
+    recovery after a quarantine escalation, a watchdog cut or a
+    [Rest_for_one] sweep is O(1), the [sc] passed to {!run_child_sthread}
+    riding along as the stamp's per-invocation extra grants.
+
+    Quarantine throttles crash loops, and its length is priced against
+    what a futile restart costs: a [From_pool] child serves a quarter of
+    the node's [quarantine_ns], because re-admitting it wastes a flat
+    stamp rather than an O(pages) reboot.  Restart-intensity budgets
+    thereby stop depending on image size. *)
+
 type node
 type child
 
@@ -118,29 +133,43 @@ val node :
     @raise Invalid_argument on a negative intensity or non-positive
     window. *)
 
-val child : ?policy:policy -> node -> name:string -> child
+val child : ?policy:policy -> ?restart:restart -> node -> name:string -> child
 (** Register a named child (registration order is the [Rest_for_one]
-    dependency order).  [policy] governs each {!run_child}'s retries.
+    dependency order).  [policy] governs each {!run_child}'s retries;
+    [restart] (default [Fresh]) selects fresh boots or pooled stamps.
     @raise Invalid_argument on a duplicate name within the node. *)
 
-val run_child : child -> (unit -> Engine.handle) -> outcome
+val run_child :
+  ?on_restart:(unit -> unit) -> child -> (unit -> Engine.handle) -> outcome
 (** {!supervise} under the child's policy, plus tree accounting: every
     faulted attempt lands in the intensity window; exceeding the budget
     escalates (see module doc) and returns [Gave_up] with reason
     ["escalated: ..."].  While quarantined, returns [Gave_up { attempts =
-    0; last_fault = "quarantined: ..." }] without running anything. *)
+    0; last_fault = "quarantined: ..." }] without running anything.
+    [on_restart] fires once per retry, after the backoff charge and
+    before the next attempt — the hook for per-attempt repair work such
+    as re-arming a watchdog heart the previous attempt's cut left hung
+    ({!Wedge_net.Guard.rearm_heart}). *)
 
 val run_child_sthread :
+  ?on_restart:(unit -> unit) ->
   ?instr:Wedge_sim.Instr.t ->
   child ->
   Sc.t ->
   (Engine.ctx -> int -> int) ->
   int ->
   outcome
+(** Under [From_pool], each attempt is {!Pool.stamp} with [sc] as the
+    extra grants; under [Fresh], {!Engine.sthread_create} as before. *)
 
-val run_child_fork : child -> (Engine.ctx -> int) -> outcome
+val run_child_fork :
+  ?on_restart:(unit -> unit) -> ?pool_extra:Sc.t -> child -> (Engine.ctx -> int) -> outcome
+(** Under [From_pool], each attempt is a stamped sthread standing in for
+    the fork, with [pool_extra] carrying the grants the fork would have
+    inherited (typically the connection descriptor); [pool_extra] is
+    ignored under [Fresh]. *)
 
-val run_child_fn : child -> (unit -> int) -> outcome
+val run_child_fn : ?on_restart:(unit -> unit) -> child -> (unit -> int) -> outcome
 (** {!run_child} over a plain function in the caller's process — the
     shape of an accept loop: not a compartment, but restartable under the
     same budget when a contained fault leaks out of the serve path. *)

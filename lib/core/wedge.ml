@@ -96,3 +96,5 @@ let vfs_read = Engine.vfs_read
 let vfs_write = Engine.vfs_write
 let vfs_readdir = Engine.vfs_readdir
 let caller_pid = Engine.caller_pid
+
+module Pool = Pool

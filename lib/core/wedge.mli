@@ -277,3 +277,11 @@ val vfs_readdir : ctx -> string -> (string list, Wedge_kernel.Vfs.error) result
     what an authentication callgate passes to {!set_identity} to log the
     caller in (§5.2). *)
 val caller_pid : ctx -> int option
+
+(** {1 Frozen snapshot pools (O(1) spawn and crash recovery)} *)
+
+module Pool : module type of Pool
+(** Checkpoint a fully-booted worker once ({!Pool.freeze}), then stamp
+    new sthreads from the frozen image at a flat cost independent of
+    address-space size ({!Pool.stamp}) — what {!Supervisor} uses for
+    [From_pool] restarts. *)

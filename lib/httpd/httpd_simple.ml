@@ -273,9 +273,13 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
       in
       let outcome =
         (* A supervised worker runs under the tree's per-child policy and
-           intensity budget; unsupervised falls back to the flat layer. *)
+           intensity budget; unsupervised falls back to the flat layer.
+           Each retry re-arms the guard heart, so a restamped worker is
+           not killed for its predecessor's hang. *)
+        let on_restart = Option.map (fun c () -> Guard.rearm_heart c) guard in
         match supervised with
-        | Some child -> Supervisor.run_child_sthread child worker_sc worker_main 0
+        | Some child ->
+            Supervisor.run_child_sthread ?on_restart child worker_sc worker_main 0
         | None ->
             Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
               worker_main 0
@@ -298,11 +302,28 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
         attempts;
       }
 
+(* Freeze the worker's boot once (identity dropped to uid 33 inside the
+   docroot chroot, heap warmed so demand-mapped pages join the image);
+   per-connection grants — the two tags, the connection descriptor, the
+   callgate — ride in at stamp time as the worker sc. *)
+let worker_pool ?(name = "httpd.worker") (env : Httpd_env.t) =
+  let sc = W.sc_create () in
+  W.sc_set_uid sc 33;
+  W.sc_set_root sc Httpd_env.docroot;
+  (match env.Httpd_env.worker_sid with Some sid -> W.sc_sel_context sc sid | None -> ());
+  W.Pool.freeze ~name
+    ~warm:(fun ctx ->
+      let p = W.malloc ctx 64 in
+      W.free ctx p)
+    env.Httpd_env.main sc
+
 (* The declared worker/listener topology: one node, the listener child
    registered first (so a [Rest_for_one] escalation of the listener also
-   restarts the workers, never the reverse). *)
+   restarts the workers, never the reverse).  With [pool], every worker
+   attempt — first run and every restart — is an O(1) stamp from the
+   frozen image instead of a fork-priced boot. *)
 let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
-    ?listener_policy ?worker_policy (env : Httpd_env.t) =
+    ?listener_policy ?worker_policy ?pool (env : Httpd_env.t) =
   let node =
     Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
       ~name:"httpd" env.Httpd_env.main
@@ -312,10 +333,13 @@ let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quaranti
       ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
       node ~name:"listener"
   in
+  let restart =
+    match pool with Some p -> Supervisor.From_pool p | None -> Supervisor.Fresh
+  in
   let worker =
     Supervisor.child
       ?policy:worker_policy
-      node ~name:"worker"
+      ~restart node ~name:"worker"
   in
   (node, listener, worker)
 

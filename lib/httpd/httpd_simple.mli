@@ -54,6 +54,12 @@ val serve_connection :
     [worker_limits] arms per-sthread resource quotas (frames / fds /
     syscall fuel) on the worker compartment. *)
 
+val worker_pool : ?name:string -> Httpd_env.t -> Wedge_core.Pool.t
+(** Freeze the worker's boot into a snapshot pool (uid 33 inside the
+    docroot chroot, the env's worker SELinux context when set, heap
+    warmed).  Pass to {!supervision_tree} as [pool] for O(1) worker
+    spawn and crash recovery. *)
+
 val supervision_tree :
   ?strategy:Wedge_core.Supervisor.strategy ->
   ?intensity:int ->
@@ -62,6 +68,7 @@ val supervision_tree :
   ?quarantine_ns:int ->
   ?listener_policy:Wedge_core.Supervisor.policy ->
   ?worker_policy:Wedge_core.Supervisor.policy ->
+  ?pool:Wedge_core.Pool.t ->
   Httpd_env.t ->
   Wedge_core.Supervisor.node
   * Wedge_core.Supervisor.child

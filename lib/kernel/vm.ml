@@ -247,6 +247,31 @@ let map_frame t ~addr ~frame ~prot ~tag =
            seed = Some (Bytes.copy (Physmem.get t.pm frame));
          })
 
+(* Bulk-install a frozen snapshot image (compartment checkpoint/restore):
+   each entry takes one frame reference and lands directly in the page
+   table — the simulated analogue of pointing a child at a prepared
+   pagetable subtree, so no per-page cost is charged here (the caller
+   accounts one flat stamp charge however many pages the image holds).
+   Recorder events are emitted per page: a differential reference VM must
+   see these mappings exactly like any other, or COW breaks inside a
+   stamped child would diverge. *)
+let map_image t entries =
+  List.iter
+    (fun (vpn, frame, prot, tag) ->
+      Physmem.incref t.pm frame;
+      Pagetable.map t.pt ~vpn ~frame ~prot ~tag;
+      if recording t then
+        emit t
+          (Ev_map
+             {
+               pid = t.pid;
+               vpn;
+               frame;
+               prot;
+               seed = Some (Bytes.copy (Physmem.get t.pm frame));
+             }))
+    entries
+
 let share_range ~src ~dst ~addr ~pages ~prot =
   check_aligned addr;
   for i = 0 to pages - 1 do

@@ -125,6 +125,14 @@ val map_frame :
   t -> addr:int -> frame:int -> prot:Prot.page -> tag:int option -> unit
 (** Map an existing frame (takes a reference). *)
 
+val map_image : t -> (int * int * Prot.page * int option) list -> unit
+(** Bulk-install a frozen snapshot image: each [(vpn, frame, prot, tag)]
+    entry takes one frame reference and lands directly in the page table.
+    No per-page cost is charged — the caller accounts one flat stamp
+    charge however many pages the image holds (the point of checkpoint/
+    restore spawn).  Recorder events are emitted per page so differential
+    reference VMs track the mappings. *)
+
 val share_range :
   src:t -> dst:t -> addr:int -> pages:int -> prot:Prot.page -> unit
 (** Map [src]'s frames for [addr..] into [dst] with protection [prot]

@@ -310,25 +310,32 @@ let report c ~ok =
         else begin
           b.b_consecutive <- b.b_consecutive + 1;
           if b.b_first_failure_ns < 0 then b.b_first_failure_ns <- n;
-          let trip () =
+          let trip ~fresh_detection =
             b.b_state <- Open;
             b.b_opened_at <- n;
             b.b_opened <- b.b_opened + 1;
             (* Reaction time: first failure of this streak to the trip —
-               the MTTR benchmark's breaker row. *)
-            b.b_reactions <- (n - b.b_first_failure_ns) :: b.b_reactions;
+               the MTTR benchmark's breaker row.  Only a trip from
+               [Closed] is a detection: a failed half-open probe reopens
+               at the very instant its failure is recorded, so the
+               zero-length "reaction" it used to push dragged the
+               benchmark's p50 to 0 while the max stayed honest. *)
+            if fresh_detection then
+              b.b_reactions <- (n - b.b_first_failure_ns) :: b.b_reactions;
             b.b_consecutive <- 0;
             b.b_first_failure_ns <- -1;
             Trace.instant t.trace ~name:"guard.breaker.open" ~pid:guard_pid
           in
           match b.b_state with
-          | Half_open -> trip ()  (* a failed probe reopens immediately *)
+          | Half_open ->
+              (* A failed probe reopens immediately. *)
+              trip ~fresh_detection:false
           | Closed ->
               if
                 b.b_consecutive >= b.bcfg.bc_consecutive
                 || List.length b.b_events >= b.bcfg.bc_min_samples
                    && failure_rate b >= b.bcfg.bc_rate
-              then trip ()
+              then trip ~fresh_detection:true
           | Open -> ()
         end
       end
@@ -364,6 +371,23 @@ let established c =
   c.is_established <- true;
   c.last_read_ns <- now c.g;
   match c.heart with Some h -> Watchdog.beat h | None -> ()
+
+(* Replace this connection's heart with a freshly armed one.  A watchdog
+   cut leaves the heart [`Hung] — deliberately, so the stalled worker's
+   own late beat dies as a contained [Hang] — but a supervisor retrying
+   the worker in the same serve fiber (a pooled restamp) must not inherit
+   that state: the new attempt's first delivered byte would beat the dead
+   heart and be killed for its predecessor's hang.  Passed as the
+   supervisor's [on_restart] hook, so every retry starts with a clean
+   beat history. *)
+let rearm_heart c =
+  match c.g.watchdog with
+  | None -> ()
+  | Some w ->
+      (match c.heart with Some h -> Watchdog.disarm h | None -> ());
+      let h = Watchdog.arm ~name:"guard.conn" w in
+      Watchdog.watch h c.ep;
+      c.heart <- Some h
 
 let ep c = c.ep
 

@@ -113,6 +113,14 @@ val established : conn -> unit
 (** The connection passed its handshake/greeting: the header deadline no
     longer applies and the idle clock restarts. *)
 
+val rearm_heart : conn -> unit
+(** Replace the connection's watchdog heart with a freshly armed one
+    (watching the same endpoint).  A cut leaves the old heart hung so the
+    stalled worker's late beat dies contained; a supervisor retrying the
+    worker in the same serve fiber passes this as its [on_restart] hook,
+    so the new attempt starts with a clean beat history instead of being
+    killed for its predecessor's hang.  No-op without a watchdog. *)
+
 val ep : conn -> Chan.ep
 
 val overdue : conn -> bool

@@ -280,8 +280,12 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
             0
       in
       let outcome =
+        (* A restamped worker must not inherit the hung heart a watchdog
+           cut left behind: each retry re-arms a fresh one. *)
+        let on_restart = Option.map (fun c () -> Guard.rearm_heart c) guard in
         match supervised with
-        | Some child -> Supervisor.run_child_sthread child worker_sc worker_main 0
+        | Some child ->
+            Supervisor.run_child_sthread ?on_restart child worker_sc worker_main 0
         | None ->
             Supervisor.supervise_sthread ~policy:restart_policy main worker_sc
               worker_main 0
@@ -304,11 +308,28 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         attempts;
       }
 
+(* Freeze the handler's boot once: identity dropped, pristine image
+   mapped, heap warmed (one allocation round-trip so the demand-mapped
+   heap pages — smalloc bookkeeping included — join the frozen image).
+   Per-connection grants (tags, the connection fd, the two gates) ride in
+   at stamp time as the worker sc. *)
+let worker_pool ?(name = "pop3.worker") main =
+  let sc = W.sc_create () in
+  W.sc_set_uid sc 99;
+  W.sc_set_root sc "/var/empty";
+  W.Pool.freeze ~name
+    ~warm:(fun ctx ->
+      let p = W.malloc ctx 64 in
+      W.free ctx p)
+    main sc
+
 (* The declared topology: listener first, then the per-connection
    handler workers (rest-for-one restarts workers when the listener
-   escalates, never the reverse). *)
+   escalates, never the reverse).  With [pool], every worker attempt —
+   first run and every restart — is stamped from the frozen image at the
+   flat O(1) cost instead of a fork-priced boot. *)
 let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
-    ?listener_policy ?worker_policy main =
+    ?listener_policy ?worker_policy ?pool main =
   let node =
     Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
       ~name:"pop3" main
@@ -318,10 +339,13 @@ let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quaranti
       ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
       node ~name:"listener"
   in
+  let restart =
+    match pool with Some p -> Supervisor.From_pool p | None -> Supervisor.Fresh
+  in
   let worker =
     Supervisor.child
       ~policy:(Option.value worker_policy ~default:(Supervisor.policy ~max_restarts:1 ()))
-      node ~name:"worker"
+      ~restart node ~name:"worker"
   in
   (node, listener, worker)
 

@@ -54,6 +54,13 @@ val serve_connection :
     commands answer [-ERR command line too long] and close);
     [worker_limits] arms per-sthread resource quotas on the handler. *)
 
+val worker_pool : ?name:string -> Wedge_core.Wedge.ctx -> Wedge_core.Pool.t
+(** Freeze the handler's boot into a snapshot pool (identity dropped to
+    uid 99 / empty chroot, heap warmed so the demand-mapped pages join
+    the image).  Pass to {!supervision_tree} as [pool] for O(1) worker
+    spawn and crash recovery; per-connection grants still ride in at
+    stamp time. *)
+
 val supervision_tree :
   ?strategy:Wedge_core.Supervisor.strategy ->
   ?intensity:int ->
@@ -62,6 +69,7 @@ val supervision_tree :
   ?quarantine_ns:int ->
   ?listener_policy:Wedge_core.Supervisor.policy ->
   ?worker_policy:Wedge_core.Supervisor.policy ->
+  ?pool:Wedge_core.Pool.t ->
   Wedge_core.Wedge.ctx ->
   Wedge_core.Supervisor.node
   * Wedge_core.Supervisor.child
@@ -69,7 +77,9 @@ val supervision_tree :
 (** The declared POP3 topology: node ["pop3"] with children ["listener"]
     (registered first, default two accept-loop retries) and ["worker"]
     (default one retry, matching {!serve_connection}).  Pass the triple
-    to {!serve_loop} as [supervision]. *)
+    to {!serve_loop} as [supervision].  With [pool] (see {!worker_pool})
+    every worker attempt is stamped from the frozen image instead of
+    fork-priced boot. *)
 
 val serve_loop :
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->

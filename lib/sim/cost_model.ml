@@ -6,6 +6,7 @@ type t = {
   tlb_miss : int;
   tlb_shootdown : int;
   pte_copy : int;
+  pool_stamp : int;
   fd_dup : int;
   page_alloc : int;
   page_copy : int;
@@ -51,6 +52,7 @@ let default =
     tlb_miss = 40;
     tlb_shootdown = 400;
     pte_copy = 190;
+    pool_stamp = 950;
     fd_dup = 250;
     page_alloc = 25;
     page_copy = 800;
@@ -83,6 +85,7 @@ let free =
     tlb_miss = 0;
     tlb_shootdown = 0;
     pte_copy = 0;
+    pool_stamp = 0;
     fd_dup = 0;
     page_alloc = 0;
     page_copy = 0;

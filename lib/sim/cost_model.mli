@@ -17,6 +17,9 @@ type t = {
   tlb_miss : int;  (** a page-table walk filling a TLB entry *)
   tlb_shootdown : int;  (** invalidating one cached translation on revoke *)
   pte_copy : int;  (** copying one page-table entry into a child *)
+  pool_stamp : int;
+      (** stamping a child from a frozen snapshot image: one page-table
+          root install, independent of how many pages the image holds *)
   fd_dup : int;  (** duplicating one file descriptor *)
   page_alloc : int;  (** allocating a zeroed physical frame *)
   page_copy : int;  (** copying a 4 KiB frame (COW break) *)

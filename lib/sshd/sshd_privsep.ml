@@ -150,8 +150,15 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?sup
         0
   in
   let outcome =
+    let on_restart = Option.map (fun c () -> Guard.rearm_heart c) guard in
     match supervised with
-    | Some child -> Supervisor.run_child_fork child slave_main
+    | Some child ->
+        (* When the child stamps from a snapshot pool, the per-connection
+           descriptor must ride in at stamp time — a frozen image cannot
+           know this connection's fd. *)
+        let pool_extra = W.sc_create () in
+        W.sc_fd_add pool_extra fd Fd_table.perm_rw;
+        Supervisor.run_child_fork ?on_restart ~pool_extra child slave_main
     | None -> Supervisor.supervise_fork ~policy:restart_policy main slave_main
   in
   (* An SSH session whose slave died mid-protocol cannot be resumed in
@@ -166,10 +173,21 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.default_policy) ?sup
   W.fd_close main fd;
   Chan.close ep
 
+(* Freeze a privileged slave boot: the image inherits the monitor's
+   identity (the slave drops privileges itself, exactly as after a fork)
+   and a warmed heap.  Per-connection descriptors ride in at stamp time. *)
+let slave_pool ?(name = "sshd.slave") (env : Sshd_env.t) =
+  let sc = W.sc_create () in
+  W.Pool.freeze ~name
+    ~warm:(fun ctx ->
+      let p = W.malloc ctx 64 in
+      W.free ctx p)
+    env.Sshd_env.main sc
+
 (* The declared privsep topology: listener first, then the slave
    compartments. *)
 let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
-    ?listener_policy ?slave_policy (env : Sshd_env.t) =
+    ?listener_policy ?slave_policy ?pool (env : Sshd_env.t) =
   let node =
     Supervisor.node ?strategy ?intensity ?window_ns ?healthy_after_ns ?quarantine_ns
       ~name:"sshd" env.Sshd_env.main
@@ -179,7 +197,14 @@ let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quaranti
       ~policy:(Option.value listener_policy ~default:(Supervisor.policy ~max_restarts:2 ()))
       node ~name:"listener"
   in
-  let slave = Supervisor.child ?policy:slave_policy node ~name:"slave" in
+  let slave =
+    Supervisor.child ?policy:slave_policy
+      ~restart:
+        (match pool with
+        | Some p -> Supervisor.From_pool p
+        | None -> Supervisor.Fresh)
+      node ~name:"slave"
+  in
   (node, listener, slave)
 
 (* Guarded accept loop.  SSH has no pre-handshake plaintext channel to

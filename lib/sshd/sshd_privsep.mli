@@ -51,6 +51,14 @@ val serve_connection :
     setuid); [max_cmd_bytes]/[max_upload_bytes] are forwarded to
     {!Sshd_session.run}. *)
 
+val slave_pool : ?name:string -> Sshd_env.t -> Wedge_core.Pool.t
+(** Freeze the slave's boot into a snapshot pool.  The image keeps the
+    monitor's identity — a stamped slave drops privileges itself, exactly
+    as a forked one does — and a warmed heap; the per-connection
+    descriptor is granted at stamp time by {!serve_connection}.  Pass to
+    {!supervision_tree} as [pool] for O(1) slave spawn and crash
+    recovery. *)
+
 val supervision_tree :
   ?strategy:Wedge_core.Supervisor.strategy ->
   ?intensity:int ->
@@ -59,13 +67,16 @@ val supervision_tree :
   ?quarantine_ns:int ->
   ?listener_policy:Wedge_core.Supervisor.policy ->
   ?slave_policy:Wedge_core.Supervisor.policy ->
+  ?pool:Wedge_core.Pool.t ->
   Sshd_env.t ->
   Wedge_core.Supervisor.node
   * Wedge_core.Supervisor.child
   * Wedge_core.Supervisor.child
 (** The declared privsep topology: node ["sshd"] with children
     ["listener"] (registered first, default two accept-loop retries) and
-    ["slave"].  Pass the triple to {!serve_loop} as [supervision]. *)
+    ["slave"].  Pass the triple to {!serve_loop} as [supervision].  With
+    [pool] (see {!slave_pool}) every slave attempt is stamped from the
+    frozen image instead of paying the full fork copy. *)
 
 val serve_loop :
   ?restart_policy:Wedge_core.Supervisor.policy ->

@@ -459,6 +459,57 @@ let test_cgate_call_site_faults_contained () =
   check Alcotest.bool "fault site charged" true
     (Stats.get k.Kernel.stats "fault.cgate" >= 1)
 
+(* ---------- satellite: re-armed hearts on pooled restart ---------- *)
+
+let test_rearm_heart_clears_stale_beat () =
+  (* A supervised retry resumes in the same serve fiber after a backoff
+     charge.  The heart armed at admission is then already past its
+     deadline through no fault of the fresh attempt — without a rearm the
+     next sweep cuts the retry for its predecessor's silence. *)
+  let clock = Clock.create () in
+  let w = Watchdog.create ~deadline_ns:1_000 clock in
+  Fiber.run ~clock (fun () ->
+      let g = Guard.create ~clock ~watchdog:w ~max_conns:2 () in
+      let a, b = Chan.pair () in
+      let c =
+        match Guard.admit g b with
+        | Guard.Admitted c -> c
+        | _ -> Alcotest.fail "expected admission"
+      in
+      Clock.charge clock 2_000;
+      Guard.rearm_heart c;
+      Watchdog.sweep w;
+      check Alcotest.int "no spurious cut after rearm" 0 (Watchdog.cuts w);
+      Guard.release c;
+      Chan.close a);
+  check Alcotest.bool "no heart left overdue" true (Watchdog.self_check w = None)
+
+let test_staller_pop3_pooled_restamp () =
+  (* The integration shape: a pooled supervised worker is cut by the
+     watchdog mid-header; the supervisor restamps from the frozen image
+     (re-arming the heart on the way) and the listener keeps serving. *)
+  let k = Kernel.create ~costs:Cost_model.free () in
+  Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+  let app = W.create_app ~image_pages:60 k in
+  W.boot app;
+  let main_ctx = W.main_ctx app in
+  let l = Chan.listener ~costs:Cost_model.free ~backlog:4 () in
+  let w = Watchdog.create ~deadline_ns:4_000 k.Kernel.clock in
+  let guard = Guard.create ~clock:k.Kernel.clock ~watchdog:w ~max_conns:2 () in
+  staller_then_clean
+    ~serve_loop:(fun () ->
+      (* freeze needs a running fiber, so the pool is built here *)
+      let pool = Wedge_pop3.Pop3_wedge.worker_pool main_ctx in
+      let tree = Wedge_pop3.Pop3_wedge.supervision_tree ~pool main_ctx in
+      Wedge_pop3.Pop3_wedge.serve_loop ~supervision:tree main_ctx guard l)
+    ~prefix:"USER ali"
+    ~clean:
+      (clean_exchange l ~request:"USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n"
+         ~ok:(fun resp -> contains resp "+OK"))
+    k l guard w;
+  check Alcotest.bool "workers stamped from the pool" true
+    (app.Wedge_core.Engine.pool_hits > 0)
+
 (* ---------- storm determinism ---------- *)
 
 let test_storm_replays_identically () =
@@ -505,6 +556,13 @@ let () =
           Alcotest.test_case "httpd" `Quick test_staller_httpd;
           Alcotest.test_case "pop3" `Quick test_staller_pop3;
           Alcotest.test_case "sshd" `Quick test_staller_sshd;
+        ] );
+      ( "rearm",
+        [
+          Alcotest.test_case "stale heart survives rearm" `Quick
+            test_rearm_heart_clears_stale_beat;
+          Alcotest.test_case "pooled staller restamp" `Quick
+            test_staller_pop3_pooled_restamp;
         ] );
       ( "fault-sites",
         [
