@@ -222,6 +222,62 @@ let tracing_overhead () =
     (site_on *. 1e9 /. float_of_int site_iters);
   print_newline ()
 
+(* What an armed-but-idle reactor costs off the hot path: the scheduler
+   hook when no simulated time passed (one clock comparison), the hook
+   with the clock moving over an empty timer wheel, and the channel
+   fast path with and without a reactor attached (producers signal
+   unconditionally; with no waiters the signal is one branch).  These
+   are the taxes every run pays for having the reactor compiled in —
+   they must stay in low single-digit nanoseconds. *)
+let reactor_overhead () =
+  let module Clock = Wedge_sim.Clock in
+  let module Reactor = Wedge_sim.Reactor in
+  let module Chan = Wedge_net.Chan in
+  let clock = Clock.create () in
+  let r = Reactor.create ~clock () in
+  let hook = Reactor.hook r in
+  let iters = 2_000_000 in
+  let (), quiet =
+    Bench_util.wall_time (fun () ->
+        for _ = 1 to iters do
+          hook ()
+        done)
+  in
+  let (), moving =
+    Bench_util.wall_time (fun () ->
+        for _ = 1 to iters do
+          Clock.charge clock 1;
+          hook ()
+        done)
+  in
+  let chan_iters = 200_000 in
+  let ping a b () =
+    for _ = 1 to chan_iters do
+      Chan.write_string a "x";
+      ignore (Chan.read b 1)
+    done
+  in
+  let a1, b1 = Chan.pair () in
+  let (), detached = Bench_util.wall_time (ping a1 b1) in
+  let a2, b2 = Chan.pair () in
+  Chan.attach_reactor r b2;
+  let (), attached = Bench_util.wall_time (ping a2 b2) in
+  header "Reactor off-path overhead (wall clock, this host)";
+  Printf.printf "%-44s %12s %12s\n" "" "time" "per op";
+  Printf.printf "%-44s %9.1f ms %9.2f ns\n" "scheduler hook, clock unmoved (one compare)"
+    (quiet *. 1e3)
+    (quiet *. 1e9 /. float_of_int iters);
+  Printf.printf "%-44s %9.1f ms %9.2f ns\n" "scheduler hook, clock moving (empty wheel)"
+    (moving *. 1e3)
+    (moving *. 1e9 /. float_of_int iters);
+  Printf.printf "%-44s %9.1f ms %9.1f ns\n" "chan write+read ping, no reactor"
+    (detached *. 1e3)
+    (detached *. 1e9 /. float_of_int (2 * chan_iters));
+  Printf.printf "%-44s %9.1f ms %9.1f ns\n"
+    "chan write+read ping, attached (no waiters)" (attached *. 1e3)
+    (attached *. 1e9 /. float_of_int (2 * chan_iters));
+  print_newline ()
+
 (* What the correctness harness costs: a full invariant sweep (refcounts,
    rlimits, TLBs, smalloc walks, guards) measured directly against a
    booted application, the differential reference model's lockstep tax on
@@ -355,4 +411,5 @@ let run () =
   tlb_counters ();
   pool_registry ();
   tracing_overhead ();
+  reactor_overhead ();
   oracle_overhead ()

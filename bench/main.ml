@@ -20,6 +20,7 @@ let experiments =
     ("faults", Bench_faults.run);
     ("tlb", Bench_tlb.run);
     ("recovery", Bench_recovery.run);
+    ("reactor", Bench_reactor.run);
     ("spawn", Bench_spawn.run);
   ]
 
@@ -29,7 +30,7 @@ let () =
     if args = [] then
       [
         "fig7"; "fig8"; "fig9"; "table2"; "metrics"; "ablation"; "faults"; "tlb";
-        "recovery"; "spawn";
+        "recovery"; "reactor"; "spawn";
       ]
     else args
   in

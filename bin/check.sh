@@ -76,4 +76,19 @@ WEDGE_SPAWN_SMOKE=1 dune exec bench/main.exe -- spawn
 cmp BENCH_spawn.json "$spawn_first"
 rm -f "$spawn_first"
 
+# Reactor gate: the evented serve path must beat spin-yield blocking by
+# at least 2x on the simulated clock at 1k connections (bench_reactor
+# exits nonzero below 2x, or if an idle connection leaks any simulated
+# cost), and BENCH_reactor.json — simulated integers only — must be
+# byte-stable across two runs.
+echo "== reactor (smoke) =="
+WEDGE_REACTOR_SMOKE=1 dune exec bench/main.exe -- reactor
+test -s BENCH_reactor.json
+grep -q '"read_ratio_x100"' BENCH_reactor.json
+reactor_first="$(mktemp /tmp/wedge-reactor-XXXXXX.json)"
+cp BENCH_reactor.json "$reactor_first"
+WEDGE_REACTOR_SMOKE=1 dune exec bench/main.exe -- reactor
+cmp BENCH_reactor.json "$reactor_first"
+rm -f "$reactor_first"
+
 echo "check.sh: all green"

@@ -32,6 +32,7 @@ module Fault_plan = Wedge_fault.Fault_plan
 module Chan = Wedge_net.Chan
 module Guard = Wedge_net.Guard
 module Watchdog = Wedge_net.Watchdog
+module Reactor = Wedge_sim.Reactor
 module Byzantine = Wedge_net.Byzantine
 module Drbg = Wedge_crypto.Drbg
 module Rsa = Wedge_crypto.Rsa
@@ -56,7 +57,8 @@ let contains hay needle =
    oracle's sampled check, so invariants like [Watchdog.self_check] hold
    at every inspected switch; [clock] is threaded to the fiber scheduler
    so induced ["fiber.stall"] faults charge simulated time. *)
-let checked ~kernel ?app ?sched_faults ?clock ?extra_hook ~policy ~diff main summarize =
+let checked ~kernel ?app ?sched_faults ?clock ?extra_hook ?on_idle ~policy ~diff main
+    summarize =
   let oracle = Oracle.create kernel in
   (match app with Some a -> Oracle.set_app oracle a | None -> ());
   let refvm = if diff then Some (Refvm.create kernel) else None in
@@ -76,7 +78,8 @@ let checked ~kernel ?app ?sched_faults ?clock ?extra_hook ~policy ~diff main sum
       Oracle.remove_syscall_hook oracle;
       match refvm with Some rv -> Refvm.disarm rv | None -> ())
     (fun () ->
-      Fiber.run ?faults:sched_faults ?clock ~policy ~on_switch (fun () -> main oracle);
+      Fiber.run ?faults:sched_faults ?clock ?on_idle ~policy ~on_switch (fun () ->
+          main oracle);
       Oracle.check oracle;
       (match refvm with Some rv -> Refvm.verify rv | None -> ());
       Printf.sprintf "%s checks=%d diff_events=%s" (summarize ())
@@ -668,6 +671,86 @@ let run_sshd_storm ?(pooled = false) ~policy ~diff ~faults ~seed () =
       | Some (f, s) -> Printf.sprintf " spawn_fresh=%dns spawn_stamp=%dns" f s)
 
 (* ------------------------------------------------------------------ *)
+(* HTTPD reactor storm: the httpd storm with the serve path parked on
+   the reactor instead of spin-polling — deadlines on the timer wheel,
+   the watchdog pumped from the timer tick, accept bursts drained in one
+   wake.  Same melee, same self-healing assertions, plus the reactor's
+   own interest-set audit as an oracle invariant: no waiter whose
+   readiness already holds stays parked (lost wakeup), no registration
+   survives on a dead handle (ghost after Chan.abort / a watchdog cut),
+   no parked fiber lacks a registration. *)
+
+let run_httpd_reactor_storm ~policy ~diff ~faults ~seed =
+  let plan = storm_plan ~seed ~faults ~cgates:true () in
+  let k = Kernel.create ~costs:Cost_model.free ~faults:plan () in
+  let clock = k.Kernel.clock in
+  let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
+  let app = env.Wedge_httpd.Httpd_env.app in
+  let l = Chan.listener ~costs:Cost_model.free ~faults:plan ~backlog:8 () in
+  let r = Reactor.create ~clock () in
+  let w = Watchdog.create ~deadline_ns:6_000 clock in
+  let guard =
+    Guard.create ~clock ~header_deadline_ns:8_000 ~breaker:(storm_breaker ())
+      ~watchdog:w ~reactor:r ~max_conns:4 ()
+  in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "503" in
+  let n_clients = 12 in
+  let clean_request = "GET /index.html HTTP/1.1\r\n\r\n" in
+  let tree =
+    Wedge_httpd.Httpd_simple.supervision_tree
+      ~worker_policy:(Supervisor.policy ~max_restarts:1 ())
+      env
+  in
+  let node, _, _ = tree in
+  let heal = ref 0 in
+  (* The reactor ticks before the watchdog hook: a timer-driven cut lands
+     first, then the sweep, then the oracle's sampled check observes the
+     settled state. *)
+  let extra_hook =
+    let rhook = Reactor.hook r and whook = Watchdog.hook w in
+    fun () ->
+      rhook ();
+      whook ()
+  in
+  checked ~kernel:k ~app ~sched_faults:plan ~clock ~extra_hook
+    ~on_idle:(Reactor.idle r) ~policy ~diff
+    (fun oracle ->
+      Oracle.add_guard oracle ~name:"httpd.guard" guard;
+      storm_watchdog_invariant oracle w;
+      Oracle.add_invariant oracle ~name:"reactor.interest-sets" (fun () ->
+          Reactor.self_check r);
+      Fiber.spawn (fun () ->
+          Wedge_httpd.Httpd_simple.serve_loop ~max_request_bytes:4096 ~supervision:tree
+            env guard l);
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            if i mod 4 = 0 then
+              Byzantine.mid_header_stall t l ~clock ~step_ns:1_000
+                ~prefix:"h\001\000partial-hello" ~is_rejection ()
+            else if i mod 5 = 0 then
+              Byzantine.half_close t l ~request:"GET / HTTP/1.0\r\n\r\n" ~is_rejection
+            else Byzantine.oneshot t l ~request:clean_request ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"httpd reactor storm resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      let probes = Byzantine.tally () in
+      heal :=
+        heal_breaker ~what:"httpd" guard clock (fun () ->
+            Byzantine.oneshot probes l ~request:clean_request ~is_rejection);
+      Guard.drain guard l;
+      match Reactor.self_check r with
+      | Some msg -> raise (Oracle.Violation ("httpd_reactor_storm: " ^ msg))
+      | None -> ())
+    (fun () ->
+      let rs = Reactor.stats r in
+      storm_summary ~server:"httpd" ~k ~t ~heal:!heal ~guard ~w ~tree:node
+      ^ Printf.sprintf " reactor_parks=%d reactor_wakes=%d reactor_timers=%d"
+          rs.Reactor.parks rs.Reactor.wakeups rs.Reactor.timer_fires)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -706,6 +789,13 @@ let all =
       s_run =
         (fun ~policy ~diff ~faults ~seed ->
           run_sshd_storm ~policy ~diff ~faults ~seed ());
+    };
+    {
+      s_name = "httpd_reactor_storm";
+      s_doc = "httpd storm on the event reactor: parked fibers, timer deadlines, wake audit";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_httpd_reactor_storm ~policy ~diff ~faults ~seed);
     };
     {
       s_name = "httpd_pool_storm";

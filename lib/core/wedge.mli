@@ -267,6 +267,22 @@ val fd_write_from : ctx -> int -> addr:int -> len:int -> unit
 (** [fd_write_from ctx fd ~addr ~len] writes [len] bytes read straight
     from the caller's memory at [addr] to [fd]. *)
 
+val fd_readv : ctx -> int -> (int * int) array -> int
+(** [fd_readv ctx fd iovs] scatters the stream into the [(addr, len)]
+    runs in order, through ONE kernel entry — one trap/fuel/trace charge
+    with each run past the first priced at
+    {!Wedge_sim.Cost_model.t.syscall_batch_op}.  On endpoints with a
+    native vectored path the bytes move directly between the channel and
+    the caller's pages; others are scattered over byte reads.  Returns
+    the byte total; [0] means EOF.  A protection fault on run [k] leaves
+    runs [< k] delivered (a short readv) — never a torn run. *)
+
+val fd_writev : ctx -> int -> (int * int) array -> int
+(** [fd_writev ctx fd iovs] gathers the [(addr, len)] runs and sends them
+    as one burst (one kernel entry, batch-priced).  All runs are read out
+    of the caller's memory {e before} any byte is sent, so a protection
+    fault mid-vector delivers nothing.  Returns the byte total. *)
+
 val fd_close : ctx -> int -> unit
 val vfs_read : ctx -> string -> (string, Wedge_kernel.Vfs.error) result
 val vfs_write : ctx -> string -> string -> (unit, Wedge_kernel.Vfs.error) result

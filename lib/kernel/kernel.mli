@@ -75,6 +75,13 @@ val syscall_check : t -> Process.t -> string -> unit
     the calling pid.
     @raise Eperm when denied. *)
 
+val syscall_check_batch : t -> Process.t -> string -> ops:int -> unit
+(** {!syscall_check} for a vectored burst: one trap charge, one trace
+    instant, one unit of fuel and one policy check amortize over [ops]
+    operations, each past the first charging
+    {!Wedge_sim.Cost_model.t.syscall_batch_op} (and counted under stat
+    ["trap.batched_ops"]).  [ops = 1] is exactly {!syscall_check}. *)
+
 val live_processes : t -> int
 
 val register_metrics : Wedge_sim.Metrics.t -> t -> unit

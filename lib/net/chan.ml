@@ -3,6 +3,7 @@ module Clock = Wedge_sim.Clock
 module Cost_model = Wedge_sim.Cost_model
 module Trace = Wedge_sim.Trace
 module Metrics = Wedge_sim.Metrics
+module Reactor = Wedge_sim.Reactor
 module Fd_table = Wedge_kernel.Fd_table
 module Rlimit = Wedge_kernel.Rlimit
 module Fault_plan = Wedge_fault.Fault_plan
@@ -28,11 +29,31 @@ type dir = {
   mutable wpos : int;
   mutable closed : bool;
   mutable reset : bool;
+  mutable handle : Reactor.handle option;
+      (* readiness interest set for this direction when a reactor is
+         attached: its reader parks on it for data/EOF, its writer for
+         drained backpressure space.  [None] (the default) keeps the
+         historical spin-yield blocking byte-for-byte — every seeded
+         replay test depends on that. *)
 }
 
 let dir_create () =
-  { data = Bytes.create 256; rpos = 0; wpos = 0; closed = false; reset = false }
+  {
+    data = Bytes.create 256;
+    rpos = 0;
+    wpos = 0;
+    closed = false;
+    reset = false;
+    handle = None;
+  }
 let dir_available d = d.wpos - d.rpos
+
+(* One readiness edge: data arrived, space drained, or the direction
+   died.  Level-triggered waiters re-check their own condition, so
+   signalling coarsely (every push, every pop) is correct; the disarmed
+   cost is one option match. *)
+let dir_signal d =
+  match d.handle with Some h -> Reactor.signal h | None -> ()
 
 let dir_push d b =
   let n = Bytes.length b in
@@ -48,7 +69,8 @@ let dir_push d b =
     d.wpos <- live
   end;
   Bytes.blit b 0 d.data d.wpos n;
-  d.wpos <- d.wpos + n
+  d.wpos <- d.wpos + n;
+  dir_signal d
 
 let dir_pop d n =
   let take = min n (dir_available d) in
@@ -58,6 +80,7 @@ let dir_pop d n =
     d.rpos <- 0;
     d.wpos <- 0
   end;
+  if take > 0 then dir_signal d;
   b
 
 type ep = {
@@ -93,17 +116,21 @@ let charge_rtt ep half =
   | None -> ()
 
 (* Tear one direction down as a fault: readers of it see EOF, writers get
-   [Injected].  Pending bytes are lost. *)
+   [Injected].  Pending bytes are lost.  The reactor handle dies with the
+   direction: every parked waiter wakes (to EOF or the write error) and
+   no new registration can land on the carcass. *)
 let dir_kill d =
   d.rpos <- 0;
   d.wpos <- 0;
   d.closed <- true;
-  d.reset <- true
+  d.reset <- true;
+  match d.handle with Some h -> Reactor.kill h | None -> ()
 
 (* Close as reset but let already-buffered bytes drain (truncation). *)
 let dir_kill_keep_data d =
   d.closed <- true;
-  d.reset <- true
+  d.reset <- true;
+  dir_signal d
 
 (* Connection reset: both directions die so no fiber can block on the
    carcass (silently dropped bytes would stall the peer forever and take
@@ -115,6 +142,21 @@ let kill ep =
 
 let charge_delay ep ns =
   match ep.clock with Some c -> Clock.charge c ns | None -> ()
+
+(* Block until this endpoint is readable.  Reactor-attached directions
+   park — zero scheduler steps while blocked — everything else keeps the
+   historical spin-yield wait byte-for-byte. *)
+let wait_rx ?(bytes = 1) ep =
+  let bytes = max 1 bytes in
+  let ready () = dir_available ep.rx >= bytes || ep.rx.closed in
+  match ep.rx.handle with
+  | Some h when Fiber.in_scheduler () ->
+      Reactor.wait h ~what:"channel data" ~ready
+  | _ -> Fiber.wait_until ~what:"channel data" ready
+
+let block_for_data ep = wait_rx ep
+
+let wait_readable = block_for_data
 
 let read ep n =
   if n <= 0 then invalid_arg "Chan.read: n <= 0";
@@ -131,13 +173,13 @@ let read ep n =
       ep.rx.wpos <- ep.rx.rpos + keep;
       ep.rx.closed <- true;
       ep.rx.reset <- true;
+      dir_signal ep.rx;
       Fiber.progress ()
   | Some (Fault_plan.Delay ns) -> charge_delay ep ns
   | Some (Fault_plan.Crash as k) -> Fault_plan.fail ~site:"chan.read" k
   | None -> ());
   let blocked = dir_available ep.rx = 0 && not ep.rx.closed in
-  Fiber.wait_until ~what:"channel data" (fun () ->
-      dir_available ep.rx > 0 || ep.rx.closed);
+  block_for_data ep;
   if blocked then charge_rtt ep true;
   let b = dir_pop ep.rx n in
   Trace.count ep.trace ~name:"chan.read" ~pid:net_pid ~value:(Bytes.length b);
@@ -179,8 +221,7 @@ let read_exact ep n =
    compartment fault, never a scheduler deadlock. *)
 let backpressure_spins = 2_000
 
-let wait_for_space ep cap =
-  let low = max 1 (cap / 2) in
+let spin_for_space ep ~low =
   let rec loop last spins =
     if dir_available ep.tx <= low || ep.tx.closed then ()
     else if Fiber.stamp () = last && spins > backpressure_spins then begin
@@ -199,6 +240,18 @@ let wait_for_space ep cap =
     end
   in
   loop (Fiber.stamp ()) 0
+
+let wait_for_space ep cap =
+  let low = max 1 (cap / 2) in
+  (* A reactor-attached writer parks for the drain signal instead of
+     spinning; a peer that never reads is then the admission layer's
+     problem (deadline cut -> abort -> wake to a contained error), or —
+     with no guard armed — a reported deadlock naming this fiber. *)
+  match ep.tx.handle with
+  | Some h when Fiber.in_scheduler () ->
+      Reactor.wait h ~what:"channel space" ~ready:(fun () ->
+          dir_available ep.tx <= low || ep.tx.closed)
+  | _ -> spin_for_space ep ~low
 
 let write ep b =
   if ep.tx.closed then
@@ -248,8 +301,117 @@ let read_into ep vm ~addr n =
 let write_from ep vm ~addr ~len =
   write ep (Wedge_kernel.Vm.read_bytes vm addr len)
 
+(* ------------------------------------------------------------------ *)
+(* Vectored kernel-copy I/O                                            *)
+
+(* [readv ep vm iovs] fills the (addr, len) runs in order with whatever
+   is buffered, through the same checked Vm bulk path as [read_into] —
+   one blocking wait, ONE fault roll and one trace count for the whole
+   vector, no intermediate per-chunk reads.  Returns the byte total; 0
+   means EOF.  Atomicity per run: bytes are consumed from the channel
+   only after they landed, so a protection fault on run k leaves runs
+   < k delivered (a short readv, as on real hardware) and the rest of
+   the payload still buffered — never a torn run, never lost bytes. *)
+let readv ep vm iovs =
+  Array.iter
+    (fun (_, len) -> if len < 0 then invalid_arg "Chan.readv: negative length")
+    iovs;
+  let want = Array.fold_left (fun a (_, len) -> a + len) 0 iovs in
+  if want = 0 then 0
+  else begin
+    (match Fault_plan.roll_opt ep.faults ~site:"chan.read" with
+    | Some Fault_plan.Reset -> kill ep
+    | Some (Fault_plan.Drop | Fault_plan.Enomem | Fault_plan.Prot_fault) ->
+        dir_kill ep.rx;
+        Fiber.progress ()
+    | Some Fault_plan.Truncate ->
+        let keep = min 1 (dir_available ep.rx) in
+        ep.rx.wpos <- ep.rx.rpos + keep;
+        ep.rx.closed <- true;
+        ep.rx.reset <- true;
+        dir_signal ep.rx;
+        Fiber.progress ()
+    | Some (Fault_plan.Delay ns) -> charge_delay ep ns
+    | Some (Fault_plan.Crash as k) -> Fault_plan.fail ~site:"chan.read" k
+    | None -> ());
+    let blocked = dir_available ep.rx = 0 && not ep.rx.closed in
+    block_for_data ep;
+    if blocked then charge_rtt ep true;
+    let total = ref 0 in
+    (try
+       Array.iter
+         (fun (addr, len) ->
+           let take = min len (dir_available ep.rx) in
+           if take > 0 then begin
+             (* Land first, consume after: a Vm fault must leave the
+                unread bytes in the channel, not drop them. *)
+             let b = Bytes.sub ep.rx.data ep.rx.rpos take in
+             Wedge_kernel.Vm.write_bytes vm addr b;
+             ignore (dir_pop ep.rx take);
+             total := !total + take
+           end)
+         iovs
+     with e ->
+       if !total > 0 then begin
+         Trace.count ep.trace ~name:"chan.read" ~pid:net_pid ~value:!total;
+         Fiber.progress ()
+       end;
+       raise e);
+    Trace.count ep.trace ~name:"chan.read" ~pid:net_pid ~value:!total;
+    if !total > 0 then Fiber.progress ();
+    !total
+  end
+
+(* [writev ep vm iovs] gathers the (addr, len) runs and sends them as one
+   burst: ONE backpressure wait, one fault roll, one trace count.  Every
+   run is read out of the address space (each a checked bulk read) BEFORE
+   any byte reaches the wire, so a protection fault mid-vector delivers
+   nothing — no partial-write corruption.  Returns the byte total. *)
+let writev ep vm iovs =
+  Array.iter
+    (fun (_, len) -> if len < 0 then invalid_arg "Chan.writev: negative length")
+    iovs;
+  if ep.tx.closed then
+    if ep.tx.reset then
+      raise (Fault_plan.Injected "chan.write: peer reset (injected)")
+    else invalid_arg "Chan.writev: endpoint closed";
+  (* Validate + gather before anything is committed. *)
+  let runs =
+    Array.map (fun (addr, len) -> Wedge_kernel.Vm.read_bytes vm addr len) iovs
+  in
+  let total = Array.fold_left (fun a b -> a + Bytes.length b) 0 runs in
+  (match ep.capacity with
+  | Some cap when dir_available ep.tx >= cap -> wait_for_space ep cap
+  | _ -> ());
+  if ep.tx.closed then
+    raise
+      (Fault_plan.Injected "chan.write: peer reset while blocked on backpressure");
+  (match Fault_plan.roll_opt ep.faults ~site:"chan.write" with
+  | Some ((Fault_plan.Reset | Fault_plan.Crash) as k) ->
+      kill ep;
+      Fault_plan.fail ~site:"chan.write" k
+  | Some (Fault_plan.Drop | Fault_plan.Enomem | Fault_plan.Prot_fault) ->
+      dir_kill ep.tx;
+      Fiber.progress ()
+  | Some Fault_plan.Truncate ->
+      (match Array.find_opt (fun b -> Bytes.length b > 0) runs with
+      | Some b -> dir_push ep.tx (Bytes.sub b 0 1)
+      | None -> ());
+      dir_kill_keep_data ep.tx;
+      Fiber.progress ()
+  | Some (Fault_plan.Delay ns) ->
+      charge_delay ep ns;
+      Array.iter (fun b -> if Bytes.length b > 0 then dir_push ep.tx b) runs
+  | None -> Array.iter (fun b -> if Bytes.length b > 0 then dir_push ep.tx b) runs);
+  Trace.count ep.trace ~name:"chan.write" ~pid:net_pid ~value:total;
+  Fiber.progress ();
+  Fiber.yield ();
+  total
+
 let close ep =
   ep.tx.closed <- true;
+  (* The peer's parked reader must see its EOF. *)
+  dir_signal ep.tx;
   Fiber.progress ()
 
 (* Forced teardown (RST): both directions die immediately.  Readers see
@@ -263,6 +425,18 @@ let is_eof ep = dir_available ep.rx = 0 && ep.rx.closed
 let bytes_in_flight ep = dir_available ep.rx
 let capacity ep = ep.capacity
 
+(* Attach a reactor to this endpoint: both directions get interest-set
+   handles, so readers/writers of either side park instead of spinning.
+   Idempotent; the peer endpoint shares the same dirs and is attached by
+   the same call. *)
+let attach_reactor r ep =
+  (match ep.rx.handle with
+  | Some _ -> ()
+  | None -> ep.rx.handle <- Some (Reactor.handle r ~name:"chan.rx"));
+  match ep.tx.handle with
+  | Some _ -> ()
+  | None -> ep.tx.handle <- Some (Reactor.handle r ~name:"chan.tx")
+
 let to_endpoint ep =
   {
     Fd_table.ep_read = (fun n -> read ep n);
@@ -270,6 +444,13 @@ let to_endpoint ep =
     ep_close = (fun () -> close ep);
     ep_eof = (fun () -> is_eof ep);
     ep_desc = "chan";
+    (* Pre-trap wait only in reactor mode: the unattached path must keep
+       blocking inside [read] (after the trap, with its half-RTT charge)
+       byte-for-byte. *)
+    ep_wait =
+      Some (fun () -> if ep.rx.handle <> None then wait_readable ep);
+    ep_readv = Some (fun vm iovs -> readv ep vm iovs);
+    ep_writev = Some (fun vm iovs -> writev ep vm iovs);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -284,6 +465,12 @@ type listener = {
   lfaults : Fault_plan.t option;
   ltrace : Trace.t;
   lcapacity : int option;
+  mutable l_h : Reactor.handle option;
+      (* accept-queue interest set: the acceptor parks on it and a SYN
+         burst wakes it once to drain the whole backlog *)
+  mutable l_reactor : Reactor.t option;
+      (* when set, every accepted connection pair is auto-attached, so
+         the serve path parks end to end without per-conn plumbing *)
 }
 
 let default_backlog = 128
@@ -301,7 +488,17 @@ let listener ?clock ?(costs = Cost_model.default) ?faults
     lfaults = faults;
     ltrace = trace;
     lcapacity = capacity;
+    l_h = None;
+    l_reactor = None;
   }
+
+(* Park acceptors on the queue instead of spinning, and attach every
+   connection this listener mints from now on.  Idempotent. *)
+let attach_listener r l =
+  (match l.l_h with
+  | Some _ -> ()
+  | None -> l.l_h <- Some (Reactor.handle r ~name:"chan.listener"));
+  l.l_reactor <- Some r
 
 let refuse l msg =
   l.refused <- l.refused + 1;
@@ -335,14 +532,23 @@ let connect l =
         pair ~costs:l.lcosts ?faults:l.lfaults ~trace:l.ltrace
           ?capacity:l.lcapacity ()
   in
+  (match l.l_reactor with
+  | Some r ->
+      (* one call covers both: client and server share the same dirs *)
+      attach_reactor r client
+  | None -> ());
   Queue.push server l.queue;
+  (match l.l_h with Some h -> Reactor.signal h | None -> ());
   Trace.instant l.ltrace ~name:"chan.connect" ~pid:net_pid;
   Fiber.progress ();
   client
 
 let accept l =
-  Fiber.wait_until ~what:"incoming connection" (fun () ->
-      not (Queue.is_empty l.queue) || l.down);
+  let ready () = not (Queue.is_empty l.queue) || l.down in
+  (match l.l_h with
+  | Some h when Fiber.in_scheduler () ->
+      Reactor.wait h ~what:"incoming connection" ~ready
+  | _ -> Fiber.wait_until ~what:"incoming connection" ready);
   let r = Queue.take_opt l.queue in
   if Option.is_some r then Trace.instant l.ltrace ~name:"chan.accept" ~pid:net_pid;
   r
@@ -353,6 +559,8 @@ let shutdown l =
      their clients see EOF instead of waiting forever. *)
   Queue.iter kill l.queue;
   Queue.clear l.queue;
+  (* Parked acceptors wake to the [down] flag; no new registrations. *)
+  (match l.l_h with Some h -> Reactor.kill h | None -> ());
   Fiber.progress ()
 
 let pending l = Queue.length l.queue

@@ -62,6 +62,41 @@ val write_from : ep -> Wedge_kernel.Vm.t -> addr:int -> len:int -> unit
 (** [write_from ep vm ~addr ~len] sends [len] bytes read directly from
     [addr] in [vm] (checked, one translation per page). *)
 
+val readv : ep -> Wedge_kernel.Vm.t -> (int * int) array -> int
+(** [readv ep vm iovs] scatters buffered bytes into the [(addr, len)]
+    runs in order through the checked kernel-copy path — one blocking
+    wait, one fault-plan roll and one trace count for the whole vector,
+    no intermediate buffers.  Returns the byte total; [0] means EOF.
+    Bytes are consumed from the channel only after they land, so a
+    protection fault on run [k] leaves runs [< k] delivered (a short
+    readv) and the rest still buffered — never a torn run, never lost
+    bytes. *)
+
+val writev : ep -> Wedge_kernel.Vm.t -> (int * int) array -> int
+(** [writev ep vm iovs] gathers the [(addr, len)] runs and sends them as
+    one burst — one backpressure wait, one fault-plan roll, one trace
+    count.  All runs are read out of the address space {e before} any
+    byte reaches the wire, so a protection fault mid-vector delivers
+    nothing (no partial-write corruption).  Returns the byte total. *)
+
+val wait_readable : ep -> unit
+(** Block until a read would make progress (data buffered, or EOF).  On a
+    reactor-attached endpoint the fiber parks — zero scheduler steps and
+    zero syscall fuel while idle; otherwise this is the historical
+    spin-yield wait.  The engine calls it before the syscall trap. *)
+
+val wait_rx : ?bytes:int -> ep -> unit
+(** {!wait_readable} generalized to a minimum byte count (default 1):
+    returns once [bytes] are buffered or the direction closed. *)
+
+val attach_reactor : Wedge_sim.Reactor.t -> ep -> unit
+(** Drive this connection's blocking through a reactor: readers and
+    writers of both directions park on interest sets and are woken in
+    batches at sync points instead of spin-polling.  One call covers the
+    peer endpoint too (the two ends share their dirs).  Idempotent.
+    Unattached endpoints keep the historical spin-yield blocking
+    byte-for-byte. *)
+
 val close : ep -> unit
 
 val abort : ep -> unit
@@ -108,7 +143,15 @@ val connect : listener -> ep
     listener is down ([refused] counts both). *)
 
 val accept : listener -> ep option
-(** Blocks until a connection arrives or the listener shuts down. *)
+(** Blocks until a connection arrives or the listener shuts down.  On a
+    reactor-attached listener the acceptor parks and a connect burst
+    wakes it once — the level-triggered re-check then drains the whole
+    backlog without re-parking between connections. *)
+
+val attach_listener : Wedge_sim.Reactor.t -> listener -> unit
+(** Park acceptors on the accept queue's interest set, and auto-attach
+    ({!attach_reactor}) every connection this listener mints from now
+    on.  Idempotent. *)
 
 val shutdown : listener -> unit
 (** Stop accepting; still-queued (never-to-be-accepted) connections are

@@ -17,6 +17,7 @@ module Fiber = Wedge_sim.Fiber
 module Clock = Wedge_sim.Clock
 module Trace = Wedge_sim.Trace
 module Metrics = Wedge_sim.Metrics
+module Reactor = Wedge_sim.Reactor
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker                                                     *)
@@ -86,6 +87,11 @@ type t = {
   trace : Trace.t;
   breaker : breaker option;
   watchdog : Watchdog.t option;
+  reactor : Reactor.t option;
+      (* reactor-driven mode: admitted connections are attached (their
+         readers park instead of spin-polling), deadlines live on the
+         timer wheel, and the watchdog is pumped from [on_tick].  [None]
+         keeps every historical spin/poll path byte-for-byte. *)
   mutable conns : conn list;
   mutable active_n : int;
       (* |conns|, maintained at admit/release so the admission check is
@@ -133,11 +139,16 @@ let guard_spins = 2_000
 let drain_spins = 5_000
 
 let create ?clock ?header_deadline_ns ?idle_deadline_ns ?breaker ?watchdog
-    ?(trace = Trace.null) ~max_conns () =
+    ?reactor ?(trace = Trace.null) ~max_conns () =
   if max_conns <= 0 then invalid_arg "Guard.create: max_conns <= 0";
   (match (header_deadline_ns, idle_deadline_ns, clock) with
   | (Some _, _, None | _, Some _, None) ->
       invalid_arg "Guard.create: deadlines need a clock"
+  | _ -> ());
+  (match (reactor, clock) with
+  | Some r, Some c when Reactor.clock r != c ->
+      invalid_arg "Guard.create: reactor must share the guard's clock"
+  | Some _, None -> invalid_arg "Guard.create: a reactor needs a clock"
   | _ -> ());
   let breaker =
     match (breaker, clock) with
@@ -160,23 +171,32 @@ let create ?clock ?header_deadline_ns ?idle_deadline_ns ?breaker ?watchdog
             b_reactions = [];
           }
   in
-  {
-    max_conns;
-    header_deadline_ns;
-    idle_deadline_ns;
-    clock;
-    trace;
-    breaker;
-    watchdog;
-    conns = [];
-    active_n = 0;
-    draining = false;
-    admitted = 0;
-    rejected_busy = 0;
-    rejected_draining = 0;
-    timed_out = 0;
-    forced = 0;
-  }
+  let t =
+    {
+      max_conns;
+      header_deadline_ns;
+      idle_deadline_ns;
+      clock;
+      trace;
+      breaker;
+      watchdog;
+      reactor;
+      conns = [];
+      active_n = 0;
+      draining = false;
+      admitted = 0;
+      rejected_busy = 0;
+      rejected_draining = 0;
+      timed_out = 0;
+      forced = 0;
+    }
+  in
+  (* With everyone parked, no poll loop pumps the watchdog — the timer
+     sweep does it instead, exactly when simulated time moves. *)
+  (match (reactor, watchdog) with
+  | Some r, Some w -> Reactor.on_tick r (fun () -> Watchdog.sweep w)
+  | _ -> ());
+  t
 
 let now t = match t.clock with Some c -> Clock.now c | None -> 0
 
@@ -240,6 +260,64 @@ let breaker_decision t =
           end
           else `Admit false)
 
+let overdue c =
+  match c.g.clock with
+  | None -> false
+  | Some clk ->
+      let n = Clock.now clk in
+      let header_overdue =
+        match c.g.header_deadline_ns with
+        | Some d when not c.is_established -> n - c.opened_ns > d
+        | _ -> false
+      in
+      let idle_overdue =
+        match c.g.idle_deadline_ns with Some d -> n - c.last_read_ns > d | None -> false
+      in
+      header_overdue || idle_overdue
+
+let cut c =
+  if not c.is_cut then begin
+    c.is_cut <- true;
+    c.g.timed_out <- c.g.timed_out + 1;
+    Trace.instant c.g.trace ~name:"guard.cut" ~pid:guard_pid;
+    Chan.abort c.ep
+  end
+
+(* Earliest instant at which [overdue] could flip true (deadlines use
+   strict [>], hence the +1).  [None] once released/cut or when no
+   deadline applies any more. *)
+let next_deadline c =
+  if c.is_released || c.is_cut then None
+  else
+    let hdr =
+      match c.g.header_deadline_ns with
+      | Some d when not c.is_established -> Some (c.opened_ns + d + 1)
+      | _ -> None
+    in
+    let idle =
+      match c.g.idle_deadline_ns with
+      | Some d -> Some (c.last_read_ns + d + 1)
+      | None -> None
+    in
+    match (hdr, idle) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as x), None | None, x -> x
+
+(* Fire-and-re-check deadline: one timer per connection, armed at the
+   earliest candidate instant.  When it fires the deadline has either
+   truly passed (cut — the channel abort wakes the parked worker to EOF)
+   or moved (bytes arrived, connection established): arm a fresh timer at
+   the new instant.  O(1) per event; no cancellation on the hot read
+   path — timers on released/cut connections fire once into a no-op. *)
+let rec arm_deadline r c =
+  match next_deadline c with
+  | None -> ()
+  | Some at ->
+      ignore
+        (Reactor.at r ~ns:at (fun () ->
+             if not (c.is_released || c.is_cut) then
+               if overdue c then cut c else arm_deadline r c))
+
 let admit t ep =
   if t.draining then begin
     t.rejected_draining <- t.rejected_draining + 1;
@@ -276,6 +354,11 @@ let admit t ep =
           t.conns <- c :: t.conns;
           t.active_n <- t.active_n + 1;
           t.admitted <- t.admitted + 1;
+          (match t.reactor with
+          | Some r ->
+              Chan.attach_reactor r ep;
+              arm_deadline r c
+          | None -> ());
           Trace.instant t.trace ~name:"guard.admit" ~pid:guard_pid;
           Admitted c
         end
@@ -391,29 +474,6 @@ let rearm_heart c =
 
 let ep c = c.ep
 
-let overdue c =
-  match c.g.clock with
-  | None -> false
-  | Some clk ->
-      let n = Clock.now clk in
-      let header_overdue =
-        match c.g.header_deadline_ns with
-        | Some d when not c.is_established -> n - c.opened_ns > d
-        | _ -> false
-      in
-      let idle_overdue =
-        match c.g.idle_deadline_ns with Some d -> n - c.last_read_ns > d | None -> false
-      in
-      header_overdue || idle_overdue
-
-let cut c =
-  if not c.is_cut then begin
-    c.is_cut <- true;
-    c.g.timed_out <- c.g.timed_out + 1;
-    Trace.instant c.g.trace ~name:"guard.cut" ~pid:guard_pid;
-    Chan.abort c.ep
-  end
-
 (* Deadline-aware endpoint.  Reads poll rather than block: data ready or
    EOF delegates to the channel (which then cannot block), a passed
    deadline or a globally stalled system cuts the connection and returns
@@ -426,6 +486,21 @@ let guarded_read c n =
   else if overdue c then begin
     cut c;
     Bytes.empty
+  end
+  else if c.g.reactor <> None then begin
+    (* Reactor path: park for data/EOF — no polling.  The deadline lives
+       on the timer wheel; a cut aborts the channel, which kills its
+       interest sets and wakes this park to EOF. *)
+    Chan.wait_readable c.ep;
+    if c.is_cut then Bytes.empty
+    else begin
+      let b = Chan.read c.ep n in
+      if Bytes.length b > 0 then begin
+        c.last_read_ns <- now c.g;
+        match c.heart with Some h -> Watchdog.beat h | None -> ()
+      end;
+      b
+    end
   end
   else begin
     let has_deadline =
@@ -471,9 +546,39 @@ let endpoint c =
     ep_close = (fun () -> Chan.close c.ep);
     ep_eof = (fun () -> c.is_cut || Chan.is_eof c.ep);
     ep_desc = "guarded-chan";
+    (* The engine calls [ep_wait] before charging the syscall trap, so a
+       reactor-parked worker burns zero fuel while its client is silent.
+       Without a reactor it is a no-op — the historical polled read
+       (with its fuel charges) stays byte-for-byte. *)
+    ep_wait =
+      Some
+        (fun () ->
+          if c.g.reactor <> None && (not c.is_cut) && not (overdue c) then
+            Chan.wait_readable c.ep);
+    ep_readv =
+      Some
+        (fun vm iovs ->
+          if c.is_cut then 0
+          else if overdue c then begin
+            cut c;
+            0
+          end
+          else begin
+            let n = Chan.readv c.ep vm iovs in
+            if n > 0 then begin
+              c.last_read_ns <- now c.g;
+              (match c.heart with Some h -> Watchdog.beat h | None -> ())
+            end;
+            n
+          end);
+    ep_writev = Some (fun vm iovs -> Chan.writev c.ep vm iovs);
   }
 
 let accept_loop t l ~reject ~serve =
+  (* Reactor mode: the acceptor parks on the accept queue and a connect
+     burst wakes it once — the level-triggered wait then drains the whole
+     backlog without re-parking between connections. *)
+  (match t.reactor with Some r -> Chan.attach_listener r l | None -> ());
   let rec loop () =
     match Chan.accept l with
     | None -> ()

@@ -70,6 +70,7 @@ val create :
   ?idle_deadline_ns:int ->
   ?breaker:breaker_config ->
   ?watchdog:Watchdog.t ->
+  ?reactor:Wedge_sim.Reactor.t ->
   ?trace:Wedge_sim.Trace.t ->
   max_conns:int ->
   unit ->
@@ -81,8 +82,18 @@ val create :
     (["guard.admit"/"guard.reject.busy"/"guard.reject.draining"]), cuts
     (["guard.cut"]), drain spans, and breaker transitions
     (["guard.breaker.open"/"half_open"/"close"/"shed"]).
-    @raise Invalid_argument on a deadline or breaker without a clock or
-    [max_conns <= 0]. *)
+
+    [reactor] (which must share [clock]) switches the guard to
+    event-driven blocking: admitted connections are
+    {!Chan.attach_reactor}ed so their readers park instead of
+    spin-polling, deadlines become timer-wheel entries (fire-and-re-check
+    — O(1) per read, no per-read cancellation), {!accept_loop} parks on
+    the accept queue and drains connect bursts in one wake, and the
+    watchdog (when also present) is swept from the reactor's timer tick
+    instead of worker poll loops.  Without it every historical spin/poll
+    path is preserved byte-for-byte.
+    @raise Invalid_argument on a deadline, breaker or reactor without a
+    clock, a reactor on a different clock, or [max_conns <= 0]. *)
 
 val admit : t -> Chan.ep -> decision
 (** Claim a slot.  [Busy] when at [max_conns], [Draining] once {!drain}
@@ -131,7 +142,11 @@ val endpoint : conn -> Wedge_kernel.Fd_table.endpoint
 (** Deadline-aware descriptor target for the worker compartment: reads
     poll instead of block, returning EOF once the connection is overdue
     or the whole system stalls waiting on a silent client — always
-    before the fiber scheduler's deadlock detector fires. *)
+    before the fiber scheduler's deadlock detector fires.  Under a
+    reactor-driven guard, reads park instead of polling, the endpoint's
+    [ep_wait] parks {e before} the syscall trap (an idle connection
+    charges zero syscall fuel), and the vectored [ep_readv]/[ep_writev]
+    paths carry the same deadline/heartbeat bookkeeping as reads. *)
 
 val accept_loop :
   t ->

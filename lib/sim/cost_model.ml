@@ -1,5 +1,6 @@
 type t = {
   syscall_trap : int;
+  syscall_batch_op : int;
   context_switch : int;
   tlb_flush : int;
   tlb_hit : int;
@@ -42,10 +43,16 @@ type t = {
    - tlb_hit ~ one cycle of address translation on the fast path; tlb_miss
      ~ a hardware page-table walk; tlb_shootdown ~ the cost of killing one
      cached translation on a permissions change or unmap (the IPI-and-wait
-     a real multiprocessor pays, scaled to one entry). *)
+     a real multiprocessor pays, scaled to one entry).
+   - syscall_batch_op: each operation past the first in one vectored
+     batch (readv/writev) — per-op argument validation and iov walk with
+     the kernel entry/exit already paid, ~10% of a full trap (the
+     readv-vs-n-reads gap on commodity hardware).  Single-op syscalls
+     never charge it, so every fig7/fig8 number is untouched. *)
 let default =
   {
     syscall_trap = 500;
+    syscall_batch_op = 50;
     context_switch = 1_500;
     tlb_flush = 1_000;
     tlb_hit = 1;
@@ -79,6 +86,7 @@ let default =
 let free =
   {
     syscall_trap = 0;
+    syscall_batch_op = 0;
     context_switch = 0;
     tlb_flush = 0;
     tlb_hit = 0;

@@ -11,6 +11,11 @@
 
 type t = {
   syscall_trap : int;  (** kernel entry/exit for one system call *)
+  syscall_batch_op : int;
+      (** each operation past the first in one vectored batch
+          (readv/writev): per-op validation with the trap already paid.
+          Single-op syscalls never charge it, preserving every fig7/fig8
+          shape. *)
   context_switch : int;  (** scheduler switch between two processes *)
   tlb_flush : int;  (** address-space switch penalty *)
   tlb_hit : int;  (** one translation served from the software TLB *)

@@ -6,6 +6,13 @@ module Rng = Wedge_fault.Rng
 type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Spawn : (unit -> unit) -> unit Effect.t
 
+type _ Effect.t += Park : string -> unit Effect.t
+(* Like [Yield], but the continuation is NOT re-enqueued: the fiber goes
+   into the parked table and runs again only when [unpark] moves it back
+   to the run queue.  The readiness reactor is built on this — a blocked
+   fiber costs the scheduler nothing until the event it waits for
+   actually happens, instead of spin-polling through every rotation. *)
+
 exception Deadlock of string
 
 exception Cancelled of string
@@ -65,11 +72,18 @@ type sched = {
   mutable replay_pos : int;
   mutable decisions : int list;  (* newest first *)
   on_switch : (unit -> unit) option;
+  on_idle : (unit -> bool) option;
+      (* called when nothing is runnable but fibers are parked; returns
+         true when it made progress (advanced the clock to a timer, fired
+         one) and the scheduler should look at the queue again *)
   mutable stamp : int;  (* bumped by [progress] *)
   mutable active : bool;
   mutable cur : int;  (* id of the running fiber *)
   mutable next_id : int;
   blocked : (int, string) Hashtbl.t;  (* fiber id -> awaited condition *)
+  parked : (int, unit -> unit) Hashtbl.t;
+      (* fiber id -> resume thunk; parked fibers are OFF the run queue
+         entirely — [unpark] is the only way back *)
   cancelled : (int, string) Hashtbl.t;  (* fiber id -> cancel reason *)
   faults : Fault_plan.t option;
   clock : Clock.t option;  (* charged by induced stalls (site "fiber.stall") *)
@@ -90,12 +104,6 @@ let check_cancel s =
       Hashtbl.remove s.cancelled s.cur;
       raise (Cancelled reason)
   | None -> ()
-
-let cancel ?(reason = "cancelled") id =
-  match !current with
-  | None -> ()
-  | Some s ->
-      if not (Hashtbl.mem s.cancelled id) then Hashtbl.replace s.cancelled id reason
 
 let cancel_pending id =
   match !current with None -> false | Some s -> Hashtbl.mem s.cancelled id
@@ -210,6 +218,63 @@ let enqueue s ~id thunk =
   | Round_robin -> Queue.push thunk s.runq
   | _ -> pool_push s { t_id = id; t_run = thunk }
 
+(* ------------------------------------------------------------------ *)
+(* Park / unpark                                                       *)
+
+let is_parked id =
+  match !current with Some s -> Hashtbl.mem s.parked id | None -> false
+
+let parked_count () =
+  match !current with Some s -> Hashtbl.length s.parked | None -> 0
+
+let parked_ids () =
+  match !current with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) s.parked [] |> List.sort compare
+
+(* Move a parked fiber back to the run queue.  Waking someone is global
+   progress — a drain loop or deadlock detector spinning elsewhere must
+   see the wake as forward motion. *)
+let unpark id =
+  match !current with
+  | None -> ()
+  | Some s -> (
+      match Hashtbl.find_opt s.parked id with
+      | None -> ()
+      | Some thunk ->
+          Hashtbl.remove s.parked id;
+          s.stamp <- s.stamp + 1;
+          enqueue s ~id thunk)
+
+(* Park the calling fiber until [unpark].  Cancellation is delivered at
+   both edges: a pending mark raises before the fiber ever leaves the
+   queue, and a mark set while parked (the watchdog cutting a hung
+   worker — [cancel] unparks its victim) raises at resume. *)
+let park ~what =
+  match !current with
+  | None -> raise (Deadlock (Printf.sprintf "%s (no scheduler running)" what))
+  | Some s ->
+      check_cancel s;
+      let id = s.cur in
+      Hashtbl.replace s.blocked id what;
+      let finish () = Hashtbl.remove s.blocked id in
+      (match perform (Park what) with
+      | () -> finish ()
+      | exception e ->
+          finish ();
+          raise e);
+      check_cancel s
+
+let cancel ?(reason = "cancelled") id =
+  match !current with
+  | None -> ()
+  | Some s ->
+      if not (Hashtbl.mem s.cancelled id) then Hashtbl.replace s.cancelled id reason;
+      (* A parked victim would otherwise never observe the mark: wake it
+         so [park]'s resume edge delivers [Cancelled] promptly. *)
+      unpark id
+
 (* Pct priorities are drawn at fiber creation; demotions assign fresh,
    strictly decreasing minima so the post-demotion order is total and
    deterministic. *)
@@ -283,7 +348,7 @@ let choose s =
 let last_run_decisions : int array ref = ref [||]
 let last_decisions () = !last_run_decisions
 
-let run ?faults ?clock ?(policy = Round_robin) ?on_switch main =
+let run ?faults ?clock ?(policy = Round_robin) ?on_switch ?on_idle main =
   if in_scheduler () then invalid_arg "Fiber.run: nested run";
   let seed = match policy with Random s -> s | Pct { seed; _ } -> seed | _ -> 0 in
   let s =
@@ -301,11 +366,13 @@ let run ?faults ?clock ?(policy = Round_robin) ?on_switch main =
       replay_pos = 0;
       decisions = [];
       on_switch;
+      on_idle;
       stamp = 0;
       active = true;
       cur = 0;
       next_id = 1;
       blocked = Hashtbl.create 8;
+      parked = Hashtbl.create 8;
       cancelled = Hashtbl.create 8;
       faults;
       clock;
@@ -343,6 +410,13 @@ let run ?faults ?clock ?(policy = Round_robin) ?on_switch main =
                         s.cur <- id;
                         exec g);
                     continue k ())
+            | Park _ ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let id = s.cur in
+                    Hashtbl.replace s.parked id (fun () ->
+                        s.cur <- id;
+                        continue k ()))
             | _ -> None);
       }
   in
@@ -351,21 +425,45 @@ let run ?faults ?clock ?(policy = Round_robin) ?on_switch main =
     save_decisions ();
     current := None
   in
+  let runnable () =
+    match s.policy with Round_robin -> Queue.length s.runq | _ -> s.pool_n
+  in
+  let step () =
+    match s.policy with
+    | Round_robin -> (Queue.pop s.runq) ()
+    | _ -> (pool_take s (choose s)).t_run ()
+  in
+  (* Nothing runnable but fibers are parked: the reactor hook gets one
+     chance to fire due timers ([on_switch] — e.g. a just-signaled wake
+     that raced the queue emptying), then [on_idle] may advance the
+     simulated clock to the next armed timer and fire it (how a deadline
+     cut reaches a system where every fiber is parked on I/O).  If
+     neither wakes anyone, the parked fibers can never run again. *)
+  let idle () =
+    (match s.on_switch with Some f -> f () | None -> ());
+    if runnable () = 0 then begin
+      let progressed =
+        match s.on_idle with Some f -> f () | None -> false
+      in
+      if runnable () = 0 && not progressed then
+        raise (Deadlock (deadlock_message s "parked fibers, nothing runnable"))
+    end
+  in
   (try
      exec main;
-     (match s.policy with
-     | Round_robin ->
-         while not (Queue.is_empty s.runq) do
-           (match s.on_switch with Some f -> f () | None -> ());
-           let f = Queue.pop s.runq in
-           f ()
-         done
-     | _ ->
-         while s.pool_n > 0 do
-           (match s.on_switch with Some f -> f () | None -> ());
-           let i = choose s in
-           (pool_take s i).t_run ()
-         done)
+     let rec drain () =
+       if runnable () > 0 then begin
+         (match s.on_switch with Some f -> f () | None -> ());
+         (* The hook may have unparked or cancelled; re-check. *)
+         if runnable () > 0 then step ();
+         drain ()
+       end
+       else if Hashtbl.length s.parked > 0 then begin
+         idle ();
+         drain ()
+       end
+     in
+     drain ()
    with e ->
      finish ();
      raise e);

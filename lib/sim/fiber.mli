@@ -54,6 +54,7 @@ val run :
   ?clock:Clock.t ->
   ?policy:policy ->
   ?on_switch:(unit -> unit) ->
+  ?on_idle:(unit -> bool) ->
   (unit -> unit) ->
   unit
 (** [run main] executes [main] as the first fiber and schedules every fiber
@@ -65,7 +66,11 @@ val run :
     induces a hang — the fiber burns [ns] of simulated time (charged to
     [clock] when given) across several yields before resuming, unless a
     watchdog cancels it mid-stall; any other kind raises like
-    ["fiber.yield"].  [on_switch] runs before every scheduling step — the
+    ["fiber.yield"].  [on_idle] runs when nothing is
+    runnable but fibers are {!park}ed: it should advance the simulated
+    world (fire the next reactor timer) and return [true], or return
+    [false] to concede — upon which the run dies with {!Deadlock} naming
+    the parked fibers.  [on_switch] runs before every scheduling step — the
     hook invariant oracles use to check kernel state at each context
     switch.  It must not yield or spawn; an exception it raises aborts the
     run (and propagates).
@@ -104,9 +109,32 @@ val stamp : unit -> int
 val in_scheduler : unit -> bool
 (** True when called from inside {!run}. *)
 
+val park : what:string -> unit
+(** Take the calling fiber off the run queue until {!unpark}.  Unlike
+    {!wait_until}'s spin-yield idiom, a parked fiber costs the scheduler
+    {e nothing} per rotation — the primitive the readiness reactor
+    ({!Reactor}) is built on.  A pending cancellation raises
+    {!Cancelled} instead of parking; one set while parked ({!cancel}
+    unparks its victim) raises at resume.  Must be called inside {!run}.
+    @raise Deadlock when no scheduler is running. *)
+
+val unpark : int -> unit
+(** Make parked fiber [id] runnable again (no-op if it is not parked).
+    Counts as global progress.  Safe from any fiber and from the
+    {!run} [on_switch]/[on_idle] hooks. *)
+
+val is_parked : int -> bool
+(** True while fiber [id] sits in the parked table. *)
+
+val parked_count : unit -> int
+val parked_ids : unit -> int list
+(** Currently parked fiber ids, ascending — what the reactor's
+    interest-set invariant audits against its waiter lists. *)
+
 val cancel : ?reason:string -> int -> unit
 (** Mark fiber [id] for cancellation: its next {!yield}, stall step or
-    {!wait_until} spin raises {!Cancelled} [reason] inside it.  Safe to
+    {!wait_until} spin raises {!Cancelled} [reason] inside it.  A
+    {!park}ed victim is unparked so the mark is delivered at resume.  Safe to
     call from the {!run} [on_switch] hook (scheduler context) — the
     watchdog's cut path.  No-op outside {!run}; marking an already-marked
     fiber keeps the first reason. *)

@@ -1,0 +1,318 @@
+(* Readiness reactor: the epoll-style core of the event-driven serve
+   path.
+
+   Blocked fibers stop spin-polling ([Fiber.wait_until] burns one
+   scheduler step per blocked fiber per rotation — O(connections) per
+   delivered byte at 10k idle connections) and instead register a waiter
+   on a [handle] and [Fiber.park].  The producer side calls [signal] at
+   the moment the state changes (bytes pushed, space drained, direction
+   closed, connection queued) and every waiter of that handle wakes in
+   one batch.  Waits are level-triggered: a woken waiter re-checks its
+   [ready] closure and re-parks on a spurious wake, so a signal can
+   never be lost to a race and never needs to be precise.
+
+   Deadlines live on a timer wheel keyed by the simulated clock:
+   [tick] — wired into the scheduler as its [on_switch] hook — fires
+   every timer that has come due since the clock last moved.  When the
+   whole system is parked (every connection idle, nothing runnable), the
+   scheduler's [on_idle] hook calls [idle], which advances the clock
+   straight to the next armed timer — exactly how a real event loop
+   sleeps in epoll_wait until its earliest timeout.
+
+   Everything is deterministic: waiters wake in fiber-id order, timers
+   fire in (deadline, creation) order, and the counters below are pure
+   functions of the schedule. *)
+
+type waiter = {
+  w_fiber : int;
+  w_ready : unit -> bool;
+}
+
+type handle = {
+  h_id : int;
+  h_name : string;
+  h_r : t;
+  mutable h_dead : bool;
+  mutable h_waiters : waiter list;  (* registration order, newest first *)
+}
+
+and timer = {
+  tm_id : int;
+  tm_at : int;  (* absolute simulated ns *)
+  mutable tm_fire : (unit -> unit) option;  (* None = cancelled *)
+}
+
+and t = {
+  r_clock : Clock.t;
+  r_trace : Trace.t;
+  mutable next_handle : int;
+  mutable next_timer : int;
+  mutable timers : timer list;  (* sorted by (tm_at, tm_id) *)
+  mutable tick_hooks : (unit -> unit) list;  (* registration order *)
+  waiting : (int, handle) Hashtbl.t;  (* handles with live waiters *)
+  mutable last_now : int;  (* clock value at the last timer sweep *)
+  mutable timers_dirty : bool;  (* a timer was armed since that sweep *)
+  mutable c_signals : int;  (* wake batches delivered *)
+  mutable c_wakeups : int;  (* fibers woken *)
+  mutable c_parks : int;  (* times a fiber parked on a handle *)
+  mutable c_timer_fires : int;
+  mutable c_idle_advances : int;  (* clock jumps to the next timer *)
+}
+
+let create ?(trace = Trace.null) ~clock () =
+  {
+    r_clock = clock;
+    r_trace = trace;
+    next_handle = 0;
+    next_timer = 0;
+    timers = [];
+    tick_hooks = [];
+    waiting = Hashtbl.create 64;
+    last_now = -1;
+    timers_dirty = false;
+    c_signals = 0;
+    c_wakeups = 0;
+    c_parks = 0;
+    c_timer_fires = 0;
+    c_idle_advances = 0;
+  }
+
+let clock r = r.r_clock
+
+(* Reactor events carry pid 0, like the wire: they belong to the event
+   loop, not to any compartment. *)
+let reactor_pid = 0
+
+let handle r ~name =
+  let id = r.next_handle in
+  r.next_handle <- id + 1;
+  { h_id = id; h_name = name; h_r = r; h_dead = false; h_waiters = [] }
+
+let handle_name h = h.h_name
+
+let remove_waiter h w =
+  h.h_waiters <- List.filter (fun x -> x != w) h.h_waiters;
+  if h.h_waiters = [] then Hashtbl.remove h.h_r.waiting h.h_id
+
+(* One wake batch: every waiter of the handle back on the run queue, in
+   fiber-id order so the wake order is a pure function of who waited,
+   not of list-splicing history. *)
+let signal h =
+  match h.h_waiters with
+  | [] -> ()
+  | ws ->
+      let r = h.h_r in
+      r.c_signals <- r.c_signals + 1;
+      h.h_waiters <- [];
+      Hashtbl.remove r.waiting h.h_id;
+      if Trace.enabled r.r_trace then
+        Trace.count r.r_trace ~name:"reactor.wake" ~pid:reactor_pid
+          ~value:(List.length ws);
+      let ws = List.sort (fun a b -> compare a.w_fiber b.w_fiber) ws in
+      List.iter
+        (fun w ->
+          r.c_wakeups <- r.c_wakeups + 1;
+          Fiber.unpark w.w_fiber)
+        ws
+
+let kill h =
+  if not h.h_dead then begin
+    h.h_dead <- true;
+    signal h
+  end
+
+let is_dead h = h.h_dead
+
+(* Level-triggered wait: park until [ready], re-checking on every wake.
+   A dead handle never blocks — the caller's own state (closed flag, EOF)
+   carries the final answer.  A cancellation delivered while parked (the
+   watchdog cutting this fiber) must not leave a ghost registration
+   behind: the waiter entry is dropped on the exception path too. *)
+let wait h ~what ~ready =
+  let r = h.h_r in
+  while not (h.h_dead || ready ()) do
+    let w = { w_fiber = Fiber.fiber_id (); w_ready = ready } in
+    h.h_waiters <- w :: h.h_waiters;
+    if not (Hashtbl.mem r.waiting h.h_id) then Hashtbl.replace r.waiting h.h_id h;
+    r.c_parks <- r.c_parks + 1;
+    (try Fiber.park ~what
+     with e ->
+       remove_waiter h w;
+       raise e);
+    (* A signal already removed us; a stray unpark did not. *)
+    remove_waiter h w
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel (simulated clock)                                       *)
+
+type timer_id = int
+
+let insert_timer r tm =
+  r.timers_dirty <- true;
+  let rec ins = function
+    | [] -> [ tm ]
+    | t :: rest as l ->
+        if (tm.tm_at, tm.tm_id) < (t.tm_at, t.tm_id) then tm :: l
+        else t :: ins rest
+  in
+  r.timers <- ins r.timers
+
+let at r ~ns fire =
+  let id = r.next_timer in
+  r.next_timer <- id + 1;
+  insert_timer r { tm_id = id; tm_at = ns; tm_fire = Some fire };
+  id
+
+let after r ~ns fire = at r ~ns:(Clock.now r.r_clock + ns) fire
+
+let cancel_timer r id =
+  List.iter (fun tm -> if tm.tm_id = id then tm.tm_fire <- None) r.timers
+
+let pending_timers r =
+  List.length
+    (List.filter (fun tm -> match tm.tm_fire with Some _ -> true | None -> false)
+       r.timers)
+
+let on_tick r f = r.tick_hooks <- r.tick_hooks @ [ f ]
+
+(* Fire everything due.  The sweep is gated on the clock having moved
+   (or a timer having been armed) since the last one, so the hook's cost
+   on a switch where nothing happened is one comparison — the off-path
+   price of an armed reactor stays O(1), never O(timers). *)
+let tick r =
+  let now = Clock.now r.r_clock in
+  if now <> r.last_now || r.timers_dirty then begin
+    r.last_now <- now;
+    r.timers_dirty <- false;
+    let rec fire () =
+      match r.timers with
+      | tm :: rest when tm.tm_at <= now ->
+          r.timers <- rest;
+          (match tm.tm_fire with
+          | Some f ->
+              r.c_timer_fires <- r.c_timer_fires + 1;
+              if Trace.enabled r.r_trace then
+                Trace.instant r.r_trace ~name:"reactor.timer" ~pid:reactor_pid;
+              f ()
+          | None -> ());
+          fire ()
+      | _ -> ()
+    in
+    fire ();
+    List.iter (fun f -> f ()) r.tick_hooks
+  end
+
+let hook r () = tick r
+
+(* The scheduler is idle with parked fibers: sleep until the earliest
+   armed timer by advancing the simulated clock to it, then sweep.
+   Returns false when no timer is armed — the scheduler then reports the
+   parked fibers as deadlocked. *)
+let idle r () =
+  let rec earliest = function
+    | [] -> None
+    | tm :: rest -> (
+        match tm.tm_fire with Some _ -> Some tm.tm_at | None -> earliest rest)
+  in
+  match earliest r.timers with
+  | None -> false
+  | Some at ->
+      let now = Clock.now r.r_clock in
+      if at > now then begin
+        Clock.charge r.r_clock (at - now);
+        r.c_idle_advances <- r.c_idle_advances + 1
+      end;
+      tick r;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Audit and observability                                             *)
+
+type stats = {
+  signals : int;
+  wakeups : int;
+  parks : int;
+  timer_fires : int;
+  idle_advances : int;
+  parked : int;
+  timers : int;
+}
+
+let waiter_count r =
+  Hashtbl.fold (fun _ h n -> n + List.length h.h_waiters) r.waiting 0
+
+let stats r =
+  {
+    signals = r.c_signals;
+    wakeups = r.c_wakeups;
+    parks = r.c_parks;
+    timer_fires = r.c_timer_fires;
+    idle_advances = r.c_idle_advances;
+    parked = waiter_count r;
+    timers = pending_timers r;
+  }
+
+(* Interest sets must agree with the scheduler's parked table at every
+   sync point:
+   - a waiter still registered and still parked whose [ready] is already
+     true is a lost wakeup (someone changed state without signalling);
+   - waiters on a dead handle are ghost registrations ([kill] wakes
+     everyone, and [wait] never registers on a dead handle);
+   - a parked fiber with no registration anywhere can never be woken by
+     the reactor (a registration leaked on some exception path).
+   A registered waiter that is NOT parked is fine — that is the window
+   between an unpark (signal or cancel) and the fiber running its
+   cleanup. *)
+let self_check r =
+  let problem = ref None in
+  let report msg = if !problem = None then problem := Some msg in
+  Hashtbl.iter
+    (fun _ h ->
+      if h.h_dead && h.h_waiters <> [] then
+        report
+          (Printf.sprintf "reactor: %d waiter(s) on dead handle %s"
+             (List.length h.h_waiters) h.h_name)
+      else
+        List.iter
+          (fun w ->
+            if Fiber.is_parked w.w_fiber && w.w_ready () then
+              report
+                (Printf.sprintf
+                   "reactor: lost wakeup — handle %s ready but fiber %d still \
+                    parked"
+                   h.h_name w.w_fiber))
+          h.h_waiters)
+    r.waiting;
+  (match !problem with
+  | Some _ -> ()
+  | None ->
+      let registered = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ h ->
+          List.iter (fun w -> Hashtbl.replace registered w.w_fiber ()) h.h_waiters)
+        r.waiting;
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem registered id) then
+            report
+              (Printf.sprintf
+                 "reactor: fiber %d parked with no waiter registration" id))
+        (Fiber.parked_ids ()));
+  !problem
+
+let register_metrics ?(name = "reactor") m r =
+  Metrics.register m ~name ~kind:Metrics.Counter (fun () ->
+      [
+        ("reactor.signals", r.c_signals);
+        ("reactor.wakeups", r.c_wakeups);
+        ("reactor.parks", r.c_parks);
+        ("reactor.timer_fires", r.c_timer_fires);
+        ("reactor.idle_advances", r.c_idle_advances);
+      ]);
+  Metrics.register m ~name:(name ^ ".gauges") (fun () ->
+      [
+        ("reactor.parked", waiter_count r);
+        ("reactor.waiting_handles", Hashtbl.length r.waiting);
+        ("reactor.timers", pending_timers r);
+      ])

@@ -25,6 +25,9 @@ module Http = Wedge_httpd.Http
 module Client = Wedge_httpd.Https_client
 module Pop3_env = Wedge_pop3.Pop3_env
 module Pop3_wedge = Wedge_pop3.Pop3_wedge
+module Reactor = Wedge_sim.Reactor
+module Fd_table = Wedge_kernel.Fd_table
+module Process = Wedge_kernel.Process
 
 let check = Alcotest.check
 
@@ -388,6 +391,53 @@ let test_refused_contained_under_supervision () =
     (Stats.get k.Kernel.stats "supervisor.gave_up" >= 1);
   check Alcotest.int "refusals counted on the listener" 2 (Chan.refused l)
 
+(* ---------- idle fuel ---------- *)
+
+(* Satellite regression: a reactor-parked connection charges zero
+   syscall fuel while idle.  Fuel meters kernel entries (one unit per
+   trap), so the pin below proves the parked server never polls the
+   kernel during the silence — the reactor wakes it only when the
+   interest set turns ready.  The request after the silence still
+   lands, proving the connection stayed live rather than merely quiet. *)
+let test_idle_reactor_conn_charges_no_fuel () =
+  let k = Kernel.create ~costs:Cost_model.default () in
+  let clock = k.Kernel.clock in
+  let app = W.create_app k in
+  W.boot app;
+  let ctx = W.main_ctx app in
+  let tag = W.tag_new ~name:"idle.fuel" ~pages:1 ctx in
+  let buf = W.smalloc ctx 8 tag in
+  let r = Reactor.create ~clock () in
+  let a, b = Chan.pair ~clock ~costs:Cost_model.free () in
+  Chan.attach_reactor r b;
+  let fd = W.add_endpoint ctx (Chan.to_endpoint b) Fd_table.perm_rw in
+  let limits = (W.proc ctx).Process.limits in
+  let idle_fuel = ref (-1) in
+  let got = ref 0 in
+  Fiber.run ~on_switch:(Reactor.hook r) ~on_idle:(Reactor.idle r) (fun () ->
+      Fiber.spawn (fun () ->
+          let rec loop () =
+            Chan.wait_rx ~bytes:8 b;
+            if Chan.bytes_in_flight b >= 8 then begin
+              got := W.fd_readv ctx fd [| (buf, 8) |];
+              loop ()
+            end
+          in
+          loop ());
+      (* Let the server reach its park before the silence starts. *)
+      Fiber.yield ();
+      let fuel0 = Rlimit.fuel_used limits in
+      for _ = 1 to 1_000 do
+        Clock.charge clock 1_000;
+        Fiber.yield ()
+      done;
+      idle_fuel := Rlimit.fuel_used limits - fuel0;
+      Chan.write_string a "request!";
+      Fiber.wait_until ~what:"request served" (fun () -> !got = 8);
+      Chan.close a);
+  check Alcotest.int "idle stretch charged zero syscall fuel" 0 !idle_fuel;
+  check Alcotest.int "request after the silence still served" 8 !got
+
 let () =
   Alcotest.run "guard"
     [
@@ -432,5 +482,10 @@ let () =
           Alcotest.test_case "release idempotent" `Quick test_release_idempotent;
           Alcotest.test_case "refused contained under supervision" `Quick
             test_refused_contained_under_supervision;
+        ] );
+      ( "idle fuel",
+        [
+          Alcotest.test_case "reactor-parked conn charges none" `Quick
+            test_idle_reactor_conn_charges_no_fuel;
         ] );
     ]

@@ -216,6 +216,107 @@ let test_watchdog_beat_after_cut_raises_hang () =
   check Alcotest.bool "Hang is a contained engine fault" true
     (Wedge_core.Engine.fault_reason (Watchdog.Hang "x") <> None)
 
+(* ---------- reactor / watchdog interplay ---------- *)
+
+module Reactor = Wedge_sim.Reactor
+module Fd_table = Wedge_kernel.Fd_table
+
+let mk_readv_vm () =
+  let pm = Wedge_kernel.Physmem.create () in
+  let vm = Wedge_kernel.Vm.create ~pid:1 pm (Clock.create ()) Cost_model.free in
+  Wedge_kernel.Vm.map_fresh vm ~addr:0x1000 ~pages:1
+    ~prot:Wedge_kernel.Prot.page_rw ~tag:None;
+  vm
+
+(* A worker draining its connection through batched vectored reads keeps
+   its heart beaten: the watchdog — pumped from the reactor's timer
+   sweeps, no polling fiber anywhere — must never cut it, even though
+   the session spans several deadlines end to end. *)
+let test_reactor_readv_beats_heart () =
+  let clock = Clock.create () in
+  let r = Reactor.create ~clock () in
+  let w = Watchdog.create ~deadline_ns:1_000 clock in
+  let g = Guard.create ~clock ~watchdog:w ~reactor:r ~max_conns:2 () in
+  let got = Buffer.create 64 in
+  Fiber.run ~clock ~on_switch:(Reactor.hook r) (fun () ->
+      let a, b = Chan.pair () in
+      let c =
+        match Guard.admit g b with
+        | Guard.Admitted c -> c
+        | _ -> Alcotest.fail "expected admission"
+      in
+      let e = Guard.endpoint c in
+      let readv = Option.get e.Fd_table.ep_readv in
+      let vm = mk_readv_vm () in
+      Fiber.spawn (fun () ->
+          (* Arm the heart from inside the serve fiber, as accept_loop
+             does — a cut cancels precisely this fiber. *)
+          Guard.rearm_heart c;
+          let rec go () =
+            let n = readv vm [| (0x1000, 4); (0x1004, 4) |] in
+            if n > 0 then begin
+              Buffer.add_bytes got (Wedge_kernel.Vm.read_bytes vm 0x1000 n);
+              go ()
+            end
+          in
+          go ();
+          Guard.release c);
+      (* Five bursts, each 0.6 deadlines apart: the whole session lasts
+         3x the heartbeat deadline, but every vectored delivery beats
+         the heart in passing. *)
+      for i = 1 to 5 do
+        Clock.charge clock 600;
+        Chan.write_string a (Printf.sprintf "burst%03d" i)
+      done;
+      Chan.close a);
+  check Alcotest.int "heart stayed beaten: no cut" 0 (Watchdog.cuts w);
+  check Alcotest.int "every burst landed through readv" 40 (Buffer.length got);
+  check Alcotest.bool "no heart left overdue" true (Watchdog.self_check w = None)
+
+(* A parked worker whose client goes silent: the heart runs overdue and
+   the reactor-pumped watchdog must cut it promptly — parking must not
+   delay the cut past the deadline plus one sweep step, and the cut must
+   wake the parked fiber to a clean EOF. *)
+let test_reactor_cuts_parked_worker_within_deadline () =
+  let clock = Clock.create () in
+  let r = Reactor.create ~clock () in
+  let w = Watchdog.create ~deadline_ns:1_000 clock in
+  let g = Guard.create ~clock ~watchdog:w ~reactor:r ~max_conns:2 () in
+  let woke_at = ref (-1) in
+  let eof = ref false in
+  Fiber.run ~clock ~on_switch:(Reactor.hook r) (fun () ->
+      let a, b = Chan.pair () in
+      let c =
+        match Guard.admit g b with
+        | Guard.Admitted c -> c
+        | _ -> Alcotest.fail "expected admission"
+      in
+      let e = Guard.endpoint c in
+      let readv = Option.get e.Fd_table.ep_readv in
+      let vm = mk_readv_vm () in
+      Fiber.spawn (fun () ->
+          Guard.rearm_heart c;
+          (try eof := readv vm [| (0x1000, 8) |] = 0
+           with Fiber.Cancelled _ -> eof := true);
+          woke_at := Clock.now clock;
+          Guard.release c);
+      (* Let the worker arm its heart and park before the silence. *)
+      Fiber.yield ();
+      (* Silence: advance the clock in sweep-sized steps; every yield
+         runs the reactor hook, which sweeps the watchdog. *)
+      for _ = 1 to 10 do
+        Clock.charge clock 300;
+        Fiber.yield ()
+      done;
+      Chan.close a);
+  check Alcotest.int "watchdog cut the parked worker" 1 (Watchdog.cuts w);
+  check Alcotest.bool "cut surfaced as EOF in the parked read" true !eof;
+  (* The sweep at t=1200 cuts the heart, but the cancelled worker lands
+     behind the already-enqueued main fiber, so it resumes one scheduler
+     rotation (one more 300 ns charge) later: deadline + sweep + rotation. *)
+  check Alcotest.bool "cut landed within deadline + sweep + one rotation" true
+    (!woke_at >= 0 && !woke_at <= 1_600)
+
 (* ---------- circuit breaker ---------- *)
 
 let breaker_guard clock =
@@ -545,6 +646,13 @@ let () =
         [
           Alcotest.test_case "cuts hung heart" `Quick test_watchdog_cuts_hung_heart;
           Alcotest.test_case "beat after cut" `Quick test_watchdog_beat_after_cut_raises_hang;
+        ] );
+      ( "reactor",
+        [
+          Alcotest.test_case "batched readv beats heart" `Quick
+            test_reactor_readv_beats_heart;
+          Alcotest.test_case "parked worker cut within deadline" `Quick
+            test_reactor_cuts_parked_worker_within_deadline;
         ] );
       ( "breaker",
         [
