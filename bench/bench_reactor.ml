@@ -4,9 +4,18 @@
 
    Per (mode, conns) a fresh world holds [conns] connections, each with
    a server fiber blocked awaiting a request; only [active] of them
-   carry traffic ([reqs] requests each: 8 chunks of 8 bytes in, one
-   32-byte response out).  The rest stay idle for the whole run — the
-   reactor's case is that they must cost nothing.
+   carry traffic ([reqs] requests each, one 32-byte response out).  The
+   rest stay idle for the whole run — the reactor's case is that they
+   must cost nothing.
+
+   Request sizes follow the seeded long-tailed mix from [Bench_util]
+   (90% small / 9% medium / 1% large, stratified per connection).  The
+   original harness gave every request the identical 8x8-byte shape, so
+   every sample cost the same and p50 == p99 — the tail percentile was
+   measuring nothing, and a regression confined to large requests would
+   have been invisible.  With the mix, p99 lands in the large class and
+   the bench asserts p99 > p50 (a non-degenerate tail) on top of the
+   performance gates.
 
      baseline  spin-yield Fiber.wait_until, then 8x fd_read
                (one syscall trap per chunk)
@@ -42,24 +51,19 @@ let smoke =
 let conn_counts = if smoke then [ 1_000 ] else [ 1_000; 10_000 ]
 let active = if smoke then 32 else 64
 let reqs = if smoke then 2 else 16
-let chunks = 8
-let chunk_bytes = 8
-let req_bytes = chunks * chunk_bytes
-let chunk = Bytes.make chunk_bytes 'x'
+let mix_seed = 17
+
+(* Per-active-connection request shapes: identical across modes and
+   conn counts, so comparisons isolate the serve path. *)
+let shapes = Bench_util.skewed_classes ~seed:mix_seed ~n:active
+let max_req_bytes =
+  Array.fold_left (fun m s -> max m (Bench_util.shape_bytes s)) 0 shapes
+
 let resp = Bytes.make 32 'r'
 
 type mode = Spin | Evented
 
 let mode_label = function Spin -> "baseline" | Evented -> "reactor"
-
-let percentile sorted p =
-  match sorted with
-  | [] -> 0
-  | l ->
-      let a = Array.of_list l in
-      let n = Array.length a in
-      let idx = int_of_float (ceil (p *. float_of_int (n - 1))) in
-      a.(max 0 (min (n - 1) idx))
 
 type result = {
   r_read_p50 : int;  (* read-phase simulated ns per request *)
@@ -77,10 +81,10 @@ let measure mode conns =
   let app = W.create_app k in
   W.boot app;
   let ctx = W.main_ctx app in
-  let tag = W.tag_new ~name:"reactor.bench" ~pages:8 ctx in
+  let tag = W.tag_new ~name:"reactor.bench" ~pages:80 ctx in
   (* Staging runs for the vectored reads: only active servers ever read,
-     so only they need one. *)
-  let bufs = Array.init active (fun _ -> W.smalloc ctx req_bytes tag) in
+     so only they need one — sized for the largest shape in the mix. *)
+  let bufs = Array.init active (fun _ -> W.smalloc ctx max_req_bytes tag) in
   let r =
     match mode with Evented -> Some (Reactor.create ~clock ()) | Spin -> None
   in
@@ -94,6 +98,8 @@ let measure mode conns =
   let served = ref 0 in
   let serve idx (_, ep) =
     let fd = W.add_endpoint ctx (Chan.to_endpoint ep) Fd_table.perm_rw in
+    let sh = shapes.(idx mod active) in
+    let req_bytes = Bench_util.shape_bytes sh in
     let rec loop () =
       (match mode with
       | Spin ->
@@ -104,13 +110,15 @@ let measure mode conns =
         let t0 = Clock.now clock in
         (match mode with
         | Spin ->
-            for _ = 1 to chunks do
-              ignore (W.fd_read ctx fd chunk_bytes)
+            for _ = 1 to sh.Bench_util.sh_chunks do
+              ignore (W.fd_read ctx fd sh.Bench_util.sh_chunk_bytes)
             done
         | Evented ->
             let base = bufs.(idx) in
             let iovs =
-              Array.init chunks (fun i -> (base + (i * chunk_bytes), chunk_bytes))
+              Array.init sh.Bench_util.sh_chunks (fun i ->
+                  ( base + (i * sh.Bench_util.sh_chunk_bytes),
+                    sh.Bench_util.sh_chunk_bytes ))
             in
             ignore (W.fd_readv ctx fd iovs));
         samples := (Clock.now clock - t0) :: !samples;
@@ -121,9 +129,11 @@ let measure mode conns =
     in
     loop ()
   in
-  let client (client_ep, _) =
+  let client idx (client_ep, _) =
+    let sh = shapes.(idx) in
+    let chunk = Bytes.make sh.Bench_util.sh_chunk_bytes 'x' in
     for _ = 1 to reqs do
-      for _ = 1 to chunks do
+      for _ = 1 to sh.Bench_util.sh_chunks do
         Chan.write client_ep chunk
       done;
       match Chan.read_exact client_ep (Bytes.length resp) with
@@ -142,7 +152,7 @@ let measure mode conns =
             Array.iteri (fun i pair -> Fiber.spawn (fun () -> serve i pair)) eps;
             for i = 0 to active - 1 do
               let pair = eps.(i) in
-              Fiber.spawn (fun () -> client pair)
+              Fiber.spawn (fun () -> client i pair)
             done;
             Fiber.wait_until ~what:"all requests served" (fun () ->
                 !served = total_reqs);
@@ -168,8 +178,8 @@ let measure mode conns =
         }
   in
   {
-    r_read_p50 = percentile sorted 0.50;
-    r_read_p99 = percentile sorted 0.99;
+    r_read_p50 = Bench_util.percentile sorted 0.50;
+    r_read_p99 = Bench_util.percentile sorted 0.99;
     r_agg = (Clock.now clock - t0) / total_reqs;
     r_wall = wall;
     r_parks = stats.Reactor.parks;
@@ -178,6 +188,11 @@ let measure mode conns =
   }
 
 let ratio_x100 a b = if b = 0 then 0 else a * 100 / b
+
+let count_shape sh =
+  Array.fold_left
+    (fun n s -> if Bench_util.shape_label s = Bench_util.shape_label sh then n + 1 else n)
+    0 shapes
 
 let conns_json (conns, (base : result), (ev : result)) =
   Printf.sprintf
@@ -247,7 +262,17 @@ let run () =
              "bench reactor: aggregate ratio < 2x at %d conns (%d vs %d)" conns
              base.r_agg ev.r_agg);
       if ev.r_parks = 0 then
-        failwith "bench reactor: evented run never parked a fiber")
+        failwith "bench reactor: evented run never parked a fiber";
+      (* Non-degenerate tail: under the skewed mix the p99 sample must
+         come from a larger class than the p50 sample, in both modes.
+         If they are equal the mix (or the percentile rank) broke and
+         the tail number is measuring nothing. *)
+      if base.r_read_p99 <= base.r_read_p50 || ev.r_read_p99 <= ev.r_read_p50 then
+        failwith
+          (Printf.sprintf
+             "bench reactor: degenerate percentiles at %d conns (baseline \
+              p50=%d p99=%d, reactor p50=%d p99=%d)"
+             conns base.r_read_p50 base.r_read_p99 ev.r_read_p50 ev.r_read_p99))
     rows;
   (match rows with
   | (_, b1, e1) :: (_ :: _ as rest) ->
@@ -276,12 +301,16 @@ let run () =
      "{\n\
      \  \"requests\": %d,\n\
      \  \"active_conns\": %d,\n\
-     \  \"request_shape\": { \"chunks\": %d, \"chunk_bytes\": %d, \
-      \"response_bytes\": %d },\n\
+     \  \"request_mix\": { \"seed\": %d, \"small\": %d, \"medium\": %d, \
+      \"large\": %d, \"response_bytes\": %d },\n\
      \  \"scales\": [\n%s\n  ],\n\
      \  \"simulated\": true\n\
       }\n"
-     (active * reqs) active chunks chunk_bytes (Bytes.length resp)
+     (active * reqs) active mix_seed
+     (count_shape Bench_util.shape_small)
+     (count_shape Bench_util.shape_medium)
+     (count_shape Bench_util.shape_large)
+     (Bytes.length resp)
      (String.concat ",\n" (List.map conns_json rows));
    close_out oc;
    print_endline "  wrote BENCH_reactor.json");

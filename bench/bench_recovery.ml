@@ -77,15 +77,6 @@ let request l =
       (try Chan.close ep with _ -> ());
       ok
 
-let percentile sorted p =
-  match sorted with
-  | [] -> 0
-  | l ->
-      let a = Array.of_list l in
-      let n = Array.length a in
-      let idx = int_of_float (ceil (p *. float_of_int (n - 1))) in
-      a.(max 0 (min (n - 1) idx))
-
 type incident = { mttr_ns : int; lost : int }
 
 type variant = {
@@ -208,11 +199,11 @@ let digest_of v =
   let lost_total = List.fold_left (fun a i -> a + i.lost) 0 v.v_incidents in
   {
     d_n = n;
-    d_p50 = percentile mttrs 0.50;
-    d_p99 = percentile mttrs 0.99;
+    d_p50 = Bench_util.percentile mttrs 0.50;
+    d_p99 = Bench_util.percentile mttrs 0.99;
     d_mean = (if n = 0 then 0 else List.fold_left ( + ) 0 mttrs / n);
     d_lost = (if n = 0 then 0. else float_of_int lost_total /. float_of_int n);
-    d_r_p50 = percentile v.v_reactions 0.50;
+    d_r_p50 = Bench_util.percentile v.v_reactions 0.50;
     d_r_max = List.fold_left max 0 v.v_reactions;
   }
 

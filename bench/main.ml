@@ -6,7 +6,9 @@
      dune exec bench/main.exe -- fig7       # Figure 7 only
      dune exec bench/main.exe -- fig8 table2 ...
    Experiments: fig7 fig8 fig9 table2 metrics ablation bechamel faults tlb
-   recovery *)
+   recovery reactor spawn scale.  "scale" is not in the default set — it
+   drives 100k+ connections; run it explicitly (or with
+   WEDGE_SCALE_SMOKE=1 for the CI-sized population). *)
 
 let experiments =
   [
@@ -22,6 +24,7 @@ let experiments =
     ("recovery", Bench_recovery.run);
     ("reactor", Bench_reactor.run);
     ("spawn", Bench_spawn.run);
+    ("scale", Bench_scale.run);
   ]
 
 let () =

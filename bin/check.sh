@@ -91,4 +91,21 @@ WEDGE_REACTOR_SMOKE=1 dune exec bench/main.exe -- reactor
 cmp BENCH_reactor.json "$reactor_first"
 rm -f "$reactor_first"
 
+# Scale-out gate: the sharded multikernel bench (CI-sized population:
+# 2k pop3 + httpd + sshd connections over 1 vs 2 shards) must show >=
+# 1.3x makespan speedup per service, a non-degenerate latency tail
+# (p99 > p50), and the exact cross-shard shootdown count for the gtag
+# rotation (bench_scale exits nonzero on any of these); and
+# BENCH_scale.json — simulated integers only — must be byte-stable
+# across two runs.
+echo "== scale (smoke) =="
+WEDGE_SCALE_SMOKE=1 dune exec bench/main.exe -- scale
+test -s BENCH_scale.json
+grep -q '"speedup_x100"' BENCH_scale.json
+scale_first="$(mktemp /tmp/wedge-scale-XXXXXX.json)"
+cp BENCH_scale.json "$scale_first"
+WEDGE_SCALE_SMOKE=1 dune exec bench/main.exe -- scale
+cmp BENCH_scale.json "$scale_first"
+rm -f "$scale_first"
+
 echo "check.sh: all green"

@@ -252,6 +252,25 @@ let check t =
   check_guards t;
   check_custom t
 
+(* The cluster-wide sweep for a sharded world: each kernel owns its own
+   physical memory — frames never cross shard boundaries — so the global
+   frame-refcount invariant is the conjunction of every shard's full
+   sweep (failures labelled with the kernel's shard id) plus the one
+   genuinely cross-shard fact: a deleted global tag has no live replica
+   on any shard ([Wedge_net.Shard.self_check], passed as [fabric]). *)
+let global_sweep ?fabric ts =
+  List.iter
+    (fun t ->
+      try check t
+      with Violation msg -> violation "shard %d: %s" t.kernel.Kernel.shard msg)
+    ts;
+  match fabric with
+  | None -> ()
+  | Some fab -> (
+      match Wedge_net.Shard.self_check fab with
+      | None -> ()
+      | Some msg -> violation "global sweep: %s" msg)
+
 (* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
 

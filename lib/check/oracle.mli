@@ -44,6 +44,15 @@ val check : t -> unit
 (** Run every invariant once.
     @raise Violation on the first disagreement with ground truth. *)
 
+val global_sweep : ?fabric:Wedge_net.Shard.t -> t list -> unit
+(** Cluster-wide sweep for a sharded world: run {!check} on every
+    shard's oracle (violations relabelled with the kernel's shard id),
+    then — frames never cross shard boundaries, so per-shard refcount
+    sweeps compose — audit the one genuinely global invariant via
+    {!Wedge_net.Shard.self_check} when [fabric] is given: a deleted
+    global tag has no live replica on any shard.
+    @raise Violation on the first disagreement. *)
+
 val checks_run : t -> int
 (** How many times {!check} has run (for overhead reporting). *)
 

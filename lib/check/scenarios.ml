@@ -38,6 +38,8 @@ module Drbg = Wedge_crypto.Drbg
 module Rsa = Wedge_crypto.Rsa
 module W = Wedge_core.Wedge
 module Supervisor = Wedge_core.Supervisor
+module Shard = Wedge_net.Shard
+module Prot = Wedge_kernel.Prot
 
 type t = {
   s_name : string;
@@ -751,6 +753,309 @@ let run_httpd_reactor_storm ~policy ~diff ~faults ~seed =
           rs.Reactor.parks rs.Reactor.wakeups rs.Reactor.timer_fires)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded scenarios: N kernels behind a hashed front door, with the
+   cross-shard shootdown fabric under the oracle.                      *)
+
+(* [checked], multikernel edition: one oracle per shard (each wired to
+   its kernel's syscalls and fed a sampled stream of switches), the
+   fabric's link handlers started before and drained after [main], and
+   the end-of-run sweep replaced by {!Oracle.global_sweep} — every
+   shard's full refcount/rlimit/TLB/smalloc sweep plus the fabric's
+   gtag audit — and a cross-reactor registration audit. *)
+let checked_sharded ~fab ~policy ~diff main summarize =
+  let shards = Shard.shards fab in
+  let oracles =
+    Array.map
+      (fun (s : Shard.shard) ->
+        let o = Oracle.create s.Shard.kernel in
+        Oracle.set_app o s.Shard.app;
+        o)
+      shards
+  in
+  let refvms =
+    if diff then
+      Array.to_list (Array.map (fun (s : Shard.shard) -> Refvm.create s.Shard.kernel) shards)
+    else []
+  in
+  Array.iter Oracle.install_syscall_hook oracles;
+  List.iter Refvm.arm refvms;
+  let on_switch =
+    let fhook = Shard.hook fab in
+    let ohooks = Array.map Oracle.hook oracles in
+    fun () ->
+      fhook ();
+      Array.iter (fun h -> h ()) ohooks
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Oracle.remove_syscall_hook oracles;
+      List.iter Refvm.disarm refvms)
+    (fun () ->
+      Fiber.run ~policy ~on_switch ~on_idle:(Shard.idle fab) (fun () ->
+          Shard.start fab;
+          main oracles;
+          Shard.stop fab);
+      Oracle.global_sweep ~fabric:fab (Array.to_list oracles);
+      List.iter Refvm.verify refvms;
+      (match Reactor.self_check_multi (Shard.reactors fab) with
+      | Some msg -> raise (Oracle.Violation ("sharded reactors: " ^ msg))
+      | None -> ());
+      Printf.sprintf "%s checks=%d diff_events=%s" (summarize ())
+        (Array.fold_left (fun acc o -> acc + Oracle.checks_run o) 0 oracles)
+        (if diff then
+           string_of_int (List.fold_left (fun acc rv -> acc + Refvm.events rv) 0 refvms)
+         else "-"))
+
+(* Mid-run global-revocation exercise: a gtag replicated on every shard,
+   read through a recycled callgate on shard 1 — whose pooled sthread
+   keeps its address space between invocations, the stale-TLB window —
+   then deleted from shard 0.  [gtag_delete] must not return before the
+   cross-shard shootdown revoked shard 1's replica, so the re-invocation
+   faults (join returns -1) instead of reading stale frames: the fault
+   is contained to the caller, never served to a client. *)
+let gtag_epilogue ~what fab =
+  let s1 = Shard.shard fab 1 in
+  let main1 = W.main_ctx s1.Shard.app in
+  let g = Shard.gtag_new ~name:"secret" ~pages:1 fab in
+  let r1 = Shard.replica g ~sid:1 in
+  let addr = W.smalloc main1 16 r1 in
+  W.write_string main1 addr "per-conn secret!";
+  let sc = W.sc_create () in
+  let cgsc = W.sc_create () in
+  W.sc_mem_add cgsc r1 Prot.R;
+  let gate =
+    W.sc_cgate_add ~recycled:true main1 sc ~name:"peek"
+      ~entry:(fun gctx ~trusted:_ ~arg:_ -> W.read_u8 gctx addr)
+      ~cgsc ~trusted:0
+  in
+  let invoke () =
+    W.sthread_join main1
+      (W.sthread_create main1 sc
+         (fun ctx _ -> W.cgate ctx gate ~perms:(W.sc_create ()) ~arg:0)
+         0)
+  in
+  if invoke () <> Char.code 'p' then
+    raise (Oracle.Violation (what ^ ": live gtag replica unreadable on shard 1"));
+  Shard.gtag_delete fab ~sid:0 g;
+  if Shard.gtag_live g then
+    raise (Oracle.Violation (what ^ ": gtag still live after delete"));
+  if invoke () <> -1 then
+    raise
+      (Oracle.Violation (what ^ ": stale replica readable after global revocation"));
+  Printf.sprintf "gtag=revoked xshoot=%d" (Shard.cross_shard_shootdowns fab)
+
+let sharded_shards = 2
+
+let shard_stats_summary ~prefix fab front =
+  String.concat " "
+    (List.mapi
+       (fun i (s : Shard.shard) ->
+         Printf.sprintf "s%d[%s deg=%d rej=%d]" i
+           (guard_to_string (Guard.stats (Shard.front_guard front i)))
+           (Stats.get s.Shard.kernel.Kernel.stats (prefix ^ ".degraded"))
+           (Stats.get s.Shard.kernel.Kernel.stats (prefix ^ ".rejected")))
+       (Array.to_list (Shard.shards fab)))
+
+let run_httpd_sharded ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.02 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.02 [ Fault_plan.Reset ]
+  end;
+  Fault_plan.disarm plan;
+  let envs =
+    Array.init sharded_shards (fun i ->
+        let k = Kernel.create ~costs:Cost_model.free ~faults:plan ~shard:i () in
+        Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed:(seed + i) k)
+  in
+  let fab =
+    Shard.create
+      (Array.map
+         (fun e -> (W.kernel e.Wedge_httpd.Httpd_env.app, e.Wedge_httpd.Httpd_env.app))
+         envs)
+  in
+  let front = Shard.front ~costs:Cost_model.free ~faults:plan ~backlog:8 ~max_conns:4 fab in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "503" in
+  let served_bodies = ref 0 and client_errors = ref 0 in
+  let n_garbage = 8 and n_tls = 2 in
+  let revocation = ref "" in
+  checked_sharded ~fab ~policy ~diff
+    (fun oracles ->
+      Array.iteri
+        (fun i o ->
+          Oracle.add_guard o
+            ~name:(Printf.sprintf "httpd.guard.%d" i)
+            (Shard.front_guard front i))
+        oracles;
+      Wedge_httpd.Httpd_simple.serve_sharded ~max_request_bytes:4096 envs front;
+      Fault_plan.arm plan;
+      for i = 1 to n_garbage do
+        Fiber.spawn (fun () ->
+            (* Each client hashes to its home shard, like the front door
+               would route it. *)
+            let l =
+              Shard.front_listener front
+                (Shard.route fab ~key:(Printf.sprintf "conn-%d" i))
+            in
+            if i mod 3 = 0 then
+              Byzantine.half_close t l ~request:"GET / HTTP/1.0\r\n\r\n" ~is_rejection
+            else if i mod 5 = 0 then Byzantine.silent t l
+            else
+              Byzantine.oneshot t l ~request:"GET /index.html HTTP/1.1\r\n\r\n"
+                ~is_rejection)
+      done;
+      let users = [| "alice"; "bob" |] in
+      for i = 1 to n_tls do
+        Fiber.spawn (fun () ->
+            let rng = Drbg.create ~seed:(seed + i) in
+            match Shard.front_connect front ~key:users.(i - 1) with
+            | exception _ -> incr client_errors
+            | sid, ep -> (
+                match
+                  Wedge_httpd.Https_client.get ~rng
+                    ~pinned:envs.(sid).Wedge_httpd.Httpd_env.priv.Rsa.pub
+                    ~path:"/index.html" ep
+                with
+                | { Wedge_httpd.Https_client.response = Some r; _ }
+                  when r.Wedge_httpd.Http.status = 200 ->
+                    incr served_bodies
+                | _ -> incr client_errors
+                | exception _ -> incr client_errors))
+      done;
+      (* As in [run_httpd]: the silent holder only resolves when drain
+         force-cuts it (>=: an injected fault can cut it early). *)
+      let n_silent = 1 in
+      Fiber.wait_until ~what:"httpd sharded melee resolved" (fun () ->
+          Byzantine.total t >= n_garbage - n_silent
+          && !served_bodies + !client_errors >= n_tls);
+      Fault_plan.disarm plan;
+      revocation := gtag_epilogue ~what:"httpd_sharded" fab;
+      Shard.front_drain front;
+      Fiber.wait_until ~what:"silent holders cut" (fun () ->
+          Byzantine.total t = n_garbage))
+    (fun () ->
+      Printf.sprintf "httpd_sharded %s tls_ok=%d tls_err=%d %s %s plan=%s"
+        (tally_to_string t) !served_bodies !client_errors
+        (shard_stats_summary ~prefix:"httpd" fab front)
+        !revocation (plan_digest plan))
+
+let run_pop3_sharded ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.03 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.03 [ Fault_plan.Reset ]
+  end;
+  Fault_plan.disarm plan;
+  let worlds =
+    Array.init sharded_shards (fun i ->
+        let k = Kernel.create ~costs:Cost_model.free ~faults:plan ~shard:i () in
+        Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+        let app = W.create_app ~image_pages:60 k in
+        W.boot app;
+        (k, app))
+  in
+  let fab = Shard.create worlds in
+  let mains = Array.map (fun (_, app) -> W.main_ctx app) worlds in
+  let front =
+    Shard.front ~costs:Cost_model.free ~faults:plan ~backlog:8
+      ~header_deadline_ns:5_000 ~max_conns:4 fab
+  in
+  let t = Byzantine.tally () in
+  let is_rejection s = contains s "-ERR busy" in
+  let n_clients = 16 in
+  let revocation = ref "" in
+  checked_sharded ~fab ~policy ~diff
+    (fun oracles ->
+      Array.iteri
+        (fun i o ->
+          Oracle.add_guard o
+            ~name:(Printf.sprintf "pop3.guard.%d" i)
+            (Shard.front_guard front i))
+        oracles;
+      Wedge_pop3.Pop3_wedge.serve_sharded mains front;
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            let l =
+              Shard.front_listener front
+                (Shard.route fab ~key:(Printf.sprintf "conn-%d" i))
+            in
+            if i mod 4 = 0 then
+              Byzantine.half_close t l ~request:"USER alice\r\nQUIT\r\n" ~is_rejection
+            else if i mod 7 = 0 then
+              Byzantine.oversized t l ~size:2_000
+                ~is_rejection:(fun s -> contains s "too long")
+            else
+              Byzantine.oneshot t l
+                ~request:"USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n" ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"pop3 sharded melee resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      revocation := gtag_epilogue ~what:"pop3_sharded" fab;
+      Shard.front_drain front)
+    (fun () ->
+      Printf.sprintf "pop3_sharded %s %s %s plan=%s" (tally_to_string t)
+        (shard_stats_summary ~prefix:"pop3" fab front)
+        !revocation (plan_digest plan))
+
+let run_sshd_sharded ~policy ~diff ~faults ~seed =
+  let plan = Fault_plan.create ~seed () in
+  if faults then begin
+    Fault_plan.rule plan ~site:"chan.read" ~prob:0.02 [ Fault_plan.Drop; Fault_plan.Reset ];
+    Fault_plan.rule plan ~site:"chan.write" ~prob:0.02 [ Fault_plan.Reset ]
+  end;
+  Fault_plan.disarm plan;
+  let envs =
+    Array.init sharded_shards (fun i ->
+        let k = Kernel.create ~costs:Cost_model.free ~faults:plan ~shard:i () in
+        Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed:(seed + i) k)
+  in
+  let fab =
+    Shard.create
+      (Array.map
+         (fun e -> (W.kernel e.Wedge_sshd.Sshd_env.app, e.Wedge_sshd.Sshd_env.app))
+         envs)
+  in
+  let front = Shard.front ~costs:Cost_model.free ~faults:plan ~backlog:6 ~max_conns:3 fab in
+  let t = Byzantine.tally () in
+  let is_rejection _ = false in
+  let n_clients = 8 in
+  let revocation = ref "" in
+  checked_sharded ~fab ~policy ~diff
+    (fun oracles ->
+      Array.iteri
+        (fun i o ->
+          Oracle.add_guard o
+            ~name:(Printf.sprintf "sshd.guard.%d" i)
+            (Shard.front_guard front i))
+        oracles;
+      Wedge_sshd.Sshd_privsep.serve_sharded envs front;
+      Fault_plan.arm plan;
+      for i = 1 to n_clients do
+        Fiber.spawn (fun () ->
+            let l =
+              Shard.front_listener front
+                (Shard.route fab ~key:(Printf.sprintf "conn-%d" i))
+            in
+            if i mod 3 = 0 then
+              Byzantine.half_close t l ~request:"SSH-2.0-chaos\r\n\r\n" ~is_rejection
+            else
+              Byzantine.oneshot t l ~request:"SSH-2.0-chaos\r\nnot-a-kexinit\r\n"
+                ~is_rejection)
+      done;
+      Fiber.wait_until ~what:"sshd sharded melee resolved" (fun () ->
+          Byzantine.total t = n_clients);
+      Fault_plan.disarm plan;
+      revocation := gtag_epilogue ~what:"sshd_sharded" fab;
+      Shard.front_drain front)
+    (fun () ->
+      Printf.sprintf "sshd_sharded %s %s %s plan=%s" (tally_to_string t)
+        (shard_stats_summary ~prefix:"sshd" fab front)
+        !revocation (plan_digest plan))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -817,6 +1122,27 @@ let all =
       s_run =
         (fun ~policy ~diff ~faults ~seed ->
           run_sshd_storm ~pooled:true ~policy ~diff ~faults ~seed ());
+    };
+    {
+      s_name = "httpd_sharded";
+      s_doc = "2-shard httpd behind the hashed front door, cross-shard gtag revocation";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_httpd_sharded ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "pop3_sharded";
+      s_doc = "2-shard pop3 behind the hashed front door, cross-shard gtag revocation";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_pop3_sharded ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "sshd_sharded";
+      s_doc = "2-shard sshd behind the hashed front door, cross-shard gtag revocation";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed ->
+          run_sshd_sharded ~policy ~diff ~faults ~seed);
     };
     {
       s_name = "racy";

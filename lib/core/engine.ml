@@ -106,6 +106,12 @@ type app = {
   mutable pool_freezes : int;
   mutable pool_stamps : int;  (* stamp attempts, including faulted ones *)
   mutable pool_hits : int;  (* stamps that produced a running compartment *)
+  mutable on_tag_delete : (Tag.t -> unit) option;
+      (* fires after [tag_delete] finishes the local revocation (every
+         address space of THIS kernel unmapped, frames released, tag
+         dead).  The shard fabric hangs its cross-shard TLB-shootdown
+         broadcast here; the hook runs in the deleter's fiber and may
+         yield/park while it waits for remote acks. *)
 }
 
 and pooled = {
@@ -210,6 +216,7 @@ let create_app ?(image_pages = default_image_pages) kernel =
       pool_freezes = 0;
       pool_stamps = 0;
       pool_hits = 0;
+      on_tag_delete = None;
     }
   in
   let proc = Kernel.new_process kernel ~kind:Process.Main ~uid:0 ~root:"/" ~sid:"system_u:system_r:init_t" () in
@@ -592,7 +599,13 @@ let tag_delete ctx (tag : Tag.t) =
         if p.Process.pid <> caller_pid then stat ctx "tlb.remote_shootdown"
       end);
   Array.iter (fun f -> Physmem.decref ctx.app.kernel.Kernel.pm f) tag.Tag.frames;
-  Tag.delete ctx.app.tags tag
+  Tag.delete ctx.app.tags tag;
+  (* The local revocation is complete and every local invariant holds;
+     now let the shard fabric (if armed) extend it to the other kernels
+     before the delete returns to the caller. *)
+  match ctx.app.on_tag_delete with Some f -> f tag | None -> ()
+
+let set_on_tag_delete app f = app.on_tag_delete <- f
 
 let smalloc ctx size (tag : Tag.t) =
   charge ctx (costs ctx).Cost_model.malloc_op;

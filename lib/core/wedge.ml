@@ -28,6 +28,7 @@ let handle_status = Engine.handle_status
 let exit_sthread = Engine.exit_sthread
 let tag_new = Engine.tag_new
 let tag_delete = Engine.tag_delete
+let set_on_tag_delete = Engine.set_on_tag_delete
 let smalloc = Engine.smalloc
 let sfree = Engine.sfree
 let malloc = Engine.malloc

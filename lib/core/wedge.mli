@@ -101,6 +101,16 @@ val tag_new : ?name:string -> ?pages:int -> ctx -> Wedge_mem.Tag.t
     smalloc bookkeeping inside it. *)
 
 val tag_delete : ctx -> Wedge_mem.Tag.t -> unit
+(** Delete a tag: a {e global} revocation — the range is unmapped from
+    every address space of this kernel (with a TLB shootdown per remote
+    space), and with {!set_on_tag_delete} armed the revocation extends
+    across kernel shards before the call returns. *)
+
+val set_on_tag_delete : app -> (Wedge_mem.Tag.t -> unit) option -> unit
+(** Arm/disarm the post-delete hook {!tag_delete} fires once the local
+    revocation is complete — the shard fabric's cross-shard shootdown
+    broadcast.  The hook runs in the deleter's fiber and may park. *)
+
 val smalloc : ctx -> int -> Wedge_mem.Tag.t -> int
 val sfree : ctx -> int -> unit
 val malloc : ctx -> int -> int

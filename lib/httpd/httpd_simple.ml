@@ -377,3 +377,15 @@ let serve_loop ?restart_policy ?max_request_bytes ?worker_limits ?supervision
   | None -> ignore (accept ())
   | Some (_, listener_child, _) ->
       ignore (Supervisor.run_child_fn listener_child accept)
+
+(* One accept loop per shard, each on its shard's guard and listener.
+   Workers, supervision and stats stay per-shard: shard [i]'s environment
+   only ever touches shard [i]'s kernel. *)
+let serve_sharded ?restart_policy ?max_request_bytes ?worker_limits envs front =
+  Array.iteri
+    (fun i env ->
+      Wedge_sim.Fiber.spawn (fun () ->
+          serve_loop ?restart_policy ?max_request_bytes ?worker_limits env
+            (Wedge_net.Shard.front_guard front i)
+            (Wedge_net.Shard.front_listener front i)))
+    envs

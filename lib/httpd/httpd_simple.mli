@@ -98,3 +98,16 @@ val serve_loop :
     {!supervision_tree}) workers run under the "worker" child and the
     accept loop under "listener".  Returns once the listener shuts down —
     compose with {!Wedge_net.Guard.drain}. *)
+
+val serve_sharded :
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_request_bytes:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
+  Httpd_env.t array ->
+  Wedge_net.Shard.front ->
+  unit
+(** Spawn one {!serve_loop} fiber per shard: shard [i] serves from its
+    own environment [envs.(i)] behind the front door's shard-[i] guard
+    and listener.  Connections reach a shard by key hash
+    ({!Wedge_net.Shard.front_connect}); nothing is shared across shards
+    except tags replicated through the fabric. *)

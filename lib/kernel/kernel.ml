@@ -15,6 +15,9 @@ type t = {
   stats : Stats.t;
   trace : Trace.t;
   faults : Wedge_fault.Fault_plan.t option;
+  shard : int;
+      (* which kernel shard this is in a multi-kernel world (0 in the
+         single-kernel one); labels traces and oracle reports *)
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
   mem_rec : Vm.recorder;
@@ -25,7 +28,7 @@ type t = {
       (* invariant-oracle hook, called on entry to [syscall_check] *)
 }
 
-let create ?(costs = Cost_model.default) ?faults ?max_frames () =
+let create ?(costs = Cost_model.default) ?faults ?max_frames ?(shard = 0) () =
   let clock = Clock.create () in
   {
     pm = Physmem.create ?faults ?max_frames ();
@@ -36,6 +39,7 @@ let create ?(costs = Cost_model.default) ?faults ?max_frames () =
     stats = Stats.create ();
     trace = Trace.create ~clock ();
     faults;
+    shard;
     next_pid = 1;
     procs = Hashtbl.create 32;
     mem_rec = ref None;
@@ -73,7 +77,19 @@ let new_process t ?limits ~kind ~uid ~root ~sid () =
   p
 
 let find_process t pid = Hashtbl.find_opt t.procs pid
-let iter_processes t f = Hashtbl.iter (fun _ p -> f p) t.procs
+
+(* Global revocations (tag deletion's shootdown sweep) and the invariant
+   oracles both walk the whole process table; [Hashtbl.iter]'s order
+   depends on insertion/resize history, which made shootdown traces —
+   and therefore exploration digests — differ between otherwise
+   identical runs.  Sorted-pid order is a pure function of the table's
+   contents.  The pid list is snapshotted first so [f] may remove
+   entries (reap) without invalidating the walk. *)
+let iter_processes t f =
+  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] in
+  List.iter
+    (fun pid -> match Hashtbl.find_opt t.procs pid with Some p -> f p | None -> ())
+    (List.sort compare pids)
 
 (* Fold the address space's TLB counters into the kernel stats before the
    Vm goes away, so short-lived sthreads still show up in the totals. *)

@@ -15,6 +15,9 @@ type t = {
   stats : Wedge_sim.Stats.t;
   trace : Wedge_sim.Trace.t;
   faults : Wedge_fault.Fault_plan.t option;
+  shard : int;
+      (** which kernel shard this is in a multi-kernel world (0 in the
+          single-kernel one); labels traces and oracle reports *)
   mutable next_pid : int;
   procs : (int, Process.t) Hashtbl.t;
   mem_rec : Vm.recorder;
@@ -31,11 +34,14 @@ val create :
   ?costs:Wedge_sim.Cost_model.t ->
   ?faults:Wedge_fault.Fault_plan.t ->
   ?max_frames:int ->
+  ?shard:int ->
   unit ->
   t
 (** [faults] threads a fault plan into physical-memory allocation and
     every process's MMU checks; [max_frames] caps live physical frames
-    (exhaustion raises {!Physmem.Enomem}). *)
+    (exhaustion raises {!Physmem.Enomem}); [shard] (default 0) labels
+    this kernel in a sharded multi-kernel world
+    (see {!Wedge_net.Shard}). *)
 
 val charge : t -> int -> unit
 val trap : t -> string -> unit
@@ -58,10 +64,13 @@ val new_process :
 val find_process : t -> int -> Process.t option
 
 val iter_processes : t -> (Process.t -> unit) -> unit
-(** Visit every process in the table (any status).  Used by global
-    revocations — e.g. tag deletion — that must unmap a range from, and
-    shoot down cached translations in, {e every} address space that maps
-    it, not just the caller's. *)
+(** Visit every process in the table (any status), in ascending pid
+    order — a pure function of the table's contents, so shootdown traces
+    and exploration digests never depend on hash-table history.  [f] may
+    reap processes mid-walk.  Used by global revocations — e.g. tag
+    deletion — that must unmap a range from, and shoot down cached
+    translations in, {e every} address space that maps it, not just the
+    caller's. *)
 
 val reap : t -> Process.t -> unit
 (** Tear down a terminated process's address space and descriptors.

@@ -377,3 +377,14 @@ let serve_loop ?exploit ?restart_policy ?max_line ?worker_limits ?supervision ma
   | None -> ignore (accept ())
   | Some (_, listener_child, _) ->
       ignore (Supervisor.run_child_fn listener_child accept)
+
+(* One accept loop per shard, each on its shard's guard and listener;
+   [mains.(i)] is shard [i]'s trusted context. *)
+let serve_sharded ?exploit ?restart_policy ?max_line ?worker_limits mains front =
+  Array.iteri
+    (fun i main ->
+      Wedge_sim.Fiber.spawn (fun () ->
+          serve_loop ?exploit ?restart_policy ?max_line ?worker_limits main
+            (Wedge_net.Shard.front_guard front i)
+            (Wedge_net.Shard.front_listener front i)))
+    mains

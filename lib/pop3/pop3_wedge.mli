@@ -102,3 +102,15 @@ val serve_loop :
     workers run under "worker" and the accept loop under "listener".
     Returns once the listener shuts down — compose with
     {!Wedge_net.Guard.drain}. *)
+
+val serve_sharded :
+  ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_line:int ->
+  ?worker_limits:Wedge_kernel.Rlimit.t ->
+  Wedge_core.Wedge.ctx array ->
+  Wedge_net.Shard.front ->
+  unit
+(** Spawn one {!serve_loop} fiber per shard: shard [i] serves with its
+    own trusted context [mains.(i)] behind the front door's shard-[i]
+    guard and listener. *)

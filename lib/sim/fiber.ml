@@ -174,12 +174,20 @@ let wait_until ?(what = "condition") cond =
         let rec loop last_stamp spins =
           if not (cond ()) then begin
             check_cancel s;
-            (* If we have spun through the run queue many times with no global
-               progress, every other fiber is blocked too: deadlock. *)
+            (* If we have spun through the run queue many times with no
+               global progress, every other fiber is blocked too — but a
+               blocked world with an armed reactor timer is asleep, not
+               dead.  The queue never empties while this fiber spins, so
+               the scheduler's own idle path can't run: consult [on_idle]
+               here and only declare deadlock once it can't advance
+               simulated time either. *)
             if s.stamp = last_stamp && spins > 10_000 then begin
-              let msg = deadlock_message s what in
-              finish ();
-              raise (Deadlock msg)
+              let idled = match s.on_idle with Some f -> f () | None -> false in
+              if not idled then begin
+                let msg = deadlock_message s what in
+                finish ();
+                raise (Deadlock msg)
+              end
             end;
             perform Yield;
             if s.stamp = last_stamp then loop last_stamp (spins + 1)

@@ -205,22 +205,56 @@ let tick r =
 
 let hook r () = tick r
 
-(* The scheduler is idle with parked fibers: sleep until the earliest
-   armed timer by advancing the simulated clock to it, then sweep.
-   Returns false when no timer is armed — the scheduler then reports the
-   parked fibers as deadlocked. *)
-let idle r () =
+(* Earliest armed timer, if any — the deadline [idle] would sleep to. *)
+let next_deadline r =
   let rec earliest = function
     | [] -> None
     | tm :: rest -> (
         match tm.tm_fire with Some _ -> Some tm.tm_at | None -> earliest rest)
   in
-  match earliest r.timers with
+  earliest r.timers
+
+(* The scheduler is idle with parked fibers: sleep until the earliest
+   armed timer by advancing the simulated clock to it, then sweep.
+   Returns false when no timer is armed — the scheduler then reports the
+   parked fibers as deadlocked. *)
+let idle r () =
+  match next_deadline r with
   | None -> false
   | Some at ->
       let now = Clock.now r.r_clock in
       if at > now then begin
         Clock.charge r.r_clock (at - now);
+        r.c_idle_advances <- r.c_idle_advances + 1
+      end;
+      tick r;
+      true
+
+(* Multi-reactor idle, for shards: each reactor runs on its own clock
+   (shards are parallel machines), so absolute deadlines are not
+   comparable across reactors.  The reactor whose earliest timer is the
+   *smallest relative delay* from its own now is the one a real cluster
+   would wake first; ties break on list order, so the choice is a pure
+   function of the reactor states.  Advance only that shard's clock and
+   sweep only it — the other shards' clocks must not move for a timer
+   that is not theirs. *)
+let idle_multi rs () =
+  let best = ref None in
+  List.iter
+    (fun r ->
+      match next_deadline r with
+      | None -> ()
+      | Some at ->
+          let delay = max 0 (at - Clock.now r.r_clock) in
+          (match !best with
+          | Some (_, d) when d <= delay -> ()
+          | _ -> best := Some (r, delay)))
+    rs;
+  match !best with
+  | None -> false
+  | Some (r, delay) ->
+      if delay > 0 then begin
+        Clock.charge r.r_clock delay;
         r.c_idle_advances <- r.c_idle_advances + 1
       end;
       tick r;
@@ -263,10 +297,15 @@ let stats r =
      the reactor (a registration leaked on some exception path).
    A registered waiter that is NOT parked is fine — that is the window
    between an unpark (signal or cancel) and the fiber running its
-   cleanup. *)
-let self_check r =
-  let problem = ref None in
-  let report msg = if !problem = None then problem := Some msg in
+   cleanup.
+
+   The parked-without-registration check is global over the scheduler's
+   parked table, so with several reactors armed (one per shard) it must
+   see the union of every reactor's interest sets — a fiber parked on
+   shard 2's reactor is not a leak just because shard 0's audit ran
+   first.  [self_check_multi] takes that union; [self_check] is the
+   single-reactor special case. *)
+let check_handles r report =
   Hashtbl.iter
     (fun _ h ->
       if h.h_dead && h.h_waiters <> [] then
@@ -283,15 +322,25 @@ let self_check r =
                     parked"
                    h.h_name w.w_fiber))
           h.h_waiters)
-    r.waiting;
+    r.waiting
+
+let self_check_multi rs =
+  let problem = ref None in
+  let report msg = if !problem = None then problem := Some msg in
+  List.iter (fun r -> check_handles r report) rs;
   (match !problem with
   | Some _ -> ()
   | None ->
       let registered = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun _ h ->
-          List.iter (fun w -> Hashtbl.replace registered w.w_fiber ()) h.h_waiters)
-        r.waiting;
+      List.iter
+        (fun r ->
+          Hashtbl.iter
+            (fun _ h ->
+              List.iter
+                (fun w -> Hashtbl.replace registered w.w_fiber ())
+                h.h_waiters)
+            r.waiting)
+        rs;
       List.iter
         (fun id ->
           if not (Hashtbl.mem registered id) then
@@ -300,6 +349,8 @@ let self_check r =
                  "reactor: fiber %d parked with no waiter registration" id))
         (Fiber.parked_ids ()));
   !problem
+
+let self_check r = self_check_multi [ r ]
 
 let register_metrics ?(name = "reactor") m r =
   Metrics.register m ~name ~kind:Metrics.Counter (fun () ->

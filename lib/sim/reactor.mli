@@ -93,6 +93,17 @@ val idle : t -> unit -> bool
     earliest armed timer and {!tick}; [false] when no timer is armed
     (the scheduler then reports the parked fibers as a deadlock). *)
 
+val next_deadline : t -> int option
+(** Earliest armed timer (absolute simulated ns on this reactor's
+    clock), if any — the deadline {!idle} would sleep to. *)
+
+val idle_multi : t list -> unit -> bool
+(** Multi-shard [on_idle]: each reactor runs on its own clock, so the
+    one whose earliest timer is the smallest {e relative} delay from its
+    own now wakes first (ties break on list order).  Advances only that
+    reactor's clock and {!tick}s only it; [false] when no reactor has an
+    armed timer. *)
+
 val on_tick : t -> (unit -> unit) -> unit
 (** Run [f] at every timer sweep (i.e. whenever simulated time moved) —
     how the connection guard pumps its watchdog without any fiber
@@ -118,6 +129,11 @@ val self_check : t -> string option
     holds (lost wakeup), no waiters on dead handles (ghost registrations
     after abort/cut), no parked fiber without a registration.  [None]
     when consistent. *)
+
+val self_check_multi : t list -> string option
+(** {!self_check} over several reactors at once (one per shard): the
+    parked-without-registration audit is global to the scheduler, so it
+    must see the union of every armed reactor's interest sets. *)
 
 val register_metrics : ?name:string -> Metrics.t -> t -> unit
 (** Counters (["reactor.signals"/"wakeups"/"parks"/"timer_fires"/

@@ -232,3 +232,13 @@ let serve_loop ?restart_policy ?max_cmd_bytes ?max_upload_bytes ?supervision
   | None -> ignore (accept ())
   | Some (_, listener_child, _) ->
       ignore (Supervisor.run_child_fn listener_child accept)
+
+(* One accept loop per shard, each on its shard's guard and listener. *)
+let serve_sharded ?restart_policy ?max_cmd_bytes ?max_upload_bytes envs front =
+  Array.iteri
+    (fun i env ->
+      Wedge_sim.Fiber.spawn (fun () ->
+          serve_loop ?restart_policy ?max_cmd_bytes ?max_upload_bytes env
+            (Wedge_net.Shard.front_guard front i)
+            (Wedge_net.Shard.front_listener front i)))
+    envs

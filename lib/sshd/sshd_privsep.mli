@@ -96,3 +96,14 @@ val serve_loop :
     slaves run under "slave" and the accept loop under "listener".
     Returns once the listener shuts down — compose with
     {!Wedge_net.Guard.drain}. *)
+
+val serve_sharded :
+  ?restart_policy:Wedge_core.Supervisor.policy ->
+  ?max_cmd_bytes:int ->
+  ?max_upload_bytes:int ->
+  Sshd_env.t array ->
+  Wedge_net.Shard.front ->
+  unit
+(** Spawn one {!serve_loop} fiber per shard: shard [i] serves from its
+    own environment [envs.(i)] behind the front door's shard-[i] guard
+    and listener. *)

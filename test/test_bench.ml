@@ -1,0 +1,82 @@
+(* Tests for the benchmark measurement helpers: the shared percentile
+   rank (the one hoisted out of the per-bench copies) and the seeded
+   long-tailed request mix — the machinery whose earlier per-bench
+   duplicates let a uniform request shape hide p99 == p50. *)
+
+let check = Alcotest.check
+
+(* ---------- percentile ---------- *)
+
+let test_percentile_empty_and_singleton () =
+  check Alcotest.int "empty list is 0" 0 (Bench_util.percentile [] 0.99);
+  check Alcotest.int "singleton p50" 42 (Bench_util.percentile [ 42 ] 0.50);
+  check Alcotest.int "singleton p999" 42 (Bench_util.percentile [ 42 ] 0.999)
+
+(* Nearest-rank on a sorted list: idx = ceil(p * (n-1)), clamped.  Pin
+   the boundaries so a reimplementation cannot silently shift ranks. *)
+let test_percentile_rank_boundaries () =
+  let l = List.init 10 (fun i -> (i + 1) * 10) in
+  check Alcotest.int "p0 is the minimum" 10 (Bench_util.percentile l 0.0);
+  check Alcotest.int "p50 of 10 samples" 60 (Bench_util.percentile l 0.50);
+  check Alcotest.int "p99 of 10 samples" 100 (Bench_util.percentile l 0.99);
+  check Alcotest.int "p100 is the maximum" 100 (Bench_util.percentile l 1.0);
+  (* 100 samples: p99 must not clamp to the max prematurely. *)
+  let big = List.init 100 (fun i -> i) in
+  check Alcotest.int "p99 of 100 samples" 99 (Bench_util.percentile big 0.99);
+  check Alcotest.int "p50 of 100 samples" 50 (Bench_util.percentile big 0.50)
+
+(* ---------- skewed request mix ---------- *)
+
+let count label shapes =
+  Array.fold_left
+    (fun acc s -> if Bench_util.shape_label s = label then acc + 1 else acc)
+    0 shapes
+
+let test_skewed_classes_deterministic () =
+  let a = Bench_util.skewed_classes ~seed:17 ~n:256 in
+  let b = Bench_util.skewed_classes ~seed:17 ~n:256 in
+  check Alcotest.bool "same seed, same mix" true (a = b);
+  let c = Bench_util.skewed_classes ~seed:18 ~n:256 in
+  check Alcotest.bool "different seed, different order" true (a <> c);
+  (* Same strata even when the order differs. *)
+  List.iter
+    (fun label ->
+      check Alcotest.int ("stratum preserved: " ^ label) (count label a)
+        (count label c))
+    [ "small"; "medium"; "large" ]
+
+let test_skewed_classes_stratification () =
+  let m = Bench_util.skewed_classes ~seed:3 ~n:100 in
+  check Alcotest.int "1% large" 1 (count "large" m);
+  check Alcotest.int "9% medium" 9 (count "medium" m);
+  check Alcotest.int "90% small" 90 (count "small" m);
+  (* Tiny populations still get a tail: at least one large, at least
+     two medium requests — this is exactly what makes p99 > p50. *)
+  let tiny = Bench_util.skewed_classes ~seed:3 ~n:10 in
+  check Alcotest.int "tiny mix keeps a large" 1 (count "large" tiny);
+  check Alcotest.int "tiny mix keeps mediums" 2 (count "medium" tiny);
+  check Alcotest.int "rest small" 7 (count "small" tiny)
+
+let test_shape_sizes () =
+  check Alcotest.int "small is 64 B" 64 (Bench_util.shape_bytes Bench_util.shape_small);
+  check Alcotest.int "medium is 512 B" 512
+    (Bench_util.shape_bytes Bench_util.shape_medium);
+  check Alcotest.int "large is 4 KiB" 4096
+    (Bench_util.shape_bytes Bench_util.shape_large)
+
+let () =
+  Alcotest.run "bench_util"
+    [
+      ( "percentile",
+        [
+          Alcotest.test_case "empty and singleton" `Quick
+            test_percentile_empty_and_singleton;
+          Alcotest.test_case "rank boundaries" `Quick test_percentile_rank_boundaries;
+        ] );
+      ( "skewed mix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_skewed_classes_deterministic;
+          Alcotest.test_case "stratification" `Quick test_skewed_classes_stratification;
+          Alcotest.test_case "shape sizes" `Quick test_shape_sizes;
+        ] );
+    ]

@@ -576,6 +576,40 @@ let test_pagetable_epoch_moves_on_structural_change () =
   ignore (Pagetable.unmap pt ~vpn:1);
   check Alcotest.bool "unmap advances epoch" true (Pagetable.epoch pt > e1)
 
+(* Process iteration must be in ascending-pid order — Hashtbl.iter order
+   depends on insertion history and hash-table internals, which made
+   every oracle sweep and metrics fold schedule-dependent — and must
+   tolerate the callback reaping the process it is handed. *)
+let test_iter_processes_sorted_and_reap_safe () =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let procs =
+    List.map
+      (fun _ ->
+        Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/"
+          ~sid:"u:r:t" ())
+      (List.init 16 Fun.id)
+  in
+  (* Churn the table so pids are neither contiguous nor insertion-ordered. *)
+  List.iteri (fun i p -> if i mod 3 = 0 then Kernel.reap k p) procs;
+  ignore
+    (Kernel.new_process k ~kind:Wedge_kernel.Process.Sthread ~uid:33 ~root:"/"
+       ~sid:"u:r:t" ());
+  let seen = ref [] in
+  Kernel.iter_processes k (fun p -> seen := p.Wedge_kernel.Process.pid :: !seen);
+  let order = List.rev !seen in
+  check (Alcotest.list Alcotest.int) "ascending pid order"
+    (List.sort compare order) order;
+  check Alcotest.int "every live process visited" (Kernel.live_processes k)
+    (List.length order);
+  (* Reap from inside the walk: the snapshot must keep the iteration
+     sound (visit each remaining process exactly once, no crash). *)
+  let visited = ref 0 in
+  Kernel.iter_processes k (fun p ->
+      incr visited;
+      Kernel.reap k p);
+  check Alcotest.int "reap-during-iteration visits all" (List.length order) !visited;
+  check Alcotest.int "table empty afterwards" 0 (Kernel.live_processes k)
+
 let () =
   Alcotest.run "wedge_kernel"
     [
@@ -655,6 +689,8 @@ let () =
       ( "kernel",
         [
           Alcotest.test_case "process lifecycle" `Quick test_kernel_process_lifecycle;
+          Alcotest.test_case "iter_processes sorted + reap-safe" `Quick
+            test_iter_processes_sorted_and_reap_safe;
           Alcotest.test_case "syscall denial" `Quick test_kernel_syscall_denial;
           Alcotest.test_case "trap charges" `Quick test_kernel_trap_charges;
         ] );

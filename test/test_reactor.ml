@@ -270,6 +270,54 @@ let test_register_metrics () =
   check Alcotest.int "wakeups exported" 1 (Metrics.get m "reactor.wakeups");
   check Alcotest.int "nothing left parked" 0 (Metrics.get m "reactor.parked")
 
+(* ---------- multi-reactor (sharded) scheduling ---------- *)
+
+(* Each shard's reactor runs on its own clock, so the multi-idle must
+   pick the reactor whose earliest timer is the smallest RELATIVE delay
+   from its own now — absolute instants are not comparable across
+   clocks — and advance only that clock. *)
+let test_idle_multi_picks_smallest_relative_delay () =
+  let c1, r1 = mk () in
+  let c2, r2 = mk () in
+  Clock.charge c1 1_000;
+  let f1 = ref false and f2 = ref false in
+  ignore (Reactor.after r1 ~ns:500 (fun () -> f1 := true));
+  ignore (Reactor.after r2 ~ns:200 (fun () -> f2 := true));
+  check (Alcotest.option Alcotest.int) "r1 deadline absolute on its clock"
+    (Some 1_500) (Reactor.next_deadline r1);
+  check (Alcotest.option Alcotest.int) "r2 deadline absolute on its clock"
+    (Some 200) (Reactor.next_deadline r2);
+  let idle = Reactor.idle_multi [ r1; r2 ] in
+  check Alcotest.bool "first idle makes progress" true (idle ());
+  check Alcotest.bool "nearer (relative) timer fired" true !f2;
+  check Alcotest.bool "farther timer untouched" false !f1;
+  check Alcotest.int "only r2's clock advanced" 200 (Clock.now c2);
+  check Alcotest.int "r1's clock unmoved" 1_000 (Clock.now c1);
+  check Alcotest.bool "second idle makes progress" true (idle ());
+  check Alcotest.bool "r1's timer fired" true !f1;
+  check Alcotest.int "r1's clock at its deadline" 1_500 (Clock.now c1);
+  check Alcotest.bool "no timers left: concede" false (idle ())
+
+let test_self_check_multi_spans_reactors () =
+  let _, r1 = mk () in
+  let _, r2 = mk () in
+  let h = Reactor.handle r1 ~name:"t" in
+  let flag = ref false in
+  Fiber.run (fun () ->
+      Fiber.spawn (fun () -> Reactor.wait h ~what:"flag" ~ready:(fun () -> !flag));
+      Fiber.yield ();
+      (* The fiber is parked on r1; the union audit must account for it
+         even though r2 has never seen it. *)
+      check (Alcotest.option Alcotest.string) "clean across both reactors" None
+        (Reactor.self_check_multi [ r1; r2 ]);
+      flag := true;
+      (match Reactor.self_check_multi [ r1; r2 ] with
+      | Some msg ->
+          check Alcotest.bool "union audit still catches lost wakeups" true
+            (contains msg "lost wakeup")
+      | None -> Alcotest.fail "self_check_multi missed a lost wakeup");
+      Reactor.signal h)
+
 let () =
   Alcotest.run "reactor"
     [
@@ -307,5 +355,12 @@ let () =
         [
           Alcotest.test_case "self_check" `Quick test_self_check_clean_while_parked;
           Alcotest.test_case "metrics registry" `Quick test_register_metrics;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "idle_multi relative deadlines" `Quick
+            test_idle_multi_picks_smallest_relative_delay;
+          Alcotest.test_case "self_check_multi union" `Quick
+            test_self_check_multi_spans_reactors;
         ] );
     ]
