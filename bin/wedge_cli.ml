@@ -326,6 +326,69 @@ let run_cblog out query fn =
           Printf.eprintf "unknown query %S (items|writes|policy|static|segments)\n" q;
           1)
 
+(* ---------------- synth: record -> profile -> enforce ----------------- *)
+
+let run_synth app seed out mode =
+  let module Synth = Wedge_crowbar.Synth in
+  let module Scenarios = Wedge_check.Scenarios in
+  if not (List.mem app Scenarios.synth_apps) then begin
+    Printf.eprintf "synth: unknown app %S (%s)\n" app
+      (String.concat " | " Scenarios.synth_apps);
+    1
+  end
+  else begin
+    (* Record phase: deterministic workload under cb-log, least-privilege
+       profile synthesized from the observed accesses. *)
+    let profile = Scenarios.synth_record ~app ~seed in
+    let ptext = Synth.Profile.print profile in
+    (match Synth.Profile.parse ptext with
+    | Ok p when Synth.Profile.equal p profile -> ()
+    | _ -> failwith "synth: synthesized profile does not round-trip");
+    let n_entries = List.length profile.Synth.Profile.p_entries in
+    let n_grants = List.length (Synth.grants profile) in
+    Printf.printf "synth: recorded %s workload (seed %d): %d entries, %d grants\n"
+      app seed n_entries n_grants;
+    (match out with
+    | "" -> print_string ptext
+    | path ->
+        let oc = open_out path in
+        output_string oc ptext;
+        close_out oc;
+        Printf.printf "synth: profile written to %s\n" path);
+    match mode with
+    | `Record -> 0
+    | (`Complain | `Enforce) as m ->
+        let mode_v, label =
+          match m with
+          | `Complain -> (Synth.Complain profile, "complain")
+          | `Enforce -> (Synth.Enforce profile, "enforce")
+        in
+        let ok, summary, synth = Scenarios.synth_rerun ~app ~seed mode_v in
+        let counts what = function
+          | [] -> Printf.sprintf "no %s" what
+          | l ->
+              Printf.sprintf "%d %s:\n%s"
+                (List.fold_left (fun a (_, n) -> a + n) 0 l)
+                what
+                (String.concat "\n"
+                   (List.map (fun (m, n) -> Printf.sprintf "  %4d  %s" n m) l))
+        in
+        (match m with
+        | `Complain ->
+            Printf.printf "%s re-run: workload %s (%s); %s\n" label
+              (if ok then "ok" else "FAILED")
+              summary
+              (counts "complaints" (Synth.complaints synth))
+        | `Enforce ->
+            Printf.printf "%s re-run: workload %s (%s); %s\n" label
+              (if ok then "ok" else "FAILED")
+              summary
+              (counts "denials" (Synth.denials synth)));
+        let excess = Synth.diff ~installed:profile ~observed:(Synth.synthesize synth) in
+        List.iter (fun d -> Printf.printf "  observed beyond profile: %s\n" d) excess;
+        if ok && Synth.denials synth = [] && excess = [] then 0 else 1
+  end
+
 (* ---------------- cmdliner plumbing ---------------- *)
 
 let partition_arg choices =
@@ -452,6 +515,33 @@ let check_cmd =
           shrink and print a repro on failure")
     Term.(const run $ scenario $ schedules $ seed $ policy $ diff $ no_faults $ replay)
 
+let synth_cmd =
+  let app_arg =
+    Arg.(value & pos 0 (enum [ ("httpd", "httpd"); ("pop3", "pop3"); ("sshd", "sshd") ])
+           "httpd"
+         & info [] ~docv:"APP" ~doc:"Workload to profile: httpd | pop3 | sshd")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"Workload seed") in
+  let out =
+    Arg.(value & opt string ""
+         & info [ "out"; "o" ] ~doc:"Write the profile to this file instead of stdout")
+  in
+  let mode =
+    Arg.(value
+         & opt (enum [ ("enforce", `Enforce); ("complain", `Complain); ("record", `Record) ])
+             `Enforce
+         & info [ "mode" ]
+             ~doc:
+               "After synthesis: re-run enforced (default), re-run logging would-be \
+                violations (complain), or stop after printing (record)")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Synthesize a least-privilege profile from a recorded run and re-run the \
+          workload under it")
+    Term.(const run_synth $ app_arg $ seed $ out $ mode)
+
 let cblog_cmd =
   let out =
     Arg.(value & opt string "/tmp/wedge.cblog" & info [ "out"; "o" ] ~doc:"Trace file path")
@@ -472,4 +562,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "wedge_cli" ~doc)
-          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd; cblog_cmd; check_cmd ]))
+          [ pop3_cmd; https_cmd; ssh_cmd; stats_cmd; trace_cmd; cblog_cmd; synth_cmd; check_cmd ]))

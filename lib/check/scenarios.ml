@@ -40,6 +40,7 @@ module W = Wedge_core.Wedge
 module Supervisor = Wedge_core.Supervisor
 module Shard = Wedge_net.Shard
 module Prot = Wedge_kernel.Prot
+module Synth = Wedge_crowbar.Synth
 
 type t = {
   s_name : string;
@@ -1056,6 +1057,241 @@ let run_sshd_sharded ~policy ~diff ~faults ~seed =
         !revocation (plan_digest plan))
 
 (* ------------------------------------------------------------------ *)
+(* Synthesized least-privilege profiles: record → enforce (§3.4, §7)   *)
+
+(* Each synth scenario runs the same clean workload twice, in fresh
+   worlds.  First in Record mode under a fixed deterministic schedule —
+   the synthesized profile must be a pure function of the seed, never of
+   the explored schedule, or the exploration digest could not be stable.
+   Then in Enforce mode under the explored schedule, with the profile
+   replacing every hand-written security context and the oracle holding
+   the "installed ⊇ observed" invariant at every sampled switch.  No
+   fault plan is armed in either phase: a fault-free enforced run under
+   the minimal profile is exactly the claim being verified (tightening
+   any single grant is the matching negative, exercised in
+   test_synth.ml). *)
+
+let accept_next l =
+  let got = ref None in
+  Fiber.wait_until ~what:"synth accept" (fun () ->
+      match Chan.accept l with
+      | Some ep ->
+          got := Some ep;
+          true
+      | None -> false);
+  Option.get !got
+
+(* Two TLS fetches, the second resuming the first's session, so all three
+   callgate operations (new session, premaster, resume) are recorded. *)
+let httpd_synth_workload ~seed env synth served errors =
+  let l = Chan.listener ~costs:Cost_model.free ~backlog:8 () in
+  let session = ref None in
+  let fetch i resume =
+    let rng = Drbg.create ~seed:(seed + i) in
+    match Chan.connect l with
+    | exception _ -> incr errors
+    | ep -> (
+        match
+          Wedge_httpd.Https_client.get ?resume ~rng
+            ~pinned:env.Wedge_httpd.Httpd_env.priv.Rsa.pub ~path:"/index.html" ep
+        with
+        | { Wedge_httpd.Https_client.response = Some r; session = s; _ }
+          when r.Wedge_httpd.Http.status = 200 ->
+            session := s;
+            incr served
+        | _ -> incr errors
+        | exception _ -> incr errors)
+  in
+  Fiber.spawn (fun () -> fetch 1 None);
+  let d1 = Wedge_httpd.Httpd_simple.serve_connection ?synth env (accept_next l) in
+  (* Let client 1 finish before client 2 starts: the session it stored is
+     what makes fetch 2 exercise the resumption path on every schedule. *)
+  Fiber.wait_until (fun () -> !served + !errors >= 1);
+  Fiber.spawn (fun () -> fetch 2 !session);
+  let d2 = Wedge_httpd.Httpd_simple.serve_connection ?synth env (accept_next l) in
+  Fiber.wait_until (fun () -> !served + !errors >= 2);
+  Chan.shutdown l;
+  [ d1; d2 ]
+
+let pop3_synth_workload main synth t l =
+  let is_rejection s = contains s "-ERR busy" in
+  Fiber.spawn (fun () ->
+      Byzantine.oneshot t l
+        ~request:"USER alice\r\nPASS wonderland\r\nSTAT\r\nLIST\r\nRETR 1\r\nQUIT\r\n"
+        ~is_rejection);
+  ignore (Wedge_pop3.Pop3_wedge.serve_connection ?synth main (accept_next l));
+  Fiber.wait_until (fun () -> Byzantine.total t >= 1);
+  Fiber.spawn (fun () ->
+      Byzantine.oneshot t l ~request:"USER alice\r\nPASS wonderland\r\nSTAT\r\nQUIT\r\n"
+        ~is_rejection);
+  ignore (Wedge_pop3.Pop3_wedge.serve_connection ?synth main (accept_next l));
+  Fiber.wait_until (fun () -> Byzantine.total t >= 2);
+  Chan.shutdown l
+
+let sshd_synth_workload ~seed env synth ok l =
+  let finished = ref 0 in
+  Fiber.spawn (fun () ->
+      let note_done f =
+        Fun.protect ~finally:(fun () -> incr finished) f
+      in
+      note_done (fun () ->
+          let rng = Drbg.create ~seed:(seed + 11) in
+          match Chan.connect l with
+          | exception _ -> ()
+          | ep -> (
+              match
+                Wedge_sshd.Ssh_client.login ~rng
+                  ~pinned_rsa:env.Wedge_sshd.Sshd_env.host_rsa.Rsa.pub
+                  ~pinned_dsa:env.Wedge_sshd.Sshd_env.host_dsa.Wedge_crypto.Dsa.pub
+                  ~user:"alice"
+                  (Wedge_sshd.Ssh_client.Password "wonderland") ep
+              with
+              | Ok conn ->
+                  incr ok;
+                  Wedge_sshd.Ssh_client.close conn
+              | Error _ -> ())));
+  ignore (Wedge_sshd.Sshd_wedge.serve_connection ?synth env (accept_next l));
+  Fiber.wait_until (fun () -> !finished >= 1);
+  Chan.shutdown l
+
+(* One deterministic (round-robin) run of the named app's synthesis
+   workload with [synth] threaded through a fresh world; returns
+   (succeeded, summary).  Shared by the scenarios below and by
+   [wedge_cli synth]. *)
+let synth_apps = [ "httpd"; "pop3"; "sshd" ]
+
+let synth_oneshot ~app ~seed synth =
+  let k = Kernel.create ~costs:Cost_model.free () in
+  match app with
+  | "httpd" ->
+      let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
+      let served = ref 0 and errors = ref 0 in
+      Fiber.run ~policy:Fiber.Round_robin (fun () ->
+          ignore (httpd_synth_workload ~seed env synth served errors));
+      (!served = 2, Printf.sprintf "served=%d errors=%d" !served !errors)
+  | "pop3" ->
+      Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+      let app_ = W.create_app ~image_pages:60 k in
+      W.boot app_;
+      let t = Byzantine.tally () in
+      Fiber.run ~policy:Fiber.Round_robin (fun () ->
+          let l = Chan.listener ~costs:Cost_model.free ~backlog:8 () in
+          pop3_synth_workload (W.main_ctx app_) synth t l);
+      (t.Byzantine.completed = 2, tally_to_string t)
+  | "sshd" ->
+      let env = Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed k in
+      let ok = ref 0 in
+      Fiber.run ~policy:Fiber.Round_robin (fun () ->
+          let l = Chan.listener ~costs:Cost_model.free ~backlog:4 () in
+          sshd_synth_workload ~seed env synth ok l);
+      (!ok = 1, Printf.sprintf "ok=%d" !ok)
+  | a -> invalid_arg ("synth_oneshot: unknown app " ^ a)
+
+(* Record phase: deterministic schedule, fresh world, assert the clean
+   workload actually succeeded (a profile synthesized from a broken run
+   would be vacuously tight). *)
+let synth_record ~app ~seed =
+  let synth = Synth.create ~name:app Synth.Record in
+  let ok, summary = synth_oneshot ~app ~seed (Some synth) in
+  if not ok then
+    failwith (Printf.sprintf "%s_synth: record run failed (%s)" app summary);
+  Synth.synthesize synth
+
+let synth_rerun ~app ~seed mode =
+  let synth = Synth.create ~name:app mode in
+  let ok, summary = synth_oneshot ~app ~seed (Some synth) in
+  (ok, summary, synth)
+
+let profile_digest ptext = Digest.to_hex (Digest.string ptext)
+
+let run_httpd_synth ~policy ~diff ~faults:_ ~seed =
+  let profile = synth_record ~app:"httpd" ~seed in
+  let ptext = Synth.Profile.print profile in
+  (match Synth.Profile.parse ptext with
+  | Ok p when Synth.Profile.equal p profile -> ()
+  | _ -> failwith "httpd_synth: synthesized profile does not round-trip");
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let env = Wedge_httpd.Httpd_env.install ~image_pages:60 ~seed k in
+  let synth = Synth.create ~name:"httpd" (Synth.Enforce profile) in
+  let served = ref 0 and errors = ref 0 in
+  checked ~kernel:k ~app:env.Wedge_httpd.Httpd_env.app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_invariant oracle ~name:"synth.httpd.superset" (Synth.self_check synth);
+      let debugs = httpd_synth_workload ~seed env (Some synth) served errors in
+      if !served <> 2 then
+        raise
+          (Oracle.Violation
+             (Printf.sprintf
+                "httpd_synth: enforced run served %d/2 (denials: %s) (status: %s)"
+                !served
+                (String.concat "; " (List.map fst (Synth.denials synth)))
+                (String.concat "; "
+                   (List.map
+                      (fun d ->
+                        match d.Wedge_httpd.Httpd_simple.worker_status with
+                        | Wedge_kernel.Process.Running -> "running"
+                        | Wedge_kernel.Process.Exited n ->
+                            Printf.sprintf "exited %d" n
+                        | Wedge_kernel.Process.Faulted m -> "faulted: " ^ m)
+                      debugs)))))
+    (fun () ->
+      Printf.sprintf "httpd_synth served=%d errors=%d denials=%d profile=%s" !served
+        !errors
+        (List.length (Synth.denials synth))
+        (profile_digest ptext))
+
+(* POP3's workload has no client RNG, so the seed only names the run. *)
+let run_pop3_synth ~policy ~diff ~faults:_ ~seed:_ =
+  let profile = synth_record ~app:"pop3" ~seed:0 in
+  let ptext = Synth.Profile.print profile in
+  (match Synth.Profile.parse ptext with
+  | Ok p when Synth.Profile.equal p profile -> ()
+  | _ -> failwith "pop3_synth: synthesized profile does not round-trip");
+  let k = Kernel.create ~costs:Cost_model.free () in
+  Wedge_pop3.Pop3_env.install k Wedge_pop3.Pop3_env.default_users;
+  let app = W.create_app ~image_pages:60 k in
+  W.boot app;
+  let synth = Synth.create ~name:"pop3" (Synth.Enforce profile) in
+  let t = Byzantine.tally () in
+  let l = Chan.listener ~costs:Cost_model.free ~backlog:8 () in
+  checked ~kernel:k ~app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_invariant oracle ~name:"synth.pop3.superset" (Synth.self_check synth);
+      pop3_synth_workload (W.main_ctx app) (Some synth) t l;
+      if t.Byzantine.completed <> 2 then
+        raise
+          (Oracle.Violation
+             (Printf.sprintf "pop3_synth: enforced run completed %d/2"
+                t.Byzantine.completed)))
+    (fun () ->
+      Printf.sprintf "pop3_synth %s denials=%d degraded=%d profile=%s"
+        (tally_to_string t)
+        (List.length (Synth.denials synth))
+        (Stats.get k.Kernel.stats "pop3.degraded")
+        (profile_digest ptext))
+
+let run_sshd_synth ~policy ~diff ~faults:_ ~seed =
+  let profile = synth_record ~app:"sshd" ~seed in
+  let ptext = Synth.Profile.print profile in
+  (match Synth.Profile.parse ptext with
+  | Ok p when Synth.Profile.equal p profile -> ()
+  | _ -> failwith "sshd_synth: synthesized profile does not round-trip");
+  let k = Kernel.create ~costs:Cost_model.free () in
+  let env = Wedge_sshd.Sshd_env.install ~image_pages:40 ~seed k in
+  let synth = Synth.create ~name:"sshd" (Synth.Enforce profile) in
+  let ok = ref 0 in
+  let l = Chan.listener ~costs:Cost_model.free ~backlog:4 () in
+  checked ~kernel:k ~app:env.Wedge_sshd.Sshd_env.app ~policy ~diff
+    (fun oracle ->
+      Oracle.add_invariant oracle ~name:"synth.sshd.superset" (Synth.self_check synth);
+      sshd_synth_workload ~seed env (Some synth) ok l;
+      if !ok <> 1 then raise (Oracle.Violation "sshd_synth: enforced login failed"))
+    (fun () ->
+      Printf.sprintf "sshd_synth ok=%d denials=%d profile=%s" !ok
+        (List.length (Synth.denials synth))
+        (profile_digest ptext))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1143,6 +1379,24 @@ let all =
       s_run =
         (fun ~policy ~diff ~faults ~seed ->
           run_sshd_sharded ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "httpd_synth";
+      s_doc = "record → synthesize → enforce a least-privilege httpd profile";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_httpd_synth ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "pop3_synth";
+      s_doc = "record → synthesize → enforce a least-privilege pop3 profile";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_pop3_synth ~policy ~diff ~faults ~seed);
+    };
+    {
+      s_name = "sshd_synth";
+      s_doc = "record → synthesize → enforce a least-privilege sshd profile";
+      s_run =
+        (fun ~policy ~diff ~faults ~seed -> run_sshd_synth ~policy ~diff ~faults ~seed);
     };
     {
       s_name = "racy";

@@ -36,3 +36,31 @@ type t = {
 val all : t list
 val find : string -> t option
 val names : unit -> string list
+
+(** {1 Profile synthesis entry points}
+
+    The ["httpd_synth"/"pop3_synth"/"sshd_synth"] scenarios close the
+    Crowbar loop: record a seeded workload under {!Wedge_crowbar.Cb_log},
+    synthesize a least-privilege profile per compartment, then re-run the
+    same workload with the profile {e enforced} and explore schedules.
+    These helpers expose the same record/re-run pipeline to
+    [wedge_cli synth] and the tests. *)
+
+val synth_apps : string list
+(** Apps with a synthesis workload: [["httpd"; "pop3"; "sshd"]]. *)
+
+val synth_record : app:string -> seed:int -> Wedge_crowbar.Synth.Profile.t
+(** Run [app]'s seeded workload in record mode under the deterministic
+    round-robin schedule in a fresh world and synthesize its profile.
+    Raises [Failure] if the clean workload itself fails, and
+    [Invalid_argument] for an unknown [app]. *)
+
+val synth_rerun :
+  app:string ->
+  seed:int ->
+  Wedge_crowbar.Synth.mode ->
+  bool * string * Wedge_crowbar.Synth.t
+(** Re-run the same deterministic workload with [mode] installed
+    (typically [Complain p] or [Enforce p]); returns
+    [(workload_succeeded, summary, session)] — query the session for
+    {!Wedge_crowbar.Synth.denials} / {!Wedge_crowbar.Synth.complaints}. *)

@@ -64,6 +64,20 @@ let page_size = Physmem.page_size
 
 type gate_id = int
 
+(* An installed declarative profile (see [Wedge_crowbar.Synth]): the
+   loader attaches one of these to a compartment's ctx at creation, and
+   the engine consults it on every data access, descriptor operation and
+   callgate invocation.  A hook returns [Some msg] when the operation
+   exceeds the installed profile; the engine then raises
+   [Privilege_violation msg], which dies CONTAINED for a profiled
+   compartment (the sandbox working, not a monitor bug).  Complain-mode
+   hooks log and return [None], so nothing is denied. *)
+type policy_check = {
+  pol_mem : addr:int -> len:int -> write:bool -> string option;
+  pol_fd : fd:int -> write:bool -> string option;
+  pol_gate : string -> string option;
+}
+
 type boundary_section = {
   b_id : int;
   b_name : string;
@@ -141,6 +155,10 @@ and ctx = {
   proc : Process.t;
   sc : Sc.t;  (* the effective grants this compartment was created with *)
   mutable instr : Instr.t;
+  mutable policy : policy_check option;
+      (* an installed declarative profile (Crowbar synthesis loader):
+         checked on every data access, descriptor operation and callgate
+         invocation of THIS compartment *)
   mutable smalloc_tag : Tag.t option;  (* smalloc_on state (per sthread) *)
   mutable heap_ready : bool;
   mutable stack_ready : bool;
@@ -178,6 +196,30 @@ let getuid ctx = ctx.proc.Process.uid
 let booted app = app.booted
 let violation fmt = Printf.ksprintf (fun s -> raise (Privilege_violation s)) fmt
 
+(* An installed profile said no: counted, visible in the kernel trace,
+   then the standard policy exception — contained by [run_compartment]
+   (and the recycled-gate path) because the dying ctx carries a policy. *)
+let policy_deny ctx msg =
+  stat ctx "policy.deny";
+  trace_instant ctx "policy.violation";
+  raise (Privilege_violation msg)
+
+let check_policy_fd ctx fd ~write =
+  match ctx.policy with
+  | None -> ()
+  | Some p -> (
+      match p.pol_fd ~fd ~write with
+      | None -> ()
+      | Some msg -> policy_deny ctx msg)
+
+let check_policy_gate ctx name =
+  match ctx.policy with
+  | None -> ()
+  | Some p -> (
+      match p.pol_gate name with
+      | None -> ()
+      | Some msg -> policy_deny ctx msg)
+
 (* ------------------------------------------------------------------ *)
 (* Application setup                                                   *)
 
@@ -189,6 +231,7 @@ let make_ctx app proc sc instr =
     proc;
     sc;
     instr;
+    policy = None;
     smalloc_tag = None;
     heap_ready = false;
     stack_ready = false;
@@ -421,6 +464,14 @@ let run_compartment ctx fn arg =
     | exception Exit_sthread code ->
         ctx.proc.Process.status <- Process.Exited code;
         Some code
+    | exception Privilege_violation msg when ctx.policy <> None ->
+        (* A compartment under an installed profile exceeding its grants
+           is the sandbox working as intended: die contained, like a
+           protection fault, never up through the monitor. *)
+        ctx.proc.Process.status <- Process.Faulted ("policy: " ^ msg);
+        stat ctx "fault.compartment";
+        trace_instant ctx "compartment.fault";
+        None
     | exception e -> (
         match fault_reason e with
         | Some reason ->
@@ -789,6 +840,7 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
   let g = gate_of caller gid in
   if not (List.mem gid caller.sc.Sc.gates || g.g_minter = pid caller) then
     violation "pid %d invokes callgate %s without permission" (pid caller) g.g_name;
+  check_policy_gate caller g.g_name;
   let cm = costs caller in
   charge caller cm.Cost_model.cgate_validate;
   (* The extra permissions must be a subset of the caller's own (§4.1). *)
@@ -896,6 +948,12 @@ let cgate ?deadline_ns caller gid ~perms ~arg =
       match g.g_entry gctx ~trusted:g.g_trusted ~arg with
       | v -> v
       | exception Exit_sthread code -> code
+      | exception Privilege_violation msg when gctx.policy <> None ->
+          (* Same containment as [run_compartment]: a profiled pooled
+             member exceeding its profile is discarded, not propagated. *)
+          stat caller "fault.cgate";
+          discard_and_respawn ("policy: " ^ msg);
+          -1
       | exception e -> (
           match fault_reason e with
           | Some reason ->
@@ -944,7 +1002,13 @@ let set_identity ctx ~target_pid ?uid ?root () =
 (* Checked, instrumented data access                                   *)
 
 let on_access ctx addr len kind =
-  if not (Instr.is_null ctx.instr) then ctx.instr.Instr.on_access addr len kind
+  if not (Instr.is_null ctx.instr) then ctx.instr.Instr.on_access addr len kind;
+  match ctx.policy with
+  | None -> ()
+  | Some p -> (
+      match p.pol_mem ~addr ~len ~write:(kind = Instr.Write) with
+      | None -> ()
+      | Some msg -> policy_deny ctx msg)
 
 let read_u8 ctx addr =
   on_access ctx addr 1 Instr.Read;
@@ -1096,6 +1160,7 @@ let fd_pre_wait ctx fd =
 let fd_read ctx fd n =
   fd_pre_wait ctx fd;
   Kernel.syscall_check ctx.app.kernel ctx.proc "read";
+  check_policy_fd ctx fd ~write:false;
   let e = fd_entry ctx fd in
   if not e.Fd_table.perm.Fd_table.fr then
     raise (Fd_error (Printf.sprintf "pid %d: fd %d not readable" (pid ctx) fd));
@@ -1118,6 +1183,7 @@ let fd_read ctx fd n =
 
 let fd_write ctx fd b =
   Kernel.syscall_check ctx.app.kernel ctx.proc "write";
+  check_policy_fd ctx fd ~write:true;
   let e = fd_entry ctx fd in
   if not e.Fd_table.perm.Fd_table.fw then
     raise (Fd_error (Printf.sprintf "pid %d: fd %d not writable" (pid ctx) fd));
@@ -1189,6 +1255,7 @@ let fd_readv ctx fd iovs =
   let ops = max 1 (Array.length iovs) in
   fd_pre_wait ctx fd;
   Kernel.syscall_check_batch ctx.app.kernel ctx.proc "read" ~ops;
+  check_policy_fd ctx fd ~write:false;
   let e = fd_entry ctx fd in
   if not e.Fd_table.perm.Fd_table.fr then
     raise (Fd_error (Printf.sprintf "pid %d: fd %d not readable" (pid ctx) fd));
@@ -1233,6 +1300,7 @@ let fd_writev ctx fd iovs =
   let want = iov_check "writev" iovs in
   let ops = max 1 (Array.length iovs) in
   Kernel.syscall_check_batch ctx.app.kernel ctx.proc "write" ~ops;
+  check_policy_fd ctx fd ~write:true;
   let e = fd_entry ctx fd in
   if not e.Fd_table.perm.Fd_table.fw then
     raise (Fd_error (Printf.sprintf "pid %d: fd %d not writable" (pid ctx) fd));
@@ -1279,6 +1347,8 @@ let vfs_readdir ctx path =
 
 let set_instr ctx instr = ctx.instr <- instr
 let instr_of ctx = ctx.instr
+let set_policy ctx p = ctx.policy <- p
+let policy_of ctx = ctx.policy
 let caller_pid ctx = ctx.caller_pid
 
 (* Length-value blocks: the idiom for passing variable-size arguments and

@@ -84,6 +84,15 @@ type tlb_stats = Engine.tlb_stats = {
 let tlb_stats = Engine.tlb_stats
 let set_instr = Engine.set_instr
 let instr_of = Engine.instr_of
+
+type policy_check = Engine.policy_check = {
+  pol_mem : addr:int -> len:int -> write:bool -> string option;
+  pol_fd : fd:int -> write:bool -> string option;
+  pol_gate : string -> string option;
+}
+
+let set_policy = Engine.set_policy
+let policy_of = Engine.policy_of
 let in_function = Engine.in_function
 let stack_frame = Engine.stack_frame
 let open_file = Engine.open_file

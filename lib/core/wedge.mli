@@ -256,6 +256,22 @@ val tlb_stats : ctx -> tlb_stats
 
 val set_instr : ctx -> Wedge_sim.Instr.t -> unit
 val instr_of : ctx -> Wedge_sim.Instr.t
+
+(** A declarative profile check attached to a compartment by the Crowbar
+    synthesis loader ({!Wedge_crowbar.Synth}): consulted on every data
+    access, descriptor operation and callgate invocation of that
+    compartment.  [Some msg] denies — the engine raises
+    {!Privilege_violation}[ msg], which dies {e contained} for a
+    profiled compartment (stat ["policy.deny"], trace instant
+    ["policy.violation"]). Complain-mode hooks count and return [None]. *)
+type policy_check = Engine.policy_check = {
+  pol_mem : addr:int -> len:int -> write:bool -> string option;
+  pol_fd : fd:int -> write:bool -> string option;
+  pol_gate : string -> string option;
+}
+
+val set_policy : ctx -> policy_check option -> unit
+val policy_of : ctx -> policy_check option
 val in_function : ctx -> name:string -> ?file:string -> ?line:int -> (unit -> 'a) -> 'a
 val stack_frame : ctx -> name:string -> locals:int -> (int -> 'a) -> 'a
 

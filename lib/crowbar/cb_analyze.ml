@@ -55,6 +55,8 @@ let collect_items accs pred =
 let items_used_by tr ~fn =
   collect_items (Trace.accesses tr) (fun a -> in_scope a.Trace.a_bt fn)
 
+let items_of tr = collect_items (Trace.accesses tr) (fun _ -> true)
+
 let writes_of tr ~fn =
   collect_items (Trace.accesses tr) (fun a ->
       a.Trace.a_mode = Trace.Write && in_scope a.Trace.a_bt fn)

@@ -22,6 +22,11 @@ val items_used_by : Trace.t -> fn:string -> item_report list
 (** Query 1: memory items accessed while [fn] was anywhere on the call
     stack, i.e. by [fn] and its descendants. *)
 
+val items_of : Trace.t -> item_report list
+(** Every item the whole trace touched, with aggregated modes — the input
+    to profile synthesis, where the trace boundary (one compartment body)
+    already scopes the accesses. *)
+
 type proc_report = {
   pr_fn : string;
   pr_reads : int;

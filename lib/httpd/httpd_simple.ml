@@ -11,6 +11,7 @@ module Session = Wedge_tls.Session
 module Handshake = Wedge_tls.Handshake
 
 module Supervisor = Wedge_core.Supervisor
+module Synth = Wedge_crowbar.Synth
 
 type conn_debug = {
   conn_tag : Tag.t option;
@@ -168,7 +169,7 @@ let send_degraded main ep =
 
 let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_policy)
     ?supervised ?exploit_handshake ?exploit_request ?guard ?max_request_bytes
-    ?worker_limits (env : Httpd_env.t) ep =
+    ?worker_limits ?synth (env : Httpd_env.t) ep =
   let main = env.Httpd_env.main in
   (* Per-connection setup runs in the monitor, so a fault here (injected
      frame exhaustion during tag_new, a reset connection) must be contained
@@ -199,23 +200,41 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
     in
     let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
     fd_ref := Some fd;
-    let worker_sc = W.sc_create () in
+    (* In enforce mode the synthesized profile supplies both security
+       contexts; the hand-written grants below are the fallback (and the
+       recording/complain baseline). *)
+    let conn_tags = [ conn_tag; arg_tag ] in
+    let conn_fds = [ ("conn", fd) ] in
+    let worker_sc =
+      match Synth.sthread_sc synth ~name:"httpd.worker" ~tags:conn_tags ~fds:conn_fds main with
+      | Some sc -> sc
+      | None ->
+          let sc = W.sc_create () in
+          W.sc_mem_add sc arg_tag Prot.RW;
+          W.sc_fd_add sc fd Fd_table.perm_rw;
+          W.sc_set_uid sc 33;
+          W.sc_set_root sc Httpd_env.docroot;
+          (match env.Httpd_env.worker_sid with
+          | Some sid -> W.sc_sel_context sc sid
+          | None -> ());
+          sc
+    in
     (match worker_limits with Some l -> W.sc_set_rlimit worker_sc l | None -> ());
-    let cgsc = W.sc_create () in
-    W.sc_mem_add cgsc env.Httpd_env.key_tag Prot.R;
-    W.sc_mem_add cgsc conn_tag Prot.RW;
-    W.sc_mem_add cgsc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+    let cgsc =
+      match Synth.gate_sc synth ~name:"setup_session_key" ~tags:conn_tags main with
+      | Some sc -> sc
+      | None ->
+          let sc = W.sc_create () in
+          W.sc_mem_add sc env.Httpd_env.key_tag Prot.R;
+          W.sc_mem_add sc conn_tag Prot.RW;
+          W.sc_mem_add sc (Sess_store.tag env.Httpd_env.scache) Prot.RW;
+          sc
+    in
     let gate =
       W.sc_cgate_add ~recycled main worker_sc ~name:"setup_session_key"
-        ~entry:(setup_session_key_entry env) ~cgsc ~trusted:conn_block
+        ~entry:(Synth.wrap_gate synth ~name:"setup_session_key" (setup_session_key_entry env))
+        ~cgsc ~trusted:conn_block
     in
-    W.sc_mem_add worker_sc arg_tag Prot.RW;
-    W.sc_fd_add worker_sc fd Fd_table.perm_rw;
-    W.sc_set_uid worker_sc 33;
-    W.sc_set_root worker_sc Httpd_env.docroot;
-    (match env.Httpd_env.worker_sid with
-    | Some sid -> W.sc_sel_context worker_sc sid
-    | None -> ());
     (conn_tag, arg_tag, arg_block, fd, worker_sc, gate)
   with
   | exception e when W.fault_reason e <> None ->
@@ -231,7 +250,7 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
         attempts = 0;
       }
   | conn_tag, arg_tag, arg_block, fd, worker_sc, gate ->
-      let worker_main ctx _ =
+      let worker_body ctx _ =
             let io = io_of_fd ctx fd in
             let master_ref = ref None
             and keys_ref = ref None
@@ -270,6 +289,9 @@ let serve_connection ?(recycled = false) ?(restart_policy = Supervisor.default_p
                         Handshake.send_data io keys (Bytes.of_string resp);
                         env.Httpd_env.served <- env.Httpd_env.served + 1;
                         0))
+      in
+      let worker_main =
+        Synth.wrap_sthread synth ~name:"httpd.worker" ~fds:[ ("conn", fd) ] worker_body
       in
       let outcome =
         (* A supervised worker runs under the tree's per-child policy and
@@ -352,7 +374,7 @@ let supervision_tree ?strategy ?intensity ?window_ns ?healthy_after_ns ?quaranti
    child and the accept loop itself under "listener" — a contained fault
    leaking out of the serve path restarts the loop instead of killing the
    server.  Returns when the listener shuts down (see [Guard.drain]). *)
-let serve_loop ?restart_policy ?max_request_bytes ?worker_limits ?supervision
+let serve_loop ?restart_policy ?max_request_bytes ?worker_limits ?supervision ?synth
     (env : Httpd_env.t) guard listener =
   let main = env.Httpd_env.main in
   let supervised = Option.map (fun (_, _, worker) -> worker) supervision in
@@ -365,7 +387,7 @@ let serve_loop ?restart_policy ?max_request_bytes ?worker_limits ?supervision
   let serve c =
     let r =
       serve_connection ?restart_policy ?supervised ~guard:c ?max_request_bytes
-        ?worker_limits env (Guard.ep c)
+        ?worker_limits ?synth env (Guard.ep c)
     in
     Guard.report c ~ok:(not r.degraded)
   in

@@ -29,6 +29,7 @@ val serve_connection :
   ?guard:Wedge_net.Guard.conn ->
   ?max_request_bytes:int ->
   ?worker_limits:Wedge_kernel.Rlimit.t ->
+  ?synth:Wedge_crowbar.Synth.t ->
   Httpd_env.t ->
   Wedge_net.Chan.ep ->
   conn_debug
@@ -52,7 +53,13 @@ val serve_connection :
     connection established after the handshake; [max_request_bytes]
     answers oversized decrypted requests with a sealed 413;
     [worker_limits] arms per-sthread resource quotas (frames / fds /
-    syscall fuel) on the worker compartment. *)
+    syscall fuel) on the worker compartment.
+
+    Profile synthesis: [synth] threads a {!Wedge_crowbar.Synth} session
+    through the connection — recording the worker (["httpd.worker"], fd
+    role ["conn"]) and the callgate (["setup_session_key"]), or
+    complaining/enforcing an installed profile; in enforce mode the
+    profile's entries replace the hand-written security contexts. *)
 
 val worker_pool : ?name:string -> Httpd_env.t -> Wedge_core.Pool.t
 (** Freeze the worker's boot into a snapshot pool (uid 33 inside the
@@ -86,6 +93,7 @@ val serve_loop :
     Wedge_core.Supervisor.node
     * Wedge_core.Supervisor.child
     * Wedge_core.Supervisor.child ->
+  ?synth:Wedge_crowbar.Synth.t ->
   Httpd_env.t ->
   Wedge_net.Guard.t ->
   Wedge_net.Chan.listener ->

@@ -9,6 +9,7 @@ module Lineio = Wedge_net.Lineio
 module Tag = Wedge_mem.Tag
 
 module Supervisor = Wedge_core.Supervisor
+module Synth = Wedge_crowbar.Synth
 
 type conn_debug = {
   uid_tag : Tag.t option;
@@ -180,7 +181,7 @@ let send_degraded main ep =
   try Chan.write_string ep "-ERR internal server error, closing\r\n" with _ -> ()
 
 let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts:1 ())
-    ?supervised ?guard ?max_line ?worker_limits main ep =
+    ?supervised ?guard ?max_line ?worker_limits ?synth main ep =
   (* Guard the master's own per-connection setup: an injected fault during
      tag creation must degrade this connection, not kill the accept loop. *)
   let created = ref [] in
@@ -214,28 +215,52 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
     let fd = W.add_endpoint main raw_ep Fd_table.perm_rw in
     fd_ref := Some fd;
     (* Callgates: login may write the uid block; mailbox may read it and fill
-       the mail buffer.  Both inherit the master's root identity. *)
-    let worker_sc = W.sc_create () in
-    let login_cgsc = W.sc_create () in
-    W.sc_mem_add login_cgsc uid_tag Prot.RW;
-    let login_gate =
-      W.sc_cgate_add main worker_sc ~name:"pop3.login" ~entry:login_entry ~cgsc:login_cgsc
-        ~trusted:uid_block
+       the mail buffer.  Both inherit the master's root identity.  Under an
+       enforced synthesized profile the contexts come from the profile
+       instead of the hand-written grants. *)
+    let conn_tags = [ uid_tag; arg_tag; mail_tag ] in
+    let conn_fds = [ ("conn", fd) ] in
+    let worker_sc =
+      match Synth.sthread_sc synth ~name:"pop3.worker" ~tags:conn_tags ~fds:conn_fds main with
+      | Some sc -> sc
+      | None ->
+          (* The client handler: default-deny plus exactly Figure 1's arrows. *)
+          let sc = W.sc_create () in
+          W.sc_mem_add sc arg_tag Prot.RW;
+          W.sc_mem_add sc mail_tag Prot.R;
+          W.sc_fd_add sc fd Fd_table.perm_rw;
+          W.sc_set_uid sc 99;
+          W.sc_set_root sc "/var/empty";
+          sc
     in
-    let mbox_cgsc = W.sc_create () in
-    W.sc_mem_add mbox_cgsc uid_tag Prot.R;
-    W.sc_mem_add mbox_cgsc mail_tag Prot.RW;
+    let login_cgsc =
+      match Synth.gate_sc synth ~name:"pop3.login" ~tags:conn_tags main with
+      | Some sc -> sc
+      | None ->
+          let sc = W.sc_create () in
+          W.sc_mem_add sc uid_tag Prot.RW;
+          sc
+    in
+    let login_gate =
+      W.sc_cgate_add main worker_sc ~name:"pop3.login"
+        ~entry:(Synth.wrap_gate synth ~name:"pop3.login" login_entry)
+        ~cgsc:login_cgsc ~trusted:uid_block
+    in
+    let mbox_cgsc =
+      match Synth.gate_sc synth ~name:"pop3.mailbox" ~tags:conn_tags main with
+      | Some sc -> sc
+      | None ->
+          let sc = W.sc_create () in
+          W.sc_mem_add sc uid_tag Prot.R;
+          W.sc_mem_add sc mail_tag Prot.RW;
+          sc
+    in
     let mbox_gate =
-      W.sc_cgate_add main worker_sc ~name:"pop3.mailbox" ~entry:(mbox_entry ~mail_block)
+      W.sc_cgate_add main worker_sc ~name:"pop3.mailbox"
+        ~entry:(Synth.wrap_gate synth ~name:"pop3.mailbox" (mbox_entry ~mail_block))
         ~cgsc:mbox_cgsc ~trusted:uid_block
     in
-    (* The client handler: default-deny plus exactly Figure 1's arrows. *)
-    W.sc_mem_add worker_sc arg_tag Prot.RW;
-    W.sc_mem_add worker_sc mail_tag Prot.R;
-    W.sc_fd_add worker_sc fd Fd_table.perm_rw;
     (match worker_limits with Some l -> W.sc_set_rlimit worker_sc l | None -> ());
-    W.sc_set_uid worker_sc 99;
-    W.sc_set_root worker_sc "/var/empty";
     (uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate)
   with
   | exception e when W.fault_reason e <> None ->
@@ -251,7 +276,7 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
         attempts = 0;
       }
   | uid_tag, arg_tag, mail_tag, arg_block, mail_block, fd, worker_sc, login_gate, mbox_gate ->
-      let worker_main ctx _ =
+      let worker_body ctx _ =
             let io =
               Lineio.create ?max_line
                 ~recv:(fun n -> W.fd_read ctx fd n)
@@ -278,6 +303,9 @@ let serve_connection ?exploit ?(restart_policy = Supervisor.policy ~max_restarts
             let exploit = Option.map (fun payload () -> payload ctx) exploit in
             Pop3_proto.serve io backend ~exploit;
             0
+      in
+      let worker_main =
+        Synth.wrap_sthread synth ~name:"pop3.worker" ~fds:[ ("conn", fd) ] worker_body
       in
       let outcome =
         (* A restamped worker must not inherit the hung heart a watchdog

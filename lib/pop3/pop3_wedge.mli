@@ -34,6 +34,7 @@ val serve_connection :
   ?guard:Wedge_net.Guard.conn ->
   ?max_line:int ->
   ?worker_limits:Wedge_kernel.Rlimit.t ->
+  ?synth:Wedge_crowbar.Synth.t ->
   Wedge_core.Wedge.ctx ->
   Wedge_net.Chan.ep ->
   conn_debug
@@ -52,7 +53,12 @@ val serve_connection :
     deadline-aware endpoint and marks the session established on a
     successful login; [max_line] caps command-line length (overlong
     commands answer [-ERR command line too long] and close);
-    [worker_limits] arms per-sthread resource quotas on the handler. *)
+    [worker_limits] arms per-sthread resource quotas on the handler.
+
+    Profile synthesis: [synth] threads a {!Wedge_crowbar.Synth} session
+    through the connection — compartments ["pop3.worker"] (fd role
+    ["conn"]), ["pop3.login"] and ["pop3.mailbox"]; in enforce mode the
+    profile's entries replace the hand-written security contexts. *)
 
 val worker_pool : ?name:string -> Wedge_core.Wedge.ctx -> Wedge_core.Pool.t
 (** Freeze the handler's boot into a snapshot pool (identity dropped to

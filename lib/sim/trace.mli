@@ -63,6 +63,11 @@ val count : t -> name:string -> pid:int -> value:int -> unit
 
 (** {2 Inspection and export} *)
 
+val instants_named : t -> name:string -> int
+(** How many instants named [name] survive in the ring buffer — what
+    tests assert complain-mode policy violations against.  Events pushed
+    out by wrap-around are not counted. *)
+
 val recorded : t -> int
 (** Events currently held (≤ capacity). *)
 

@@ -12,6 +12,7 @@ module Dsa = Wedge_crypto.Dsa
 module Sha256 = Wedge_crypto.Sha256
 module Wire = Wedge_tls.Wire
 module P = Ssh_proto
+module Synth = Wedge_crowbar.Synth
 
 type conn_debug = {
   arg_tag : Tag.t;
@@ -222,56 +223,64 @@ let worker_ops ctx ~arg_tag ~arg_block ~g_sign ~g_kex ~g_pass ~g_pub ~g_skey =
 
 (* ---------------- master: one connection ---------------- *)
 
-let serve_connection ?(recycled = false) ?exploit (env : Sshd_env.t) ep =
+let serve_connection ?(recycled = false) ?exploit ?synth (env : Sshd_env.t) ep =
   let main = env.Sshd_env.main in
   let arg_tag = W.tag_new ~name:"sshd.arg" ~pages:2 main in
   let arg_block = W.smalloc main 6000 arg_tag in
   let fd = W.add_endpoint main (Chan.to_endpoint ep) Fd_table.perm_rw in
-  let worker_sc = W.sc_create () in
-  let hostkey_sc () =
-    let sc = W.sc_create () in
-    W.sc_mem_add sc env.Sshd_env.hostkey_tag Prot.R;
-    W.sc_mem_add sc env.Sshd_env.public_tag Prot.R;
-    sc
+  let conn_tags = [ arg_tag ] in
+  let conn_fds = [ ("conn", fd) ] in
+  let worker_sc =
+    match Synth.sthread_sc synth ~name:"sshd.worker" ~tags:conn_tags ~fds:conn_fds main with
+    | Some sc -> sc
+    | None ->
+        let sc = W.sc_create () in
+        W.sc_mem_add sc arg_tag Prot.RW;
+        W.sc_mem_add sc env.Sshd_env.public_tag Prot.R;
+        W.sc_fd_add sc fd Fd_table.perm_rw;
+        W.sc_set_uid sc 99;
+        W.sc_set_root sc "/var/empty";
+        sc
   in
-  let g_sign =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"dsa_sign" ~entry:(dsa_sign_entry env)
-      ~cgsc:(hostkey_sc ()) ~trusted:0
+  let hostkey_sc name =
+    match Synth.gate_sc synth ~name ~tags:conn_tags main with
+    | Some sc -> sc
+    | None ->
+        let sc = W.sc_create () in
+        W.sc_mem_add sc env.Sshd_env.hostkey_tag Prot.R;
+        W.sc_mem_add sc env.Sshd_env.public_tag Prot.R;
+        sc
   in
-  let g_kex =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"rsa_kex" ~entry:(rsa_kex_entry env)
-      ~cgsc:(hostkey_sc ()) ~trusted:0
+  let auth_sc name =
+    match Synth.gate_sc synth ~name ~tags:conn_tags main with
+    | Some sc -> sc
+    | None -> W.sc_create ()
   in
-  let g_pass =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"auth_password"
-      ~entry:(auth_password_entry env) ~cgsc:(W.sc_create ()) ~trusted:0
+  let mint name entry cgsc =
+    W.sc_cgate_add ~recycled main worker_sc ~name
+      ~entry:(Synth.wrap_gate synth ~name entry)
+      ~cgsc ~trusted:0
   in
-  let g_pub =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"dsa_auth" ~entry:(auth_pubkey_entry env)
-      ~cgsc:(W.sc_create ()) ~trusted:0
-  in
-  let g_skey =
-    W.sc_cgate_add ~recycled main worker_sc ~name:"skey" ~entry:(skey_entry env)
-      ~cgsc:(W.sc_create ()) ~trusted:0
-  in
-  W.sc_mem_add worker_sc arg_tag Prot.RW;
-  W.sc_mem_add worker_sc env.Sshd_env.public_tag Prot.R;
-  W.sc_fd_add worker_sc fd Fd_table.perm_rw;
-  W.sc_set_uid worker_sc 99;
-  W.sc_set_root worker_sc "/var/empty";
+  let g_sign = mint "dsa_sign" (dsa_sign_entry env) (hostkey_sc "dsa_sign") in
+  let g_kex = mint "rsa_kex" (rsa_kex_entry env) (hostkey_sc "rsa_kex") in
+  let g_pass = mint "auth_password" (auth_password_entry env) (auth_sc "auth_password") in
+  let g_pub = mint "dsa_auth" (auth_pubkey_entry env) (auth_sc "dsa_auth") in
+  let g_skey = mint "skey" (skey_entry env) (auth_sc "skey") in
   let wrng_seed = Drbg.next64 env.Sshd_env.rng in
   let final_uid = ref 99 in
+  let worker_body ctx _ =
+    let io = io_of_fd ctx fd in
+    let ops = worker_ops ctx ~arg_tag ~arg_block ~g_sign ~g_kex ~g_pass ~g_pub ~g_skey in
+    Sshd_session.run ~ctx ~io ~wrng:(Drbg.create ~seed:wrng_seed)
+      ~host_rsa_pub:(W.read_lv ctx env.Sshd_env.pub_rsa_addr)
+      ~host_dsa_pub:(W.read_lv ctx env.Sshd_env.pub_dsa_addr)
+      ~ops ~exploit ();
+    final_uid := W.getuid ctx;
+    0
+  in
   let handle =
     W.sthread_create main worker_sc
-      (fun ctx _ ->
-        let io = io_of_fd ctx fd in
-        let ops = worker_ops ctx ~arg_tag ~arg_block ~g_sign ~g_kex ~g_pass ~g_pub ~g_skey in
-        Sshd_session.run ~ctx ~io ~wrng:(Drbg.create ~seed:wrng_seed)
-          ~host_rsa_pub:(W.read_lv ctx env.Sshd_env.pub_rsa_addr)
-          ~host_dsa_pub:(W.read_lv ctx env.Sshd_env.pub_dsa_addr)
-          ~ops ~exploit ();
-        final_uid := W.getuid ctx;
-        0)
+      (Synth.wrap_sthread synth ~name:"sshd.worker" ~fds:conn_fds worker_body)
       0
   in
   ignore (W.sthread_join main handle);

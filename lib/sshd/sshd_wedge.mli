@@ -24,6 +24,11 @@ type conn_debug = {
 val serve_connection :
   ?recycled:bool ->
   ?exploit:(Wedge_core.Wedge.ctx -> unit) ->
+  ?synth:Wedge_crowbar.Synth.t ->
   Sshd_env.t ->
   Wedge_net.Chan.ep ->
   conn_debug
+(** [synth] threads a {!Wedge_crowbar.Synth} session through the
+    connection — compartments ["sshd.worker"] (fd role ["conn"]) and the
+    five callgates by name; in enforce mode the profile's entries replace
+    the hand-written security contexts. *)

@@ -180,6 +180,82 @@ let test_query3_write_sites () =
   check Alcotest.bool "no writes to input" false
     (List.exists (fun k -> k = Trace.Tagged input_tag.Tag.id) kinds)
 
+(* Queries 2 and 3 across a compartment boundary: a worker sthread calls a
+   callgate whose entry runs under its own frame.  The gate ctx inherits
+   the caller's cb-log instrumentation and the backtrace is shared, so the
+   gate's accesses nest as descendants of the worker's call site. *)
+let traced_gate_workload () =
+  let _, _, main = mk_app () in
+  let arg_tag = W.tag_new ~name:"g.arg" main in
+  let vault_tag = W.tag_new ~name:"g.vault" main in
+  let log = Cb_log.create () in
+  W.set_instr main (Cb_log.instr log);
+  let arg = W.smalloc main 16 arg_tag in
+  let vault = W.smalloc main 16 vault_tag in
+  W.write_u8 main arg 7;
+  let worker_sc = W.sc_create () in
+  W.sc_mem_add worker_sc arg_tag Prot.RW;
+  let cgsc = W.sc_create () in
+  W.sc_mem_add cgsc vault_tag Prot.RW;
+  let gate =
+    W.sc_cgate_add main worker_sc ~name:"vault_gate"
+      ~entry:(fun gctx ~trusted:_ ~arg ->
+        W.in_function gctx ~name:"gate_entry" (fun () ->
+            let v = W.read_u8 gctx arg in
+            W.write_u8 gctx vault v;
+            v))
+      ~cgsc ~trusted:0
+  in
+  let h =
+    W.sthread_create main worker_sc
+      (fun ctx _ ->
+        W.in_function ctx ~name:"worker_fn" (fun () ->
+            W.write_u8 ctx arg 9;
+            let perms = W.sc_create () in
+            W.sc_mem_add perms arg_tag Prot.R;
+            W.cgate ctx gate ~perms ~arg))
+      0
+  in
+  ignore (W.sthread_join main h);
+  W.set_instr main Instr.null;
+  check Alcotest.bool "workload ran clean" true (W.handle_status h = Process.Exited 0);
+  (Cb_log.trace log, arg_tag, vault_tag)
+
+let test_query2_nested_gate_attribution () =
+  let tr, _, vault_tag = traced_gate_workload () in
+  let vault_segs =
+    List.filter (fun s -> s.Trace.kind = Trace.Tagged vault_tag.Tag.id) (Trace.segments tr)
+  in
+  let procs = Cb_analyze.procedures_using tr ~segments:vault_segs in
+  let names = List.map (fun p -> p.Cb_analyze.pr_fn) procs in
+  (* The innermost toucher of the vault is the gate's entry, not the
+     worker function that merely invoked the gate. *)
+  check Alcotest.bool "gate_entry implicated" true (List.mem "gate_entry" names);
+  check Alcotest.bool "worker_fn not the innermost toucher" false
+    (List.mem "worker_fn" names)
+
+let test_query3_nested_gate_descendants () =
+  let tr, arg_tag, vault_tag = traced_gate_workload () in
+  let kinds_written_by fn =
+    List.map
+      (fun ir -> ir.Cb_analyze.ir_segment.Trace.kind)
+      (Cb_analyze.writes_of tr ~fn)
+  in
+  (* From the worker's vantage the gate is a descendant: its vault write
+     is attributed to worker_fn's subtree alongside the direct arg write. *)
+  let from_worker = kinds_written_by "worker_fn" in
+  check Alcotest.bool "worker subtree writes arg" true
+    (List.exists (fun k -> k = Trace.Tagged arg_tag.Tag.id) from_worker);
+  check Alcotest.bool "worker subtree writes vault (through the gate)" true
+    (List.exists (fun k -> k = Trace.Tagged vault_tag.Tag.id) from_worker);
+  (* From the gate's vantage only the vault is written: the arg write
+     happened before the gate was entered. *)
+  let from_gate = kinds_written_by "gate_entry" in
+  check Alcotest.bool "gate writes vault" true
+    (List.exists (fun k -> k = Trace.Tagged vault_tag.Tag.id) from_gate);
+  check Alcotest.bool "gate does not write arg" false
+    (List.exists (fun k -> k = Trace.Tagged arg_tag.Tag.id) from_gate)
+
 let test_overapproximation_is_superset () =
   let tr, _, _, _, _ = traced_workload () in
   let per_fn = Cb_analyze.suggest_policy tr ~fn:"session_handler" in
@@ -405,6 +481,10 @@ let () =
           Alcotest.test_case "query 1: modes" `Quick test_query1_modes;
           Alcotest.test_case "query 2: procedures for data" `Quick test_query2_procedures_for_data;
           Alcotest.test_case "query 3: write sites" `Quick test_query3_write_sites;
+          Alcotest.test_case "query 2: nested callgate attribution" `Quick
+            test_query2_nested_gate_attribution;
+          Alcotest.test_case "query 3: nested callgate descendants" `Quick
+            test_query3_nested_gate_descendants;
           Alcotest.test_case "static overapproximation" `Quick test_overapproximation_is_superset;
           Alcotest.test_case "trace merging" `Quick test_merge_traces;
           Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
